@@ -1,0 +1,39 @@
+# Reproduction of Chilimbi, PLDI 2001 — build/test/benchmark entry points.
+
+GO ?= go
+
+.PHONY: all build test bench repro csv fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper's evaluation (tables + figures + extensions).
+repro:
+	$(GO) run ./cmd/repro
+	$(GO) run ./cmd/repro -exp ext
+
+# Plottable per-figure CSV data.
+csv:
+	$(GO) run ./cmd/repro -csv out/
+
+# Short fuzz sessions over the parsers and the grammar invariant.
+fuzz:
+	$(GO) test -fuzz=FuzzExpandIdentity -fuzztime=30s ./internal/sequitur/
+	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=30s ./internal/sequitur/
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/trace/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -rf out/ internal/sequitur/testdata internal/trace/testdata

@@ -1,0 +1,92 @@
+// Command drill runs DRILL (Data Reference Locality Locator, §4.1) over a
+// trace file or a named benchmark: it enumerates hot data streams with
+// their heat, spatial and temporal regularity and cache-block packing
+// efficiency, and can walk one stream's data members.
+//
+// Usage:
+//
+//	drill -bench boxsim                 # analyze a generated workload
+//	drill -trace app.trace              # analyze a trace file
+//	drill -bench boxsim -stream 3       # walk stream #3's members
+//	drill -bench boxsim -focus          # only poorly-packed hot streams
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/drill"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to generate and analyze")
+	traceFile := flag.String("trace", "", "trace file to analyze")
+	refs := flag.Int("refs", 200_000, "target references when generating")
+	seed := flag.Int64("seed", 1, "generator seed")
+	top := flag.Int("top", 25, "streams to list")
+	streamID := flag.Int("stream", -1, "walk one stream's members")
+	focus := flag.Bool("focus", false, "list only optimization candidates (poor packing, long repetition interval)")
+	interactive := flag.Bool("i", false, "interactive session (list/show/next/focus commands)")
+	flag.Parse()
+
+	var (
+		b   *trace.Buffer
+		err error
+	)
+	switch {
+	case *bench != "":
+		b, err = workload.Generate(*bench, *refs, *seed)
+	case *traceFile != "":
+		var f *os.File
+		if f, err = os.Open(*traceFile); err == nil {
+			b, err = trace.ReadAll(f)
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("one of -bench or -trace is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drill:", err)
+		os.Exit(1)
+	}
+
+	a := core.Analyze(b, core.Options{SkipPotential: true})
+	rep := drill.Build(a.Streams(), a.Abstraction.Objects, 64)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	th := a.Threshold()
+	fmt.Fprintf(out, "%d hot data streams at locality threshold %d (heat %d), covering %.0f%% of %d references\n\n",
+		len(a.Streams()), th.Multiple, th.Heat, a.Coverage()*100, a.TraceStats.Refs)
+
+	switch {
+	case *interactive:
+		repl := &drill.REPL{Report: rep}
+		if len(a.Pipeline.Levels) > 0 {
+			repl.Graph = a.Pipeline.Levels[0].SFG
+		}
+		err = repl.Run(os.Stdin, out)
+	case *streamID >= 0:
+		err = rep.WriteStream(out, *streamID)
+	case *focus:
+		cands := rep.FocusCandidates(0.7, 100)
+		fmt.Fprintf(out, "%d optimization candidates (packing <= 70%%, repetition interval >= 100):\n", len(cands))
+		focused := &drill.Report{Streams: cands, BlockSize: rep.BlockSize, Namer: rep.Namer}
+		if err = focused.WriteSummary(out, *top); err == nil {
+			fmt.Fprintln(out)
+			err = focused.WriteAdvice(out, 0.7, 5)
+		}
+	default:
+		err = rep.WriteSummary(out, *top)
+	}
+	if err != nil {
+		out.Flush()
+		fmt.Fprintln(os.Stderr, "drill:", err)
+		os.Exit(1)
+	}
+}

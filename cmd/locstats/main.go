@@ -1,0 +1,91 @@
+// Command locstats prints the locality quantification for one trace file
+// or benchmark: Table 1 characteristics, representation sizes (Figure 5),
+// the exploitable locality threshold and hot-stream population (Table 2),
+// and the weighted locality metrics (Table 3), for a single program.
+//
+// Usage:
+//
+//	locstats -bench sqlserver
+//	locstats -trace app.trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to generate and analyze")
+	traceFile := flag.String("trace", "", "trace file to analyze")
+	refs := flag.Int("refs", 200_000, "target references when generating")
+	seed := flag.Int64("seed", 1, "generator seed")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	var (
+		b   *trace.Buffer
+		err error
+	)
+	switch {
+	case *bench != "":
+		b, err = workload.Generate(*bench, *refs, *seed)
+	case *traceFile != "":
+		var f *os.File
+		if f, err = os.Open(*traceFile); err == nil {
+			b, err = trace.ReadAll(f)
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("one of -bench or -trace is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locstats:", err)
+		os.Exit(1)
+	}
+
+	a := core.Analyze(b, core.Options{})
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *jsonOut {
+		if err := a.WriteJSON(out); err != nil {
+			out.Flush()
+			fmt.Fprintln(os.Stderr, "locstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	st := a.TraceStats
+	fmt.Fprintf(out, "trace:        %d refs (%d heap, %d global), %d addresses, %.0f refs/address\n",
+		st.Refs, st.HeapRefs, st.GlobalRefs, st.Addresses, st.RefsPerAddress())
+	fmt.Fprintf(out, "skew:         90%% of refs from %.2f%% of addresses, %.2f%% of PCs\n",
+		a.AddressSkew.Locality90, a.PCSkew.Locality90)
+	for _, l := range a.Pipeline.Levels {
+		sz := l.WPS.Size()
+		fmt.Fprintf(out, "WPS%d:         %d bytes (%d rules, %d symbols, %.0fx compression)",
+			l.Index, sz.ASCIIBytes, sz.Rules, sz.Symbols, sz.CompressionRatio())
+		if l.SFG != nil {
+			fmt.Fprintf(out, "; SFG%d %d bytes, %d nodes, %d edges",
+				l.Index, l.SFG.SizeBytes(), l.SFG.NumNodes, l.SFG.NumEdges())
+		}
+		fmt.Fprintln(out)
+	}
+	th := a.Threshold()
+	fmt.Fprintf(out, "hot streams:  %d at threshold %d (%.0f%% coverage)\n",
+		len(a.Streams()), th.Multiple, a.Coverage()*100)
+	fmt.Fprintf(out, "inherent:     wt avg stream size %.1f, repetition interval %.1f\n",
+		a.Summary.WtAvgStreamSize, a.Summary.WtAvgRepetitionInterval)
+	fmt.Fprintf(out, "realized:     wt avg packing efficiency %.1f%%\n",
+		a.Summary.WtAvgPackingEfficiency)
+	pr, cl, co := a.Potential.Normalized()
+	fmt.Fprintf(out, "potential:    base miss %.2f%%; prefetch %.1f%%, cluster %.1f%%, both %.1f%% of base\n",
+		a.Potential.Base, pr, cl, co)
+	fmt.Fprintf(out, "analysis:     %.2fs\n", a.AnalysisTime.Seconds())
+}

@@ -1,0 +1,61 @@
+// Command repro regenerates the paper's evaluation: every table and figure
+// of §5, printed in the same row/series shape the paper reports.
+//
+// Usage:
+//
+//	repro [-scale N] [-seed S] [-bench name] [-exp table2|fig9|...|all]
+//
+// Examples:
+//
+//	repro                         # everything, all benchmarks, 200k refs
+//	repro -exp fig9 -scale 500000 # Figure 9 at a larger scale
+//	repro -bench boxsim -exp all  # one benchmark
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 200_000, "target references per benchmark")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	bench := flag.String("bench", "", "restrict to one benchmark (default: all)")
+	exp := flag.String("exp", "all", "experiment: fig1 table1 fig5 table2 fig6 table3 fig7 fig8 fig9 coverage times all")
+	skipPotential := flag.Bool("skip-potential", false, "skip the Figure 8/9 cache simulations")
+	parallel := flag.Int("parallel", 4, "benchmarks analyzed concurrently (1 = sequential)")
+	csvDir := flag.String("csv", "", "also write per-figure CSV data files to this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, SkipPotential: *skipPotential}
+	if *bench != "" {
+		cfg.Benchmarks = []string{*bench}
+	}
+	r := experiments.NewRunner(cfg)
+	if *parallel > 1 {
+		if err := r.Prewarm(*parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if err := r.ByName(out, *exp); err != nil {
+		out.Flush()
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		paths, err := r.WriteCSV(*csvDir)
+		if err != nil {
+			out.Flush()
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "\nCSV data: %d files under %s\n", len(paths), *csvDir)
+	}
+}

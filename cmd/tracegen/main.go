@@ -1,0 +1,68 @@
+// Command tracegen generates a benchmark's data-reference trace in the
+// paper's binary record format (9-byte load/store records, 13-byte
+// allocation records) and writes it to a file — the role Vulcan
+// instrumentation plays in §5.1.
+//
+// Usage:
+//
+//	tracegen -bench 176.gcc -refs 1000000 -o gcc.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	refs := flag.Int("refs", 200_000, "target number of references")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default <bench>.trace)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-14s %s\n", w.Name(), w.Description())
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench required (try -list)")
+		os.Exit(2)
+	}
+	b, err := workload.Generate(*bench, *refs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	w := trace.NewWriter(f)
+	if err := w.WriteAll(b); err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	st := b.Stats()
+	fmt.Printf("%s: %d events (%d refs, %d allocs), %d bytes -> %s\n",
+		*bench, b.Len(), st.Refs, st.Allocs, st.TraceBytes, path)
+}

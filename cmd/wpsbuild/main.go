@@ -1,0 +1,97 @@
+// Command wpsbuild compiles a data-reference trace into a persisted Whole
+// Program Stream: abstraction (§3.1) followed by SEQUITUR compression
+// (§3), written in the compact binary grammar form. The output can be
+// reloaded for hot-data-stream analysis without the original trace.
+//
+// Usage:
+//
+//	wpsbuild -trace app.trace -o app.wps
+//	wpsbuild -bench boxsim -refs 500000 -o boxsim.wps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/abstract"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/wps"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "input trace file")
+	bench := flag.String("bench", "", "benchmark to generate instead of reading a trace")
+	refs := flag.Int("refs", 200_000, "target references when generating")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "out.wps", "output WPS file")
+	naming := flag.String("naming", "birth-id", "heap naming: birth-id, site-only, raw-address")
+	flag.Parse()
+
+	var (
+		b   *trace.Buffer
+		err error
+	)
+	switch {
+	case *bench != "":
+		b, err = workload.Generate(*bench, *refs, *seed)
+	case *traceFile != "":
+		var f *os.File
+		if f, err = os.Open(*traceFile); err == nil {
+			b, err = trace.ReadAll(f)
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("one of -trace or -bench is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wpsbuild:", err)
+		os.Exit(1)
+	}
+
+	var mode abstract.Mode
+	switch *naming {
+	case "birth-id":
+		mode = abstract.BirthID
+	case "site-only":
+		mode = abstract.SiteOnly
+	case "raw-address":
+		mode = abstract.RawAddress
+	default:
+		fmt.Fprintf(os.Stderr, "wpsbuild: unknown naming %q\n", *naming)
+		os.Exit(2)
+	}
+
+	res := abstract.New(mode).Abstract(b)
+	w := wps.Build(res.Names, wps.DefaultOptions())
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wpsbuild:", err)
+		os.Exit(1)
+	}
+	n, err := w.WriteBinary(f)
+	if err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wpsbuild:", err)
+		os.Exit(1)
+	}
+
+	// Verify the round trip before reporting success.
+	rf, err := os.Open(*out)
+	if err == nil {
+		_, err = wps.LoadBinary(rf, 100)
+		rf.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wpsbuild: verification failed:", err)
+		os.Exit(1)
+	}
+
+	st := w.Size()
+	fmt.Printf("%d refs -> WPS %s: %d bytes binary (%d ASCII, %d rules, %d symbols, %.0fx vs trace)\n",
+		w.NumRefs, *out, n, st.ASCIIBytes, st.Rules, st.Symbols,
+		float64(b.Stats().TraceBytes)/float64(n))
+}

@@ -1,0 +1,316 @@
+// Package abstract implements the data-address abstractions of §3.1: the
+// lossy mapping from raw data addresses to data-object names that makes
+// SEQUITUR-discovered repetition meaningful at object granularity.
+//
+// Heap addresses are named by ⟨allocation site, global counter⟩ "birth
+// identifiers" — the paper's maximum-discrimination scheme — or,
+// alternatively, by allocation-site calling context of configurable depth,
+// or left as raw addresses (both for ablation). Globals are named by the
+// registered global object containing the address. Stack references are
+// excluded, matching the paper's methodology.
+package abstract
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Mode selects the heap-naming scheme.
+type Mode uint8
+
+// Heap abstraction modes.
+const (
+	// BirthID names heap objects ⟨allocation site, global counter⟩,
+	// "maximum discrimination between heap objects" (§5.1, default).
+	BirthID Mode = iota
+	// SiteOnly names heap objects by allocation site alone (the paper's
+	// "allocation site calling context" alternative, depth 1).
+	SiteOnly
+	// RawAddress skips abstraction: names are the addresses themselves.
+	// §3.1 explains why this obfuscates patterns; the ablation benchmark
+	// quantifies it.
+	RawAddress
+	// SiteContext names heap objects by allocation-site calling context:
+	// the site plus the innermost ContextDepth-1 call sites on the stack
+	// at allocation time. §3.1 cites depth 3 as "a useful abstraction
+	// for studying the behavior of heap objects" (Seidl & Zorn). It
+	// discriminates more than SiteOnly (one site serving many callers
+	// splits per caller) but, unlike BirthID, still merges same-context
+	// allocations.
+	SiteContext
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case BirthID:
+		return "birth-id"
+	case SiteOnly:
+		return "site-only"
+	case RawAddress:
+		return "raw-address"
+	case SiteContext:
+		return "site-context"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Object describes one named data object: the value of the heap map the
+// paper builds from allocation information.
+type Object struct {
+	// Name is the object's abstract name (a dense ID usable as a
+	// SEQUITUR terminal).
+	Name uint64
+	// Base and Size give the object's extent at the time of the trace.
+	Base uint32
+	Size uint32
+	// Site is the allocation site (PC) that created the object; for
+	// globals it is the registration site.
+	Site uint32
+	// Birth is the value of the global allocation counter when the
+	// object was created.
+	Birth uint64
+	// Heap reports whether the object lives in the heap region.
+	Heap bool
+}
+
+// Result is an abstracted trace: one name per load/store reference, in
+// order, plus the heap map needed by packing-efficiency metrics and
+// clustering.
+type Result struct {
+	// Names holds the abstract name of each (non-stack) reference.
+	Names []uint64
+	// PCs holds the referencing instruction for each entry of Names.
+	PCs []uint32
+	// Addrs holds the concrete address for each entry of Names (used by
+	// cache simulation and clustering remaps).
+	Addrs []uint32
+	// Objects maps name -> object metadata.
+	Objects map[uint64]*Object
+	// Mode records the heap-naming scheme used.
+	Mode Mode
+	// StackRefs counts excluded stack references.
+	StackRefs uint64
+	// UnknownRefs counts references that hit no live object; they are
+	// named by their raw address so no reference is lost.
+	UnknownRefs uint64
+}
+
+// NumRefs returns the number of abstracted references.
+func (r *Result) NumRefs() int { return len(r.Names) }
+
+// interval is a live-object record ordered by base address.
+type interval struct {
+	base, limit uint32
+	obj         *Object
+}
+
+// Abstractor turns raw traces into name sequences.
+type Abstractor struct {
+	mode  Mode
+	depth int
+}
+
+// New returns an Abstractor using the given heap-naming mode. SiteContext
+// uses the paper's depth of 3; use NewContext for other depths.
+func New(mode Mode) *Abstractor { return &Abstractor{mode: mode, depth: 3} }
+
+// NewContext returns a SiteContext abstractor with an explicit calling-
+// context depth (>= 1; depth 1 behaves like SiteOnly).
+func NewContext(depth int) *Abstractor {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Abstractor{mode: SiteContext, depth: depth}
+}
+
+// Abstract processes the trace, building the heap map online from
+// alloc/free records and renaming every load/store.
+//
+// Names are dense IDs assigned in first-touch order, which keeps the
+// SEQUITUR terminal space compact. In RawAddress mode the name is the
+// address itself.
+func (a *Abstractor) Abstract(b *trace.Buffer) *Result {
+	st := a.newState(b.Len())
+	for _, e := range b.Events() {
+		st.process(e)
+	}
+	return st.res
+}
+
+// AbstractStream processes events from a trace reader, so traces larger
+// than memory can be abstracted directly from disk. It stops at a clean
+// end of stream and returns any decode error alongside the (partial)
+// result.
+func (a *Abstractor) AbstractStream(r *trace.Reader) (*Result, error) {
+	st := a.newState(1 << 16)
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return st.res, nil
+		}
+		if err != nil {
+			return st.res, err
+		}
+		st.process(e)
+	}
+}
+
+// state carries the online abstraction machinery over one event stream.
+type state struct {
+	a       *Abstractor
+	res     *Result
+	process func(e trace.Event)
+}
+
+func (a *Abstractor) newState(hint int) *state {
+	res := &Result{
+		Names:   make([]uint64, 0, hint),
+		PCs:     make([]uint32, 0, hint),
+		Addrs:   make([]uint32, 0, hint),
+		Objects: make(map[uint64]*Object),
+		Mode:    a.mode,
+	}
+	var (
+		live    []interval // sorted by base
+		nextID  uint64     = 1
+		counter uint64
+		// siteNames dedupes names in SiteOnly mode.
+		siteNames = map[uint32]uint64{}
+		// ctxNames dedupes names in SiteContext mode (key: context hash).
+		ctxNames = map[uint64]uint64{}
+		// addrNames dedupes names in RawAddress mode and for unknown
+		// references.
+		addrNames = map[uint32]uint64{}
+		// callStack tracks activations for SiteContext naming.
+		callStack []uint32
+	)
+	contextHash := func(site uint32) uint64 {
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		mix := func(v uint32) {
+			for s := 0; s < 32; s += 8 {
+				h ^= uint64(v>>s) & 0xFF
+				h *= prime64
+			}
+		}
+		mix(site)
+		for i, d := len(callStack)-1, 1; i >= 0 && d < a.depth; i, d = i-1, d+1 {
+			mix(callStack[i])
+		}
+		return h
+	}
+	findLive := func(addr uint32) *Object {
+		i := sort.Search(len(live), func(i int) bool { return live[i].base > addr })
+		if i == 0 {
+			return nil
+		}
+		iv := live[i-1]
+		if addr < iv.limit {
+			return iv.obj
+		}
+		return nil
+	}
+	insertLive := func(iv interval) {
+		i := sort.Search(len(live), func(i int) bool { return live[i].base >= iv.base })
+		live = append(live, interval{})
+		copy(live[i+1:], live[i:])
+		live[i] = iv
+	}
+	removeLive := func(base uint32) {
+		i := sort.Search(len(live), func(i int) bool { return live[i].base >= base })
+		if i < len(live) && live[i].base == base {
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	nameForAddr := func(addr uint32) uint64 {
+		if n, ok := addrNames[addr]; ok {
+			return n
+		}
+		n := nextID
+		nextID++
+		addrNames[addr] = n
+		res.Objects[n] = &Object{Name: n, Base: addr, Size: 4, Heap: trace.RegionOf(addr) == trace.RegionHeap}
+		return n
+	}
+
+	st := &state{a: a, res: res}
+	st.process = func(e trace.Event) {
+		switch e.Kind {
+		case trace.Call:
+			callStack = append(callStack, e.PC)
+		case trace.Return:
+			if len(callStack) > 0 {
+				callStack = callStack[:len(callStack)-1]
+			}
+		case trace.Alloc:
+			counter++
+			if a.mode == RawAddress {
+				// Raw mode ignores object structure entirely: no heap
+				// map is built, every address is its own name.
+				return
+			}
+			obj := &Object{
+				Base:  e.Addr,
+				Size:  e.Size,
+				Site:  e.PC,
+				Birth: counter,
+				Heap:  trace.RegionOf(e.Addr) == trace.RegionHeap,
+			}
+			switch a.mode {
+			case BirthID:
+				obj.Name = nextID
+				nextID++
+			case SiteOnly:
+				if n, ok := siteNames[e.PC]; ok {
+					obj.Name = n
+				} else {
+					obj.Name = nextID
+					nextID++
+					siteNames[e.PC] = obj.Name
+				}
+			case SiteContext:
+				key := contextHash(e.PC)
+				if n, ok := ctxNames[key]; ok {
+					obj.Name = n
+				} else {
+					obj.Name = nextID
+					nextID++
+					ctxNames[key] = obj.Name
+				}
+			}
+			if _, dup := res.Objects[obj.Name]; !dup || a.mode == BirthID {
+				res.Objects[obj.Name] = obj
+			}
+			// Clobber any stale overlapping interval (address reuse).
+			removeLive(e.Addr)
+			insertLive(interval{base: e.Addr, limit: e.Addr + e.Size, obj: obj})
+		case trace.Free:
+			removeLive(e.Addr)
+		case trace.Load, trace.Store:
+			if trace.RegionOf(e.Addr) == trace.RegionStack {
+				res.StackRefs++
+				return
+			}
+			var name uint64
+			if a.mode == RawAddress {
+				name = nameForAddr(e.Addr)
+			} else if obj := findLive(e.Addr); obj != nil {
+				name = obj.Name
+			} else {
+				res.UnknownRefs++
+				name = nameForAddr(e.Addr)
+			}
+			res.Names = append(res.Names, name)
+			res.PCs = append(res.PCs, e.PC)
+			res.Addrs = append(res.Addrs, e.Addr)
+		}
+	}
+	return st
+}

@@ -1,0 +1,277 @@
+// Package cache implements the set-associative LRU cache simulator used to
+// compute the paper's realized-locality results: miss attribution (Figure
+// 8) and the potential of stream-based optimizations (Figure 9, measured on
+// an 8K fully-associative cache with 64-byte blocks).
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// BlockSize is the line size in bytes (the paper uses 64).
+	BlockSize int
+	// Assoc is the set associativity; 0 or >= number of blocks means
+	// fully associative.
+	Assoc int
+}
+
+// FullyAssociative8K is the configuration of §5.4 / Figure 9: the paper
+// scaled the cache down to 8K because the SPEC benchmarks ran their "test"
+// inputs.
+var FullyAssociative8K = Config{Size: 8 * 1024, BlockSize: 64, Assoc: 0}
+
+// Blocks returns the number of cache blocks.
+func (c Config) Blocks() int { return c.Size / c.BlockSize }
+
+// Sets returns the number of sets after normalizing associativity.
+func (c Config) Sets() int {
+	blocks := c.Blocks()
+	assoc := c.Assoc
+	if assoc <= 0 || assoc > blocks {
+		assoc = blocks
+	}
+	return blocks / assoc
+}
+
+// String renders the geometry, e.g. "8KB/64B/full".
+func (c Config) String() string {
+	assoc := "full"
+	if c.Assoc > 0 && c.Assoc < c.Blocks() {
+		assoc = fmt.Sprintf("%dway", c.Assoc)
+	}
+	return fmt.Sprintf("%dKB/%dB/%s", c.Size/1024, c.BlockSize, assoc)
+}
+
+// Validate reports whether the geometry is simulable.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: block size %d must be a positive power of two", c.BlockSize)
+	}
+	if c.Size < c.BlockSize {
+		return fmt.Errorf("cache: size %d smaller than block %d", c.Size, c.BlockSize)
+	}
+	if c.Size%c.BlockSize != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of block %d", c.Size, c.BlockSize)
+	}
+	sets := c.Sets()
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a positive power of two", sets)
+	}
+	return nil
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Prefetches uint64
+}
+
+// Accesses returns demand accesses (hits + misses).
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses / accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// entry is one resident block in a set's LRU list.
+type entry struct {
+	tag        uint64
+	prev, next int32 // indices into the set's entry arena; -1 terminates
+}
+
+// set is an LRU list over at most assoc entries plus a tag index.
+type set struct {
+	entries []entry
+	index   map[uint64]int32
+	head    int32 // most recently used
+	tail    int32 // least recently used
+	free    []int32
+}
+
+// Cache is a set-associative LRU cache simulator.
+type Cache struct {
+	cfg       Config
+	blockBits uint
+	setMask   uint64
+	assoc     int
+	sets      []set
+	stats     Stats
+}
+
+// New builds a simulator for the configuration; it panics on an invalid
+// geometry (configurations are programmer input, not runtime data).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := cfg.Blocks()
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > blocks {
+		assoc = blocks
+	}
+	nsets := blocks / assoc
+	c := &Cache{cfg: cfg, assoc: assoc, setMask: uint64(nsets - 1)}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		c.blockBits++
+	}
+	c.sets = make([]set, nsets)
+	for i := range c.sets {
+		c.sets[i] = set{
+			entries: make([]entry, 0, assoc),
+			index:   make(map[uint64]int32, assoc),
+			head:    -1,
+			tail:    -1,
+		}
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		s := &c.sets[i]
+		s.entries = s.entries[:0]
+		s.head, s.tail = -1, -1
+		s.free = s.free[:0]
+		clear(s.index)
+	}
+	c.stats = Stats{}
+}
+
+// Block returns the block number containing addr.
+func (c *Cache) Block(addr uint32) uint64 { return uint64(addr) >> c.blockBits }
+
+// Access simulates a demand reference to addr, returning true on a hit.
+func (c *Cache) Access(addr uint32) bool {
+	hit := c.touch(c.Block(addr))
+	if hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return hit
+}
+
+// AccessBlock simulates a demand reference to a block number directly.
+func (c *Cache) AccessBlock(block uint64) bool {
+	hit := c.touch(block)
+	if hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return hit
+}
+
+// Prefetch installs the block containing addr without counting a demand
+// access, modeling a timely prefetch (§5.4's ideal scheme charges no miss
+// for prefetched data).
+func (c *Cache) Prefetch(addr uint32) {
+	c.stats.Prefetches++
+	c.touch(c.Block(addr))
+}
+
+// Contains reports whether addr's block is resident, without side effects
+// (no LRU update, no statistics).
+func (c *Cache) Contains(addr uint32) bool {
+	block := c.Block(addr)
+	s := &c.sets[block&c.setMask]
+	_, ok := s.index[block]
+	return ok
+}
+
+// touch makes block resident and most-recently-used in its set, returning
+// whether it was already resident.
+func (c *Cache) touch(block uint64) bool {
+	s := &c.sets[block&c.setMask]
+	tag := block
+	if i, ok := s.index[tag]; ok {
+		c.moveToFront(s, i)
+		return true
+	}
+	var i int32
+	switch {
+	case len(s.free) > 0:
+		i = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.entries[i] = entry{tag: tag, prev: -1, next: -1}
+	case len(s.entries) < c.assoc:
+		i = int32(len(s.entries))
+		s.entries = append(s.entries, entry{tag: tag, prev: -1, next: -1})
+	default:
+		// Evict LRU.
+		i = s.tail
+		victim := &s.entries[i]
+		delete(s.index, victim.tag)
+		c.unlink(s, i)
+		*victim = entry{tag: tag, prev: -1, next: -1}
+	}
+	s.index[tag] = i
+	c.pushFront(s, i)
+	return false
+}
+
+func (c *Cache) unlink(s *set, i int32) {
+	e := &s.entries[i]
+	if e.prev >= 0 {
+		s.entries[e.prev].next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next >= 0 {
+		s.entries[e.next].prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+func (c *Cache) pushFront(s *set, i int32) {
+	e := &s.entries[i]
+	e.prev = -1
+	e.next = s.head
+	if s.head >= 0 {
+		s.entries[s.head].prev = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
+	}
+}
+
+func (c *Cache) moveToFront(s *set, i int32) {
+	if s.head == i {
+		return
+	}
+	c.unlink(s, i)
+	c.pushFront(s, i)
+}
+
+// SweepConfigs returns the geometry ladder used to span miss rates for
+// Figure 8: capacities from 512B to 64K at 64-byte blocks, direct-mapped
+// through fully associative.
+func SweepConfigs() []Config {
+	var out []Config
+	for _, size := range []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		for _, assoc := range []int{1, 2, 4, 0} {
+			cfg := Config{Size: size, BlockSize: 64, Assoc: assoc}
+			if cfg.Validate() == nil {
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Size: 8192, BlockSize: 64, Assoc: 0},
+		{Size: 8192, BlockSize: 64, Assoc: 2},
+		{Size: 64, BlockSize: 64, Assoc: 1},
+		{Size: 1024, BlockSize: 32, Assoc: 4},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Size: 8192, BlockSize: 0},
+		{Size: 8192, BlockSize: 48},
+		{Size: 32, BlockSize: 64},
+		{Size: 8192 + 64, BlockSize: 64, Assoc: 3}, // 129 blocks / 3-way: 43 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v: expected error", c)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if got := FullyAssociative8K.String(); !strings.Contains(got, "full") {
+		t.Errorf("String() = %q", got)
+	}
+	c := Config{Size: 8192, BlockSize: 64, Assoc: 2}
+	if got := c.String(); !strings.Contains(got, "2way") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// 2 blocks, direct mapped: addresses one cache-size apart conflict.
+	c := New(Config{Size: 128, BlockSize: 64, Assoc: 1})
+	a0, a1 := uint32(0), uint32(128) // same set (block 0 and block 2, sets: block&1)
+	if c.Access(a0) {
+		t.Error("cold miss expected")
+	}
+	if c.Access(a1) {
+		t.Error("cold miss expected")
+	}
+	if c.Access(a0) {
+		t.Error("conflict eviction expected")
+	}
+}
+
+func TestFullyAssociativeLRU(t *testing.T) {
+	// 4 blocks fully associative: access 0,1,2,3 then 4 evicts 0.
+	c := New(Config{Size: 256, BlockSize: 64, Assoc: 0})
+	for i := uint32(0); i < 4; i++ {
+		c.Access(i * 64)
+	}
+	c.Access(0) // make block 0 MRU
+	c.Access(4 * 64)
+	if !c.Access(0) {
+		t.Error("block 0 was MRU; must still be resident")
+	}
+	if c.Access(64) {
+		t.Error("block 1 was LRU; must have been evicted")
+	}
+}
+
+func TestSameBlockHits(t *testing.T) {
+	c := New(FullyAssociative8K)
+	c.Access(1000)
+	if !c.Access(1001) {
+		t.Error("same-block access must hit")
+	}
+	if !c.Access(1000 - 1000%64) {
+		t.Error("block-aligned re-access must hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPrefetchInstallsWithoutDemand(t *testing.T) {
+	c := New(FullyAssociative8K)
+	c.Prefetch(4096)
+	st := c.Stats()
+	if st.Accesses() != 0 || st.Prefetches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !c.Access(4096) {
+		t.Error("prefetched block must hit")
+	}
+}
+
+func TestContainsNoSideEffects(t *testing.T) {
+	c := New(Config{Size: 128, BlockSize: 64, Assoc: 0})
+	c.Access(0)
+	c.Access(64)
+	// Peek at block 0: must not refresh LRU.
+	if !c.Contains(0) {
+		t.Error("block 0 resident")
+	}
+	c.Access(128) // evicts true LRU = block 0
+	if c.Contains(0) {
+		t.Error("block 0 must be evicted despite Contains peek")
+	}
+	if !c.Contains(64) {
+		t.Error("block 1 must survive")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(FullyAssociative8K)
+	c.Access(0)
+	c.Reset()
+	if st := c.Stats(); st.Accesses() != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if c.Access(0) {
+		t.Error("contents must be cleared by Reset")
+	}
+}
+
+func TestHitsPlusMissesEqualsAccesses(t *testing.T) {
+	c := New(Config{Size: 1024, BlockSize: 64, Assoc: 2})
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c.Access(uint32(rng.Intn(1 << 14)))
+	}
+	if st := c.Stats(); st.Accesses() != n {
+		t.Errorf("accesses = %d, want %d", st.Accesses(), n)
+	}
+}
+
+// Property (LRU inclusion): for fully-associative LRU, a larger cache never
+// misses more than a smaller one on the same reference stream.
+func TestQuickLRUInclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		small := New(Config{Size: 512, BlockSize: 64, Assoc: 0})
+		big := New(Config{Size: 2048, BlockSize: 64, Assoc: 0})
+		for i := 0; i < 5000; i++ {
+			addr := uint32(rng.Intn(1 << 13))
+			small.Access(addr)
+			big.Access(addr)
+		}
+		return big.Stats().Misses <= small.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: higher associativity at fixed capacity never increases misses
+// on a sequential-with-reuse stream (no anomaly for LRU stack algorithms
+// within a set is not guaranteed in general, so use full vs direct only on
+// a single-set-footprint stream).
+func TestAssocReducesConflictMisses(t *testing.T) {
+	direct := New(Config{Size: 1024, BlockSize: 64, Assoc: 1})
+	full := New(Config{Size: 1024, BlockSize: 64, Assoc: 0})
+	// Two addresses mapping to the same set in the direct-mapped cache.
+	for i := 0; i < 100; i++ {
+		for _, a := range []uint32{0, 1024, 2048} {
+			direct.Access(a)
+			full.Access(a)
+		}
+	}
+	if direct.Stats().Misses <= full.Stats().Misses {
+		t.Errorf("direct=%d full=%d: expected conflict misses in direct-mapped",
+			direct.Stats().Misses, full.Stats().Misses)
+	}
+	if full.Stats().Misses != 3 {
+		t.Errorf("full misses = %d, want 3 cold misses", full.Stats().Misses)
+	}
+}
+
+func TestSweepConfigsValid(t *testing.T) {
+	cfgs := SweepConfigs()
+	if len(cfgs) < 10 {
+		t.Fatalf("only %d sweep configs", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate must be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %v", got)
+	}
+}
+
+func TestEvictionReusesFreeList(t *testing.T) {
+	// Exercise Reset + refill to cover the free-list path.
+	c := New(Config{Size: 128, BlockSize: 64, Assoc: 2})
+	for i := uint32(0); i < 10; i++ {
+		c.Access(i * 64)
+	}
+	c.Reset()
+	for i := uint32(0); i < 10; i++ {
+		c.Access(i * 64)
+	}
+	if st := c.Stats(); st.Misses != 10 {
+		t.Errorf("misses = %d, want 10 (all cold after reset)", st.Misses)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(FullyAssociative8K)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint32, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint32(rng.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// referenceLRU is a deliberately naive model: a slice per set, scanned
+// linearly. The simulator must agree with it exactly on hit/miss
+// sequences.
+type referenceLRU struct {
+	sets      [][]uint64
+	assoc     int
+	blockBits uint
+	setMask   uint64
+}
+
+func newReference(cfg Config) *referenceLRU {
+	blocks := cfg.Blocks()
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > blocks {
+		assoc = blocks
+	}
+	r := &referenceLRU{assoc: assoc, setMask: uint64(blocks/assoc - 1)}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		r.blockBits++
+	}
+	r.sets = make([][]uint64, blocks/assoc)
+	return r
+}
+
+func (r *referenceLRU) access(addr uint32) bool {
+	block := uint64(addr) >> r.blockBits
+	si := block & r.setMask
+	set := r.sets[si]
+	for i, b := range set {
+		if b == block {
+			// Move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = block
+			return true
+		}
+	}
+	set = append([]uint64{block}, set...)
+	if len(set) > r.assoc {
+		set = set[:r.assoc]
+	}
+	r.sets[si] = set
+	return false
+}
+
+func TestSimulatorMatchesReferenceModel(t *testing.T) {
+	configs := []Config{
+		{Size: 512, BlockSize: 64, Assoc: 1},
+		{Size: 1024, BlockSize: 64, Assoc: 2},
+		{Size: 2048, BlockSize: 32, Assoc: 4},
+		{Size: 8192, BlockSize: 64, Assoc: 0},
+		{Size: 256, BlockSize: 128, Assoc: 0},
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, cfg := range configs {
+		c := New(cfg)
+		ref := newReference(cfg)
+		for i := 0; i < 50_000; i++ {
+			// Mix of hot and cold addresses to exercise eviction.
+			var addr uint32
+			if rng.Intn(2) == 0 {
+				addr = uint32(rng.Intn(1 << 12))
+			} else {
+				addr = uint32(rng.Intn(1 << 20))
+			}
+			got := c.Access(addr)
+			want := ref.access(addr)
+			if got != want {
+				t.Fatalf("%v: access %d addr %#x: sim %v, reference %v", cfg, i, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickSimulatorMatchesReference(t *testing.T) {
+	f := func(seed int64, addrs []uint16) bool {
+		cfg := Config{Size: 512, BlockSize: 64, Assoc: 2}
+		c := New(cfg)
+		ref := newReference(cfg)
+		for _, a := range addrs {
+			if c.Access(uint32(a)) != ref.access(uint32(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

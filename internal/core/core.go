@@ -1,0 +1,190 @@
+// Package core is the public facade of the reproduction: one call runs the
+// paper's full analysis pipeline over a raw data-reference trace —
+//
+//	trace → address abstraction (§3.1) → WPS₀ (SEQUITUR) → hot data
+//	streams₀ (§2.3) → reduced trace → WPS₁ → hot data streams₁ → SFGs
+//	(§3.3) → locality metrics (§2.4) → optimization potential (§5.4)
+//
+// — and returns everything the paper's tables and figures are computed
+// from. See the examples/ directory for end-to-end usage.
+package core
+
+import (
+	"time"
+
+	"repro/internal/abstract"
+	"repro/internal/cache"
+	"repro/internal/hotstream"
+	"repro/internal/locality"
+	"repro/internal/optim"
+	"repro/internal/reduce"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// Options configures an analysis. The zero value uses the paper's
+// parameters.
+type Options struct {
+	// HeapNaming selects the address abstraction (default: birth IDs,
+	// the ⟨allocation site, global counter⟩ scheme of §5.1).
+	HeapNaming abstract.Mode
+	// MinStreamLen/MaxStreamLen bound hot data streams (paper: 2, 100).
+	MinStreamLen, MaxStreamLen int
+	// CoverageTarget is the hot-stream coverage constraint (paper: 0.90).
+	CoverageTarget float64
+	// ReduceLevels is the number of reduction iterations (paper: 1,
+	// producing WPS₀ and WPS₁).
+	ReduceLevels int
+	// BlockSize is the cache block size for packing-efficiency metrics
+	// (paper: 64).
+	BlockSize int
+	// Cache is the geometry for optimization-potential evaluation
+	// (paper: 8K fully associative, 64-byte blocks).
+	Cache cache.Config
+	// FixedHeatMultiple pins the locality threshold to an explicit
+	// unit-uniform-access multiple, bypassing the coverage-driven
+	// search (useful for exploration; zero means search).
+	FixedHeatMultiple uint64
+	// SequiturMinRuleOccurrences > 2 enables the SEQUITUR(k) ablation.
+	SequiturMinRuleOccurrences int
+	// SkipPotential disables the four cache simulations of Figure 9
+	// (they dominate runtime for large traces when only representation
+	// results are wanted).
+	SkipPotential bool
+}
+
+func (o *Options) normalize() {
+	if o.MinStreamLen < 2 {
+		o.MinStreamLen = 2
+	}
+	if o.MaxStreamLen < o.MinStreamLen {
+		o.MaxStreamLen = 100
+	}
+	if o.CoverageTarget <= 0 || o.CoverageTarget > 1 {
+		o.CoverageTarget = 0.90
+	}
+	if o.ReduceLevels < 0 {
+		o.ReduceLevels = 1
+	} else if o.ReduceLevels == 0 {
+		o.ReduceLevels = 1
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 64
+	}
+	if o.Cache.Size == 0 {
+		o.Cache = cache.FullyAssociative8K
+	}
+	if o.SequiturMinRuleOccurrences < 2 {
+		o.SequiturMinRuleOccurrences = 2
+	}
+}
+
+// Analysis is the complete result for one trace.
+type Analysis struct {
+	// TraceStats is Table 1's row.
+	TraceStats trace.Stats
+	// Abstraction holds the abstracted reference sequence and heap map.
+	Abstraction *abstract.Result
+	// Pipeline holds WPS₀/WPS₁, hot streams per level, SFGs, thresholds,
+	// and coverage bookkeeping.
+	Pipeline *reduce.Pipeline
+	// AddressSkew and PCSkew are Figure 1's two panels.
+	AddressSkew locality.SkewCurve
+	PCSkew      locality.SkewCurve
+	// Summary is Table 3's row (level-0 hot streams).
+	Summary locality.Summary
+	// SizeCDF and PackingCDF are Figures 6 and 7.
+	SizeCDF    []locality.CDFPoint
+	PackingCDF []locality.CDFPoint
+	// Potential is Figure 9's row; zero when SkipPotential.
+	Potential optim.Potential
+	// AnalysisTime is the wall-clock cost of hot-stream detection and
+	// threshold search (§5.2 reports seconds to a minute).
+	AnalysisTime time.Duration
+
+	opts Options
+}
+
+// Streams returns the level-0 hot data streams.
+func (a *Analysis) Streams() []*hotstream.Stream {
+	if len(a.Pipeline.Levels) == 0 {
+		return nil
+	}
+	return a.Pipeline.Levels[0].Streams
+}
+
+// Threshold returns the level-0 exploitable-locality threshold (Table 2).
+func (a *Analysis) Threshold() hotstream.Threshold {
+	if len(a.Pipeline.Levels) == 0 {
+		return hotstream.Threshold{}
+	}
+	return a.Pipeline.Levels[0].Threshold
+}
+
+// Coverage returns the fraction of references covered by level-0 hot
+// streams.
+func (a *Analysis) Coverage() float64 {
+	if len(a.Pipeline.Levels) == 0 || a.Pipeline.Levels[0].Measurement == nil {
+		return 0
+	}
+	return a.Pipeline.Levels[0].Measurement.Coverage()
+}
+
+// HotMembers returns the abstract names participating in level-0 hot
+// streams.
+func (a *Analysis) HotMembers() map[uint64]struct{} {
+	return locality.StreamMembers(a.Streams())
+}
+
+// Analyze runs the full pipeline.
+func Analyze(b *trace.Buffer, opts Options) *Analysis {
+	opts.normalize()
+	a := &Analysis{opts: opts}
+	a.TraceStats = b.Stats()
+	a.Abstraction = abstract.New(opts.HeapNaming).Abstract(b)
+
+	a.AddressSkew = locality.AddressSkew(a.Abstraction.Addrs)
+	a.PCSkew = locality.PCSkew(a.Abstraction.PCs)
+
+	start := time.Now()
+	a.Pipeline = reduce.Run(a.Abstraction.Names, a.TraceStats.Addresses, reduce.Options{
+		MinLen:         opts.MinStreamLen,
+		MaxLen:         opts.MaxStreamLen,
+		CoverageTarget: opts.CoverageTarget,
+		FixedMultiple:  opts.FixedHeatMultiple,
+		Levels:         opts.ReduceLevels,
+		Sequitur:       sequitur.Options{MinRuleOccurrences: opts.SequiturMinRuleOccurrences},
+	})
+	a.AnalysisTime = time.Since(start)
+
+	streams := a.Streams()
+	a.Summary = locality.Summarize(streams, a.Abstraction.Objects, opts.BlockSize)
+	a.SizeCDF = locality.SizeCDF(streams)
+	a.PackingCDF = locality.PackingCDF(streams, a.Abstraction.Objects, opts.BlockSize)
+
+	if !opts.SkipPotential {
+		a.Potential = optim.EvaluatePotential(
+			a.Abstraction.Names, a.Abstraction.Addrs, a.Abstraction.Objects,
+			streams, opts.Cache)
+	}
+	return a
+}
+
+// AnalyzePerThread splits a multi-threaded trace by thread and analyzes
+// each thread's reference stream independently: §5.1's methodology for
+// SQL Server ("the current system distinguishes data references between
+// threads and constructs a separate WPS for each one"). Allocation
+// records are shared, so every per-thread analysis sees the full heap
+// map.
+func AnalyzePerThread(b *trace.Buffer, opts Options) map[uint8]*Analysis {
+	out := make(map[uint8]*Analysis)
+	for thread, sub := range trace.SplitByThread(b) {
+		out[thread] = Analyze(sub, opts)
+	}
+	return out
+}
+
+// Attribution computes Figure 8's sweep for this analysis.
+func (a *Analysis) Attribution(cfgs []cache.Config) []optim.AttributionPoint {
+	return optim.AttributionSweep(a.Abstraction.Names, a.Abstraction.Addrs, a.HotMembers(), cfgs)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func analyze(t *testing.T, bench string, n int, opts Options) *Analysis {
+	t.Helper()
+	b, err := workload.Generate(bench, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(b, opts)
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	a := analyze(t, "boxsim", 40_000, Options{})
+	if a.TraceStats.Refs == 0 {
+		t.Fatal("no references")
+	}
+	if len(a.Streams()) == 0 {
+		t.Fatal("no hot streams")
+	}
+	if a.Coverage() < 0.5 {
+		t.Errorf("coverage = %v", a.Coverage())
+	}
+	if a.Threshold().Multiple < 1 {
+		t.Errorf("threshold = %+v", a.Threshold())
+	}
+	if len(a.Pipeline.Levels) < 2 {
+		t.Errorf("levels = %d, want WPS0 and WPS1", len(a.Pipeline.Levels))
+	}
+	if a.Summary.Streams != len(a.Streams()) {
+		t.Errorf("summary streams %d != %d", a.Summary.Streams, len(a.Streams()))
+	}
+	if a.Potential.Base <= 0 {
+		t.Error("potential not evaluated")
+	}
+	if len(a.SizeCDF) == 0 || len(a.PackingCDF) == 0 {
+		t.Error("CDFs missing")
+	}
+	if a.AddressSkew.Refs == 0 || a.PCSkew.Refs == 0 {
+		t.Error("skew curves missing")
+	}
+	if a.AnalysisTime <= 0 {
+		t.Error("analysis time not recorded")
+	}
+}
+
+func TestAnalyzeSkipPotential(t *testing.T) {
+	a := analyze(t, "197.parser", 20_000, Options{SkipPotential: true})
+	if a.Potential.Base != 0 {
+		t.Error("potential must be skipped")
+	}
+}
+
+func TestHotMembersSubsetOfObjects(t *testing.T) {
+	a := analyze(t, "252.eon", 20_000, Options{SkipPotential: true})
+	for name := range a.HotMembers() {
+		if _, ok := a.Abstraction.Objects[name]; !ok {
+			t.Fatalf("hot member %d not in heap map", name)
+		}
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	a := analyze(t, "300.twolf", 30_000, Options{SkipPotential: true})
+	pts := a.Attribution([]cache.Config{
+		{Size: 1024, BlockSize: 64, Assoc: 0},
+		{Size: 8192, BlockSize: 64, Assoc: 0},
+	})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.MissRate < 0 || p.HotMissPct < 0 || p.HotMissPct > 100 {
+			t.Errorf("point = %+v", p)
+		}
+	}
+}
+
+func TestWPS1SmallerThanWPS0(t *testing.T) {
+	a := analyze(t, "boxsim", 40_000, Options{SkipPotential: true})
+	s0 := a.Pipeline.Levels[0].WPS.Size()
+	s1 := a.Pipeline.Levels[1].WPS.Size()
+	if s1.ASCIIBytes >= s0.ASCIIBytes {
+		t.Errorf("WPS1 %d >= WPS0 %d bytes", s1.ASCIIBytes, s0.ASCIIBytes)
+	}
+	// WPS0 is much smaller than the raw trace (Figure 5's first gap).
+	if s0.ASCIIBytes >= a.TraceStats.TraceBytes {
+		t.Errorf("WPS0 %d >= trace %d bytes", s0.ASCIIBytes, a.TraceStats.TraceBytes)
+	}
+}
+
+func TestRawAddressModeBlowsUpGrammar(t *testing.T) {
+	// §3.1: abstracting addresses increases regularity; raw addresses
+	// obfuscate patterns and inflate the WPS.
+	b, err := workload.Generate("boxsim", 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := Analyze(b, Options{SkipPotential: true})
+	raw := Analyze(b, Options{SkipPotential: true, HeapNaming: abstract.RawAddress})
+	sa := abs.Pipeline.Levels[0].WPS.Size()
+	sr := raw.Pipeline.Levels[0].WPS.Size()
+	if sr.ASCIIBytes <= sa.ASCIIBytes {
+		t.Errorf("raw WPS %dB not larger than abstracted %dB", sr.ASCIIBytes, sa.ASCIIBytes)
+	}
+}
+
+func TestRegeneratedSequenceMatchesAbstraction(t *testing.T) {
+	// WPS must represent the abstracted trace exactly (losslessness of
+	// the grammar, as opposed to the lossy address abstraction).
+	a := analyze(t, "197.parser", 15_000, Options{SkipPotential: true})
+	regen := a.Pipeline.Levels[0].WPS.Regenerate()
+	names := a.Abstraction.Names
+	if len(regen) != len(names) {
+		t.Fatalf("regenerated %d names, want %d", len(regen), len(names))
+	}
+	for i := range names {
+		if regen[i] != names[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var o Options
+	o.normalize()
+	if o.MinStreamLen != 2 || o.MaxStreamLen != 100 {
+		t.Errorf("lengths = %d,%d", o.MinStreamLen, o.MaxStreamLen)
+	}
+	if o.CoverageTarget != 0.90 || o.BlockSize != 64 {
+		t.Errorf("target=%v block=%d", o.CoverageTarget, o.BlockSize)
+	}
+	if o.Cache != (cache.Config{Size: 8192, BlockSize: 64, Assoc: 0}) {
+		t.Errorf("cache = %+v", o.Cache)
+	}
+	if o.ReduceLevels != 1 {
+		t.Errorf("levels = %d", o.ReduceLevels)
+	}
+}
+
+func TestAnalyzePerThread(t *testing.T) {
+	b, err := workload.Generate("sqlserver", 40_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := AnalyzePerThread(b, Options{SkipPotential: true})
+	if len(per) < 2 {
+		t.Fatalf("threads = %d, want the multi-session workload split", len(per))
+	}
+	var total uint64
+	for th, a := range per {
+		if a.TraceStats.Refs == 0 {
+			t.Errorf("thread %d: empty analysis", th)
+		}
+		total += a.TraceStats.Refs
+		// Every per-thread heap map must resolve its references (alloc
+		// records are replicated).
+		if a.Abstraction.UnknownRefs > 0 {
+			t.Errorf("thread %d: %d unknown refs", th, a.Abstraction.UnknownRefs)
+		}
+	}
+	if total != b.Stats().Refs {
+		t.Errorf("per-thread refs %d != total %d", total, b.Stats().Refs)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	a := Analyze(trace.NewBuffer(0), Options{})
+	if len(a.Streams()) != 0 || a.Coverage() != 0 {
+		t.Error("empty trace must produce empty analysis")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the serializable summary of an Analysis: the machine-readable
+// counterpart of locstats' output, for downstream tooling.
+type Report struct {
+	Trace struct {
+		Refs        uint64  `json:"refs"`
+		HeapRefs    uint64  `json:"heapRefs"`
+		GlobalRefs  uint64  `json:"globalRefs"`
+		Addresses   uint64  `json:"addresses"`
+		RefsPerAddr float64 `json:"refsPerAddress"`
+		Bytes       uint64  `json:"traceBytes"`
+	} `json:"trace"`
+	Skew struct {
+		Address90 float64 `json:"addressLocality90"`
+		PC90      float64 `json:"pcLocality90"`
+	} `json:"skew"`
+	Levels     []LevelReport `json:"levels"`
+	HotStreams struct {
+		ThresholdMultiple uint64  `json:"thresholdMultiple"`
+		Heat              uint64  `json:"heat"`
+		Count             int     `json:"count"`
+		Coverage          float64 `json:"coverage"`
+		DistinctAddresses int     `json:"distinctAddresses"`
+	} `json:"hotStreams"`
+	Metrics struct {
+		WtAvgStreamSize         float64 `json:"wtAvgStreamSize"`
+		WtAvgRepetitionInterval float64 `json:"wtAvgRepetitionInterval"`
+		WtAvgPackingEfficiency  float64 `json:"wtAvgPackingEfficiencyPct"`
+	} `json:"metrics"`
+	Potential struct {
+		BaseMissRate float64 `json:"baseMissRatePct"`
+		PrefetchPct  float64 `json:"prefetchPctOfBase"`
+		ClusterPct   float64 `json:"clusterPctOfBase"`
+		CombinedPct  float64 `json:"combinedPctOfBase"`
+	} `json:"potential"`
+	AnalysisSeconds float64 `json:"analysisSeconds"`
+}
+
+// LevelReport summarizes one reduction level's representations.
+type LevelReport struct {
+	Level            int     `json:"level"`
+	WPSASCIIBytes    uint64  `json:"wpsAsciiBytes"`
+	WPSBinaryBytes   uint64  `json:"wpsBinaryBytes"`
+	Rules            int     `json:"rules"`
+	Symbols          int     `json:"symbols"`
+	SFGBytes         uint64  `json:"sfgBytes"`
+	SFGNodes         int     `json:"sfgNodes"`
+	SFGEdges         int     `json:"sfgEdges"`
+	Streams          int     `json:"streams"`
+	OriginalCoverage float64 `json:"originalCoverage"`
+}
+
+// Report builds the serializable summary.
+func (a *Analysis) Report() Report {
+	var r Report
+	st := a.TraceStats
+	r.Trace.Refs = st.Refs
+	r.Trace.HeapRefs = st.HeapRefs
+	r.Trace.GlobalRefs = st.GlobalRefs
+	r.Trace.Addresses = st.Addresses
+	r.Trace.RefsPerAddr = st.RefsPerAddress()
+	r.Trace.Bytes = st.TraceBytes
+	r.Skew.Address90 = a.AddressSkew.Locality90
+	r.Skew.PC90 = a.PCSkew.Locality90
+	for _, l := range a.Pipeline.Levels {
+		sz := l.WPS.Size()
+		lr := LevelReport{
+			Level:            l.Index,
+			WPSASCIIBytes:    sz.ASCIIBytes,
+			WPSBinaryBytes:   l.WPS.BinarySize(),
+			Rules:            sz.Rules,
+			Symbols:          sz.Symbols,
+			Streams:          len(l.Streams),
+			OriginalCoverage: l.OriginalCoverage,
+		}
+		if l.SFG != nil {
+			lr.SFGBytes = l.SFG.SizeBytes()
+			lr.SFGNodes = l.SFG.NumNodes
+			lr.SFGEdges = l.SFG.NumEdges()
+		}
+		r.Levels = append(r.Levels, lr)
+	}
+	th := a.Threshold()
+	r.HotStreams.ThresholdMultiple = th.Multiple
+	r.HotStreams.Heat = th.Heat
+	r.HotStreams.Count = len(a.Streams())
+	r.HotStreams.Coverage = a.Coverage()
+	r.HotStreams.DistinctAddresses = a.Summary.DistinctAddresses
+	r.Metrics.WtAvgStreamSize = a.Summary.WtAvgStreamSize
+	r.Metrics.WtAvgRepetitionInterval = a.Summary.WtAvgRepetitionInterval
+	r.Metrics.WtAvgPackingEfficiency = a.Summary.WtAvgPackingEfficiency
+	pr, cl, co := a.Potential.Normalized()
+	r.Potential.BaseMissRate = a.Potential.Base
+	r.Potential.PrefetchPct = pr
+	r.Potential.ClusterPct = cl
+	r.Potential.CombinedPct = co
+	r.AnalysisSeconds = a.AnalysisTime.Seconds()
+	return r
+}
+
+// WriteJSON serializes the report with indentation.
+func (a *Analysis) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Report())
+}

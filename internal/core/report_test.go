@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestReportFields(t *testing.T) {
+	a := analyze(t, "boxsim", 30_000, Options{})
+	r := a.Report()
+	if r.Trace.Refs != a.TraceStats.Refs {
+		t.Errorf("refs = %d", r.Trace.Refs)
+	}
+	if len(r.Levels) != len(a.Pipeline.Levels) {
+		t.Errorf("levels = %d", len(r.Levels))
+	}
+	if r.HotStreams.Count != len(a.Streams()) {
+		t.Errorf("streams = %d", r.HotStreams.Count)
+	}
+	if r.Levels[0].WPSBinaryBytes == 0 || r.Levels[0].WPSBinaryBytes >= r.Levels[0].WPSASCIIBytes {
+		t.Errorf("binary %d vs ascii %d", r.Levels[0].WPSBinaryBytes, r.Levels[0].WPSASCIIBytes)
+	}
+	if r.Potential.BaseMissRate <= 0 {
+		t.Error("potential missing")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	a := analyze(t, "252.eon", 15_000, Options{SkipPotential: true})
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if r.Trace.Refs != a.TraceStats.Refs {
+		t.Errorf("round-trip refs = %d", r.Trace.Refs)
+	}
+	if r.HotStreams.ThresholdMultiple != a.Threshold().Multiple {
+		t.Errorf("threshold = %d", r.HotStreams.ThresholdMultiple)
+	}
+}

@@ -1,0 +1,237 @@
+// Package drill implements DRILL (Data Reference Locality Locator, §4.1):
+// the tool that "enumerates all of a program's hot data streams" and, per
+// stream, displays its regularity magnitude (heat), spatial regularity
+// (inherent exploitable spatial locality), temporal regularity (inherent
+// exploitable temporal locality), and cache-block packing efficiency
+// (realized exploitable locality), with the allocation sites responsible
+// for each data member so the stream can be traversed in data-member order.
+//
+// The paper's DRILL is a GUI with a code-browser pane; this implementation
+// renders the same information as a textual report, with allocation-site
+// naming pluggable through SiteNamer.
+package drill
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/abstract"
+	"repro/internal/hotstream"
+	"repro/internal/locality"
+)
+
+// SiteNamer maps an allocation-site PC to a human-readable location. The
+// default renders hex.
+type SiteNamer func(pc uint32) string
+
+// Member is one unique data object of a stream, in first-reference order.
+type Member struct {
+	// Name is the abstract object name.
+	Name uint64
+	// Site is the allocation site responsible for the object, named by
+	// the report's SiteNamer.
+	Site uint32
+	// Base and Size locate the object in memory.
+	Base uint32
+	Size uint32
+	// Refs counts the member's references within one stream occurrence.
+	Refs int
+}
+
+// StreamInfo is one DRILL row.
+type StreamInfo struct {
+	ID int
+	// Heat is the regularity magnitude.
+	Heat uint64
+	// Spatial is the spatial regularity (stream length).
+	Spatial int
+	// Frequency is the non-overlapping repetition count.
+	Frequency uint64
+	// Temporal is the temporal regularity (average references between
+	// occurrences).
+	Temporal float64
+	// Packing is the cache-block packing efficiency in [0,1].
+	Packing float64
+	// Members lists unique data objects in first-reference order.
+	Members []Member
+}
+
+// Report is a full DRILL enumeration, hottest stream first.
+type Report struct {
+	Streams []StreamInfo
+	// BlockSize is the cache-block size used for packing efficiency.
+	BlockSize int
+	// Namer renders allocation sites.
+	Namer SiteNamer
+}
+
+// Build computes the report from hot streams and the heap map.
+func Build(streams []*hotstream.Stream, objects map[uint64]*abstract.Object, blockSize int) *Report {
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	r := &Report{BlockSize: blockSize, Namer: func(pc uint32) string { return fmt.Sprintf("%#x", pc) }}
+	for _, s := range streams {
+		info := StreamInfo{
+			ID:        s.ID,
+			Heat:      s.Magnitude(),
+			Spatial:   s.SpatialRegularity(),
+			Frequency: s.Freq,
+			Temporal:  s.TemporalRegularity(),
+			Packing:   locality.PackingEfficiency(s, objects, blockSize),
+		}
+		seen := make(map[uint64]int)
+		for _, name := range s.Seq {
+			if idx, dup := seen[name]; dup {
+				info.Members[idx].Refs++
+				continue
+			}
+			m := Member{Name: name, Refs: 1}
+			if o, ok := objects[name]; ok {
+				m.Site, m.Base, m.Size = o.Site, o.Base, o.Size
+			}
+			seen[name] = len(info.Members)
+			info.Members = append(info.Members, m)
+		}
+		r.Streams = append(r.Streams, info)
+	}
+	sort.Slice(r.Streams, func(i, j int) bool {
+		if r.Streams[i].Heat != r.Streams[j].Heat {
+			return r.Streams[i].Heat > r.Streams[j].Heat
+		}
+		return r.Streams[i].ID < r.Streams[j].ID
+	})
+	return r
+}
+
+// FocusCandidates returns the streams an optimizer should look at first
+// (§4.2.1): hot, long, not repeated in close succession, and poorly
+// packed. maxPacking and minTemporal set the cutoffs; the paper's
+// methodology focused on "hot data streams with high heat and poor cache
+// block packing efficiencies."
+func (r *Report) FocusCandidates(maxPacking float64, minTemporal float64) []StreamInfo {
+	var out []StreamInfo
+	for _, s := range r.Streams {
+		if s.Packing <= maxPacking && s.Temporal >= minTemporal && s.Spatial >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteSummary renders the top n streams as a table.
+func (r *Report) WriteSummary(w io.Writer, n int) error {
+	if n <= 0 || n > len(r.Streams) {
+		n = len(r.Streams)
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %10s %8s %8s %12s %8s %8s\n",
+		"stream", "heat", "spatial", "freq", "temporal", "packing", "members"); err != nil {
+		return err
+	}
+	for _, s := range r.Streams[:n] {
+		if _, err := fmt.Fprintf(w, "#%-5d %10d %8d %8d %12.1f %7.0f%% %8d\n",
+			s.ID, s.Heat, s.Spatial, s.Frequency, s.Temporal, s.Packing*100, len(s.Members)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Advice is a concrete layout recommendation for one stream: the §4.1
+// workflow's output ("we attempted to co-locate these data objects in the
+// same cache block by modifying structure definitions").
+type Advice struct {
+	StreamID int
+	// CoLocate lists the members to place consecutively, in stream
+	// order.
+	CoLocate []Member
+	// CurrentBlocks and IdealBlocks quantify the win.
+	CurrentBlocks, IdealBlocks int
+}
+
+// Advise produces layout recommendations for the top optimization
+// candidates: streams whose members span more cache blocks than their
+// total size requires.
+func (r *Report) Advise(maxPacking float64, limit int) []Advice {
+	var out []Advice
+	for _, s := range r.Streams {
+		if s.Packing > maxPacking || len(s.Members) < 2 {
+			continue
+		}
+		var bytes uint64
+		blocks := make(map[uint32]struct{})
+		for _, m := range s.Members {
+			size := m.Size
+			if size == 0 {
+				size = 4
+			}
+			bytes += uint64(size)
+			for b := m.Base / uint32(r.BlockSize); b <= (m.Base+size-1)/uint32(r.BlockSize); b++ {
+				blocks[b] = struct{}{}
+			}
+		}
+		ideal := int((bytes + uint64(r.BlockSize) - 1) / uint64(r.BlockSize))
+		if ideal < 1 {
+			ideal = 1
+		}
+		if len(blocks) <= ideal {
+			continue
+		}
+		out = append(out, Advice{
+			StreamID:      s.ID,
+			CoLocate:      s.Members,
+			CurrentBlocks: len(blocks),
+			IdealBlocks:   ideal,
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// WriteAdvice renders the recommendations.
+func (r *Report) WriteAdvice(w io.Writer, maxPacking float64, limit int) error {
+	advice := r.Advise(maxPacking, limit)
+	if _, err := fmt.Fprintf(w, "%d layout recommendations:\n", len(advice)); err != nil {
+		return err
+	}
+	for _, a := range advice {
+		if _, err := fmt.Fprintf(w, "stream #%d: co-locate %d objects (%d blocks now, %d if packed):\n",
+			a.StreamID, len(a.CoLocate), a.CurrentBlocks, a.IdealBlocks); err != nil {
+			return err
+		}
+		for _, m := range a.CoLocate {
+			if _, err := fmt.Fprintf(w, "    obj %-8d %4dB  from %s\n",
+				m.Name, m.Size, r.Namer(m.Site)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteStream renders one stream's member walk: the "traverse the hot data
+// stream in data member order to see the code and data structures
+// responsible" view.
+func (r *Report) WriteStream(w io.Writer, id int) error {
+	for _, s := range r.Streams {
+		if s.ID != id {
+			continue
+		}
+		if _, err := fmt.Fprintf(w,
+			"stream #%d: heat=%d spatial=%d freq=%d temporal=%.1f packing=%.0f%%\n",
+			s.ID, s.Heat, s.Spatial, s.Frequency, s.Temporal, s.Packing*100); err != nil {
+			return err
+		}
+		for i, m := range s.Members {
+			if _, err := fmt.Fprintf(w, "  [%2d] obj %-8d %4dB @ %#x  x%d/occurrence  allocated at %s\n",
+				i, m.Name, m.Size, m.Base, m.Refs, r.Namer(m.Site)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("drill: no stream #%d", id)
+}

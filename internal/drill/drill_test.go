@@ -1,0 +1,157 @@
+package drill
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/hotstream"
+)
+
+func report() *Report {
+	objects := map[uint64]*abstract.Object{
+		1: {Name: 1, Base: 0, Size: 16, Site: 0x100},
+		2: {Name: 2, Base: 4096, Size: 16, Site: 0x200},
+		3: {Name: 3, Base: 16, Size: 16, Site: 0x300},
+	}
+	hot := &hotstream.Stream{ID: 0, Seq: []uint64{1, 2, 1}, Freq: 50, GapSum: 49 * 100}
+	cool := &hotstream.Stream{ID: 1, Seq: []uint64{1, 3}, Freq: 10}
+	return Build([]*hotstream.Stream{cool, hot}, objects, 64)
+}
+
+func TestBuildSortsByHeat(t *testing.T) {
+	r := report()
+	if len(r.Streams) != 2 {
+		t.Fatalf("streams = %d", len(r.Streams))
+	}
+	if r.Streams[0].ID != 0 || r.Streams[0].Heat != 150 {
+		t.Errorf("hottest = %+v", r.Streams[0])
+	}
+}
+
+func TestMembersDedupAndCount(t *testing.T) {
+	r := report()
+	s := r.Streams[0] // seq 1,2,1
+	if len(s.Members) != 2 {
+		t.Fatalf("members = %+v", s.Members)
+	}
+	if s.Members[0].Name != 1 || s.Members[0].Refs != 2 {
+		t.Errorf("member[0] = %+v", s.Members[0])
+	}
+	if s.Members[1].Name != 2 || s.Members[1].Refs != 1 {
+		t.Errorf("member[1] = %+v", s.Members[1])
+	}
+	if s.Members[0].Site != 0x100 {
+		t.Errorf("site = %#x", s.Members[0].Site)
+	}
+}
+
+func TestMetricsFilled(t *testing.T) {
+	r := report()
+	s := r.Streams[0]
+	if s.Spatial != 3 || s.Frequency != 50 {
+		t.Errorf("spatial=%d freq=%d", s.Spatial, s.Frequency)
+	}
+	if s.Temporal != 100 {
+		t.Errorf("temporal = %v", s.Temporal)
+	}
+	// Members 1 and 2 are 4096 apart: min 1 block, actual 2 -> 0.5.
+	if s.Packing != 0.5 {
+		t.Errorf("packing = %v", s.Packing)
+	}
+}
+
+func TestFocusCandidates(t *testing.T) {
+	r := report()
+	// Stream 0: packing 0.5, temporal 100 -> candidate at (0.6, 50).
+	out := r.FocusCandidates(0.6, 50)
+	if len(out) != 1 || out[0].ID != 0 {
+		t.Errorf("candidates = %+v", out)
+	}
+	// Tight packing cutoff excludes it.
+	if got := r.FocusCandidates(0.3, 50); len(got) != 0 {
+		t.Errorf("candidates = %+v", got)
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	r := report()
+	// Stream 0 (members at 0 and 4096, 16B each): 2 blocks now, 1
+	// ideal.
+	advice := r.Advise(0.6, 0)
+	if len(advice) != 1 {
+		t.Fatalf("advice = %+v", advice)
+	}
+	a := advice[0]
+	if a.StreamID != 0 || a.CurrentBlocks != 2 || a.IdealBlocks != 1 {
+		t.Errorf("advice = %+v", a)
+	}
+	if len(a.CoLocate) != 2 {
+		t.Errorf("co-locate = %+v", a.CoLocate)
+	}
+	// A perfect-packing cutoff excludes everything.
+	if got := r.Advise(0.0, 0); len(got) != 0 {
+		t.Errorf("advice at cutoff 0 = %+v", got)
+	}
+	// Limit caps the list.
+	if got := r.Advise(1.0, 1); len(got) > 1 {
+		t.Errorf("limit ignored: %+v", got)
+	}
+}
+
+func TestWriteAdvice(t *testing.T) {
+	r := report()
+	var sb strings.Builder
+	if err := r.WriteAdvice(&sb, 0.6, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "co-locate 2 objects") {
+		t.Errorf("advice output:\n%s", sb.String())
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := report()
+	var sb strings.Builder
+	if err := r.WriteSummary(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#0") || !strings.Contains(out, "#1") {
+		t.Errorf("summary missing streams:\n%s", out)
+	}
+	// Truncation.
+	sb.Reset()
+	if err := r.WriteSummary(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#1") {
+		t.Error("summary not truncated")
+	}
+}
+
+func TestWriteStream(t *testing.T) {
+	r := report()
+	var sb strings.Builder
+	if err := r.WriteStream(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0x100") {
+		t.Errorf("stream walk missing site:\n%s", sb.String())
+	}
+	if err := r.WriteStream(&sb, 99); err == nil {
+		t.Error("expected error for unknown stream")
+	}
+}
+
+func TestCustomNamer(t *testing.T) {
+	r := report()
+	r.Namer = func(pc uint32) string { return "alloc.c:42" }
+	var sb strings.Builder
+	if err := r.WriteStream(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "alloc.c:42") {
+		t.Error("custom namer not used")
+	}
+}

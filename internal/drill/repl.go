@@ -1,0 +1,119 @@
+package drill
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sfg"
+)
+
+// REPL is the interactive DRILL session: the command-line counterpart of
+// the paper's click-through GUI (§4.1 — "clicking on a hot data stream
+// displays its regularity magnitude, spatial regularity, temporal
+// regularity and cache block packing efficiency ... the hot data stream
+// can be traversed in data member order").
+type REPL struct {
+	Report *Report
+	// Graph optionally enables the "next" command (SFG successors).
+	Graph *sfg.Graph
+}
+
+// Run reads commands from in and writes responses to out until EOF or
+// "quit". Commands:
+//
+//	list [n]     top n streams by heat (default 20)
+//	show <id>    one stream's metrics and member walk
+//	next <id>    the stream's likeliest successors (SFG edges)
+//	focus        optimization candidates (poor packing, long interval)
+//	help         this summary
+//	quit         exit
+func (r *REPL) Run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	fmt.Fprintf(out, "drill: %d hot data streams. Type 'help' for commands.\n", len(r.Report.Streams))
+	prompt := func() { fmt.Fprint(out, "drill> ") }
+	prompt()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			prompt()
+			continue
+		}
+		cmd := fields[0]
+		arg := -1
+		if len(fields) > 1 {
+			if v, err := strconv.Atoi(fields[1]); err == nil {
+				arg = v
+			}
+		}
+		switch cmd {
+		case "quit", "exit", "q":
+			fmt.Fprintln(out, "bye")
+			return sc.Err()
+		case "help", "?":
+			fmt.Fprintln(out, "commands: list [n] | show <id> | next <id> | focus | quit")
+		case "list":
+			n := arg
+			if n <= 0 {
+				n = 20
+			}
+			if err := r.Report.WriteSummary(out, n); err != nil {
+				return err
+			}
+		case "show":
+			if arg < 0 {
+				fmt.Fprintln(out, "usage: show <stream-id>")
+				break
+			}
+			if err := r.Report.WriteStream(out, arg); err != nil {
+				fmt.Fprintln(out, err)
+			}
+		case "next":
+			r.next(out, arg)
+		case "focus":
+			cands := r.Report.FocusCandidates(0.7, 100)
+			fmt.Fprintf(out, "%d candidates (packing <= 70%%, interval >= 100):\n", len(cands))
+			focused := &Report{Streams: cands, BlockSize: r.Report.BlockSize, Namer: r.Report.Namer}
+			if err := focused.WriteSummary(out, 15); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
+		}
+		prompt()
+	}
+	fmt.Fprintln(out)
+	return sc.Err()
+}
+
+func (r *REPL) next(out io.Writer, id int) {
+	if r.Graph == nil {
+		fmt.Fprintln(out, "no stream flow graph loaded")
+		return
+	}
+	if id < 0 || id >= r.Graph.NumNodes {
+		fmt.Fprintln(out, "usage: next <stream-id>")
+		return
+	}
+	succs := r.Graph.Succs(id)
+	if len(succs) == 0 {
+		fmt.Fprintf(out, "stream #%d has no recorded successors\n", id)
+		return
+	}
+	var total uint64
+	for _, e := range succs {
+		total += e.Weight
+	}
+	sort.Slice(succs, func(i, j int) bool { return succs[i].Weight > succs[j].Weight })
+	for i, e := range succs {
+		if i >= 8 {
+			fmt.Fprintf(out, "  ... %d more\n", len(succs)-8)
+			break
+		}
+		fmt.Fprintf(out, "  -> stream #%d  %5.1f%% (%d times)\n",
+			e.Dst, float64(e.Weight)/float64(total)*100, e.Weight)
+	}
+}

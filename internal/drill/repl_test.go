@@ -1,0 +1,75 @@
+package drill
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sfg"
+)
+
+func runREPL(t *testing.T, input string) string {
+	t.Helper()
+	r := &REPL{
+		Report: report(),
+		Graph:  sfg.Build([]uint64{0, 1, 0, 1, 0}, 0, 2),
+	}
+	var out strings.Builder
+	if err := r.Run(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLList(t *testing.T) {
+	out := runREPL(t, "list\nquit\n")
+	if !strings.Contains(out, "#0") || !strings.Contains(out, "heat") {
+		t.Errorf("list output:\n%s", out)
+	}
+	if !strings.Contains(out, "bye") {
+		t.Error("quit not acknowledged")
+	}
+}
+
+func TestREPLShow(t *testing.T) {
+	out := runREPL(t, "show 0\nshow 99\nquit\n")
+	if !strings.Contains(out, "stream #0") {
+		t.Errorf("show output:\n%s", out)
+	}
+	if !strings.Contains(out, "no stream #99") {
+		t.Error("missing error for unknown stream")
+	}
+}
+
+func TestREPLNext(t *testing.T) {
+	out := runREPL(t, "next 0\nnext\nquit\n")
+	if !strings.Contains(out, "-> stream #1") {
+		t.Errorf("next output:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: next") {
+		t.Error("missing usage for bad arg")
+	}
+}
+
+func TestREPLNextWithoutGraph(t *testing.T) {
+	r := &REPL{Report: report()}
+	var out strings.Builder
+	if err := r.Run(strings.NewReader("next 0\nquit\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no stream flow graph") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestREPLFocusHelpUnknownEOF(t *testing.T) {
+	out := runREPL(t, "focus\nhelp\nbogus\n\n")
+	if !strings.Contains(out, "candidates") {
+		t.Error("focus missing")
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Error("help missing")
+	}
+	if !strings.Contains(out, `unknown command "bogus"`) {
+		t.Error("unknown-command handling missing")
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/locality"
+)
+
+// WriteCSV regenerates every figure's data as CSV files under dir, one
+// file per table/figure, for external plotting. Returns the paths
+// written.
+func (r *Runner) WriteCSV(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, header []string, rows func(add func(row []string)) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			f.Close()
+			return err
+		}
+		var rowErr error
+		err = rows(func(row []string) {
+			if rowErr == nil {
+				rowErr = w.Write(row)
+			}
+		})
+		w.Flush()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = rowErr
+		}
+		if err == nil {
+			err = w.Error()
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	fu := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	fi := strconv.Itoa
+
+	// Figure 1: full skew curves, one row per sampled point.
+	err := write("fig1_skew.csv",
+		[]string{"benchmark", "entity", "entity_pct", "ref_pct"},
+		func(add func([]string)) error {
+			return r.each(func(name string, a *core.Analysis) error {
+				for _, p := range a.AddressSkew.Points {
+					add([]string{name, "address", ff(p.EntityPct), ff(p.RefPct)})
+				}
+				for _, p := range a.PCSkew.Points {
+					add([]string{name, "pc", ff(p.EntityPct), ff(p.RefPct)})
+				}
+				return nil
+			})
+		})
+	if err != nil {
+		return paths, err
+	}
+
+	// Tables 1+2+3 as one summary table.
+	err = write("tables.csv",
+		[]string{"benchmark", "refs", "heap_refs", "global_refs", "addresses",
+			"refs_per_addr", "threshold", "streams", "stream_addrs", "coverage",
+			"wt_avg_size", "wt_avg_interval", "wt_avg_packing_pct"},
+		func(add func([]string)) error {
+			return r.each(func(name string, a *core.Analysis) error {
+				st := a.TraceStats
+				add([]string{name, fu(st.Refs), fu(st.HeapRefs), fu(st.GlobalRefs),
+					fu(st.Addresses), ff(st.RefsPerAddress()),
+					fu(a.Threshold().Multiple), fi(len(a.Streams())),
+					fi(a.Summary.DistinctAddresses), ff(a.Coverage()),
+					ff(a.Summary.WtAvgStreamSize), ff(a.Summary.WtAvgRepetitionInterval),
+					ff(a.Summary.WtAvgPackingEfficiency)})
+				return nil
+			})
+		})
+	if err != nil {
+		return paths, err
+	}
+
+	// Figure 5: representation sizes.
+	err = write("fig5_sizes.csv",
+		[]string{"benchmark", "trace_bytes", "wps0_bytes", "wps0_binary_bytes",
+			"wps1_bytes", "sfg0_bytes", "sfg1_bytes"},
+		func(add func([]string)) error {
+			return r.each(func(name string, a *core.Analysis) error {
+				row := []string{name, fu(a.TraceStats.TraceBytes), "0", "0", "0", "0", "0"}
+				for _, l := range a.Pipeline.Levels {
+					switch l.Index {
+					case 0:
+						row[2] = fu(l.WPS.Size().ASCIIBytes)
+						row[3] = fu(l.WPS.BinarySize())
+						if l.SFG != nil {
+							row[5] = fu(l.SFG.SizeBytes())
+						}
+					case 1:
+						row[4] = fu(l.WPS.Size().ASCIIBytes)
+						if l.SFG != nil {
+							row[6] = fu(l.SFG.SizeBytes())
+						}
+					}
+				}
+				add(row)
+				return nil
+			})
+		})
+	if err != nil {
+		return paths, err
+	}
+
+	// Figures 6 and 7: CDFs, one row per grid point.
+	cdf := func(file, metric string, get func(*core.Analysis) []locality.CDFPoint) error {
+		return write(file, []string{"benchmark", metric, "pct_of_streams"},
+			func(add func([]string)) error {
+				return r.each(func(name string, a *core.Analysis) error {
+					for _, p := range get(a) {
+						add([]string{name, ff(p.X), ff(p.Pct)})
+					}
+					return nil
+				})
+			})
+	}
+	if err = cdf("fig6_sizes_cdf.csv", "stream_size", func(a *core.Analysis) []locality.CDFPoint { return a.SizeCDF }); err != nil {
+		return paths, err
+	}
+	if err = cdf("fig7_packing_cdf.csv", "packing_pct", func(a *core.Analysis) []locality.CDFPoint { return a.PackingCDF }); err != nil {
+		return paths, err
+	}
+
+	// Figure 8: miss attribution sweep.
+	err = write("fig8_attribution.csv",
+		[]string{"benchmark", "cache", "miss_rate_pct", "hot_miss_pct"},
+		func(add func([]string)) error {
+			return r.each(func(name string, a *core.Analysis) error {
+				for _, p := range a.Attribution(cache.SweepConfigs()) {
+					add([]string{name, p.Config.String(), ff(p.MissRate), ff(p.HotMissPct)})
+				}
+				return nil
+			})
+		})
+	if err != nil {
+		return paths, err
+	}
+
+	// Figure 9: optimization potential.
+	err = write("fig9_potential.csv",
+		[]string{"benchmark", "base_miss_pct", "prefetch_pct_of_base",
+			"cluster_pct_of_base", "combined_pct_of_base"},
+		func(add func([]string)) error {
+			return r.each(func(name string, a *core.Analysis) error {
+				pr, cl, co := a.Potential.Normalized()
+				add([]string{name, ff(a.Potential.Base), ff(pr), ff(cl), ff(co)})
+				return nil
+			})
+		})
+	return paths, err
+}

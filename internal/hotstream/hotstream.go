@@ -1,0 +1,235 @@
+// Package hotstream implements the paper's exploitable-locality
+// abstraction: hot data streams (§2.3) and their regularity metrics (§2.2),
+// detected directly on the Whole Program Stream DAG with Larus's postorder
+// algorithm (§3.1) and verified by an exact matching pass over the
+// regenerated reference sequence.
+//
+// A data stream is a reference subsequence exhibiting regularity: at least
+// two references, repeated at least twice without overlap. Its regularity
+// magnitude ("heat") is length x non-overlapping repetition frequency. A
+// hot data stream is a minimal data stream whose heat meets the threshold
+// H, chosen so hot streams together cover ~90% of all references.
+package hotstream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stream is one (candidate or confirmed) hot data stream.
+type Stream struct {
+	// ID is a dense identifier assigned at detection; the reduction
+	// layer maps it into a fresh symbol space.
+	ID int
+	// Seq is the abstracted reference subsequence.
+	Seq []uint64
+	// EstFreq is the occurrence estimate from the DAG analysis (an
+	// upper bound: aggregation across sites may count overlaps).
+	EstFreq uint64
+	// Freq is the exact non-overlapping occurrence count measured by the
+	// greedy matching pass; zero before measurement.
+	Freq uint64
+	// GapSum accumulates references between successive non-overlapping
+	// occurrences (for temporal regularity).
+	GapSum uint64
+
+	lastEnd uint64
+	seen    bool
+}
+
+// SpatialRegularity is the number of references in the stream (§2.2): the
+// paper's inherent exploitable spatial locality metric for one stream.
+func (s *Stream) SpatialRegularity() int { return len(s.Seq) }
+
+// Magnitude is the stream's heat: length x measured frequency. Before
+// measurement it uses the estimate.
+func (s *Stream) Magnitude() uint64 {
+	f := s.Freq
+	if f == 0 {
+		f = s.EstFreq
+	}
+	return uint64(len(s.Seq)) * f
+}
+
+// TemporalRegularity is the average number of references between
+// successive non-overlapping occurrences (§2.2): the inherent exploitable
+// temporal locality metric. A stream observed fewer than twice reports 0.
+func (s *Stream) TemporalRegularity() float64 {
+	if s.Freq < 2 {
+		return 0
+	}
+	return float64(s.GapSum) / float64(s.Freq-1)
+}
+
+// String summarizes the stream.
+func (s *Stream) String() string {
+	return fmt.Sprintf("stream#%d len=%d freq=%d heat=%d", s.ID, len(s.Seq), s.Freq, s.Magnitude())
+}
+
+// Config parameterizes detection. The paper sets stream lengths to [2,100]
+// (§5.2) and chooses Heat by threshold search.
+type Config struct {
+	MinLen int
+	MaxLen int
+	// Heat is the regularity-magnitude threshold H.
+	Heat uint64
+}
+
+// DefaultConfig returns the paper's length bounds with the given heat.
+func DefaultConfig(heat uint64) Config { return Config{MinLen: 2, MaxLen: 100, Heat: heat} }
+
+func (c *Config) normalize() {
+	if c.MinLen < 2 {
+		c.MinLen = 2
+	}
+	if c.MaxLen < c.MinLen {
+		c.MaxLen = c.MinLen
+	}
+	if c.Heat == 0 {
+		c.Heat = 1
+	}
+}
+
+// dagView is the subset of the WPS DAG the detector needs; satisfied by
+// *sequitur.DAG via the adapter in the wps-facing constructor (kept as an
+// interface so tests can drive the detector with hand-built DAGs).
+type dagView interface {
+	RuleIDs() []uint64
+	Occ(id uint64) uint64
+	ExpLen(id uint64) uint64
+	RHSLen(id uint64) int
+	// Elem returns, for RHS position i of rule id: the referenced rule
+	// ID and true, or a terminal value and false.
+	Elem(id uint64, i int) (uint64, bool)
+	Prefix(id uint64, n int) []uint64
+	Suffix(id uint64, n int) []uint64
+}
+
+// candidate accumulates occurrence mass for one distinct subsequence.
+type candidate struct {
+	seq  []uint64
+	freq uint64
+}
+
+// Detect enumerates minimal hot data streams on the DAG: Larus's postorder
+// traversal, visiting each node once and, at each interior node, examining
+// the data streams formed by concatenating subsequences that span the
+// boundaries between the node's descendants (streams produced wholly by a
+// descendant are found when that descendant is visited). Runs in
+// O(E·L) sites with per-site work bounded by the minimal hot length at
+// that site.
+func Detect(d dagView, cfg Config) []*Stream {
+	cfg.normalize()
+	cands := make(map[string]*candidate)
+	var keyBuf []byte
+
+	addWindow := func(win []uint64, occ uint64) {
+		keyBuf = keyBuf[:0]
+		for _, v := range win {
+			keyBuf = append(keyBuf,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		}
+		if c, ok := cands[string(keyBuf)]; ok {
+			c.freq += occ
+			return
+		}
+		seq := make([]uint64, len(win))
+		copy(seq, win)
+		cands[string(keyBuf)] = &candidate{seq: seq, freq: occ}
+	}
+
+	for _, id := range d.RuleIDs() {
+		occ := d.Occ(id)
+		if occ == 0 {
+			continue
+		}
+		// Minimal hot length at this site: heat here is len x occ, so a
+		// stream shorter than ceil(H/occ) cannot be hot on this rule's
+		// occurrences alone.
+		target := int((cfg.Heat + occ - 1) / occ)
+		if target < cfg.MinLen {
+			target = cfg.MinLen
+		}
+		if target > cfg.MaxLen {
+			continue // even a max-length stream falls short of H here
+		}
+		k := d.RHSLen(id)
+		for b := 0; b+1 < k; b++ {
+			// Left context: up to target-1 trailing terminals of
+			// element b's expansion.
+			var left []uint64
+			if ref, isRule := d.Elem(id, b); isRule {
+				left = d.Suffix(ref, target-1)
+			} else {
+				left = []uint64{ref}
+			}
+			if len(left) > target-1 {
+				left = left[len(left)-(target-1):]
+			}
+			// Right context: prefixes of elements b+1.. until target-1
+			// terminals are available (a window starting at the last
+			// left position needs target-1 more).
+			right := make([]uint64, 0, target-1)
+			for j := b + 1; j < k && len(right) < target-1; j++ {
+				if ref, isRule := d.Elem(id, j); isRule {
+					p := d.Prefix(ref, target-1-len(right))
+					right = append(right, p...)
+				} else {
+					right = append(right, ref)
+				}
+			}
+			buf := make([]uint64, 0, len(left)+len(right))
+			buf = append(buf, left...)
+			buf = append(buf, right...)
+			// Every window of length target starting inside the left
+			// context crosses boundary b.
+			for s := 0; s < len(left); s++ {
+				if s+target > len(buf) {
+					break
+				}
+				addWindow(buf[s:s+target], occ)
+			}
+		}
+	}
+
+	// Aggregate, filter by heat, and enforce minimality: process by
+	// increasing length so a stream with a hot proper prefix is dropped.
+	list := make([]*candidate, 0, len(cands))
+	for _, c := range cands {
+		// Regularity requires at least two non-overlapping occurrences
+		// (§2.2) in addition to the heat threshold.
+		if c.freq >= 2 && uint64(len(c.seq))*c.freq >= cfg.Heat {
+			list = append(list, c)
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if len(list[i].seq) != len(list[j].seq) {
+			return len(list[i].seq) < len(list[j].seq)
+		}
+		return lexLess(list[i].seq, list[j].seq)
+	})
+	tr := newTrie()
+	var out []*Stream
+	for _, c := range list {
+		if tr.hasHotPrefix(c.seq) {
+			continue
+		}
+		st := &Stream{ID: len(out), Seq: c.seq, EstFreq: c.freq}
+		tr.insert(c.seq, st.ID)
+		out = append(out, st)
+	}
+	return out
+}
+
+func lexLess(a, b []uint64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,398 @@
+package hotstream
+
+// trie indexes stream sequences for prefix tests, greedy longest-match
+// tokenization (trace reduction), and — with failure links — Aho-Corasick
+// scanning for exact per-stream occurrence counting.
+type trie struct {
+	nodes []trieNode
+}
+
+type trieNode struct {
+	children map[uint64]int32
+	streamID int32 // terminating stream, -1 if none
+	fail     int32 // Aho-Corasick failure link
+	out      int32 // nearest terminating node on the failure chain
+	depth    int32
+}
+
+func newTrie() *trie {
+	t := &trie{nodes: make([]trieNode, 1, 64)}
+	t.nodes[0] = trieNode{streamID: -1, fail: 0, out: -1}
+	return t
+}
+
+func (t *trie) insert(seq []uint64, id int) {
+	n := int32(0)
+	for _, v := range seq {
+		node := &t.nodes[n]
+		if node.children == nil {
+			node.children = make(map[uint64]int32, 2)
+		}
+		next, ok := node.children[v]
+		if !ok {
+			next = int32(len(t.nodes))
+			depth := t.nodes[n].depth + 1
+			t.nodes = append(t.nodes, trieNode{streamID: -1, fail: 0, out: -1, depth: depth})
+			t.nodes[n].children[v] = next
+		}
+		n = next
+	}
+	t.nodes[n].streamID = int32(id)
+}
+
+// hasHotPrefix reports whether some inserted sequence is a proper prefix
+// of seq.
+func (t *trie) hasHotPrefix(seq []uint64) bool {
+	n := int32(0)
+	for i, v := range seq {
+		node := &t.nodes[n]
+		if node.streamID >= 0 && i > 0 {
+			return true
+		}
+		if node.children == nil {
+			return false
+		}
+		next, ok := node.children[v]
+		if !ok {
+			return false
+		}
+		n = next
+	}
+	return false
+}
+
+// longestMatch returns the stream ID and length of the longest inserted
+// sequence matching a prefix of window, or (-1, 0).
+func (t *trie) longestMatch(window []uint64) (int32, int) {
+	n := int32(0)
+	best, bestLen := int32(-1), 0
+	for i, v := range window {
+		node := &t.nodes[n]
+		if node.children == nil {
+			break
+		}
+		next, ok := node.children[v]
+		if !ok {
+			break
+		}
+		n = next
+		if t.nodes[n].streamID >= 0 {
+			best, bestLen = t.nodes[n].streamID, i+1
+		}
+	}
+	return best, bestLen
+}
+
+// buildFailLinks turns the trie into an Aho-Corasick automaton (BFS over
+// depth).
+func (t *trie) buildFailLinks() {
+	queue := make([]int32, 0, len(t.nodes))
+	for _, c := range t.nodes[0].children {
+		t.nodes[c].fail = 0
+		queue = append(queue, c)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		node := &t.nodes[n]
+		f := node.fail
+		if t.nodes[f].streamID >= 0 {
+			node.out = f
+		} else {
+			node.out = t.nodes[f].out
+		}
+		for sym, c := range node.children {
+			// Follow failure links to find the deepest proper suffix
+			// with an outgoing edge on sym.
+			f := node.fail
+			for {
+				if next, ok := t.nodes[f].children[sym]; ok && next != c {
+					t.nodes[c].fail = next
+					break
+				}
+				if f == 0 {
+					if next, ok := t.nodes[0].children[sym]; ok && next != c {
+						t.nodes[c].fail = next
+					} else {
+						t.nodes[c].fail = 0
+					}
+					break
+				}
+				f = t.nodes[f].fail
+			}
+			queue = append(queue, c)
+		}
+	}
+}
+
+// step advances the automaton from state n on symbol v.
+func (t *trie) step(n int32, v uint64) int32 {
+	for {
+		if t.nodes[n].children != nil {
+			if next, ok := t.nodes[n].children[v]; ok {
+				return next
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		n = t.nodes[n].fail
+	}
+}
+
+// Measurement is the result of the exact matching pass: per-stream
+// non-overlapping occurrence counts and gaps (the regularity frequency and
+// temporal regularity of §2.2, counted independently per stream), overall
+// coverage (the fraction of references participating in at least one hot
+// stream occurrence), and the reduced reference sequence of §3.2.
+type Measurement struct {
+	// Streams is the input set with Freq/GapSum filled in; streams
+	// observed fewer than two times (no regularity) are removed.
+	Streams []*Stream
+	// TotalRefs is the number of references scanned.
+	TotalRefs uint64
+	// CoveredRefs is the number of references inside at least one
+	// hot-stream occurrence (union, no double counting).
+	CoveredRefs uint64
+	// ColdRefs = TotalRefs - CoveredRefs.
+	ColdRefs uint64
+	// Reduced is the reduced trace: one symbol per hot-stream occurrence
+	// under greedy longest-match tokenization, cold references elided.
+	// Symbol = StreamBase + stream index (within Streams). Nil unless
+	// requested.
+	Reduced []uint64
+	// StreamBase is the first symbol value used for stream encoding.
+	StreamBase uint64
+}
+
+// Coverage returns the fraction of references covered by hot streams: the
+// quantity the 90% threshold rule constrains.
+func (m *Measurement) Coverage() float64 {
+	if m.TotalRefs == 0 {
+		return 0
+	}
+	return float64(m.CoveredRefs) / float64(m.TotalRefs)
+}
+
+// walker streams abstracted references; satisfied by (*wps.WPS).Walk and by
+// in-memory slices in tests.
+type walker interface {
+	Walk(yield func(name uint64) bool)
+}
+
+// SliceSource adapts an in-memory name sequence to the walker interface.
+type SliceSource []uint64
+
+// Walk yields each name in order.
+func (s SliceSource) Walk(yield func(uint64) bool) {
+	for _, v := range s {
+		if !yield(v) {
+			return
+		}
+	}
+}
+
+// ScanOccurrences runs greedy longest-match tokenization over an
+// in-memory name sequence and invokes fn for each hot-stream occurrence
+// in the resulting partition (id indexes streams; the occurrence covers
+// names[start:start+length]). The optimization evaluator uses this to
+// drive prefetching without re-deriving match state.
+func ScanOccurrences(names []uint64, streams []*Stream, fn func(id, start, length int)) {
+	tr := newTrie()
+	for i, s := range streams {
+		tr.insert(s.Seq, i)
+	}
+	for i := 0; i < len(names); {
+		id, n := tr.longestMatch(names[i:])
+		if id >= 0 {
+			fn(int(id), i, n)
+			i += n
+		} else {
+			i++
+		}
+	}
+}
+
+// Measure performs the exact matching pass with an Aho-Corasick scan:
+// every occurrence of every stream is observed; per stream, maximal
+// non-overlapping occurrences are counted left to right (the regularity
+// frequency of §2.2) with their inter-occurrence gaps (temporal
+// regularity); coverage is the union of all occurrence spans. Streams seen
+// fewer than twice exhibit no regularity and are dropped.
+//
+// When emitReduced is set, a second, greedy longest-match pass tokenizes
+// the sequence into the reduced trace of §3.2 (stream occurrences as
+// single symbols, cold references elided).
+func Measure(src walker, streams []*Stream, cfg Config, streamBase uint64, emitReduced bool) *Measurement {
+	cfg.normalize()
+	tr := newTrie()
+	for i, s := range streams {
+		s.Freq, s.GapSum, s.lastEnd, s.seen = 0, 0, 0, false
+		tr.insert(s.Seq, i)
+	}
+	tr.buildFailLinks()
+	m := &Measurement{StreamBase: streamBase}
+
+	// Pass 1: Aho-Corasick scan. Matches are discovered in end-position
+	// order, so per-stream non-overlap greediness and union coverage
+	// both work with simple watermarks.
+	var (
+		state    int32
+		pos      uint64 // index of the symbol being processed
+		unionEnd uint64 // exclusive end of the covered-union watermark
+		covered  uint64
+	)
+	onMatch := func(id int32, end uint64) {
+		s := streams[id]
+		length := uint64(len(s.Seq))
+		start := end - length
+		// Union coverage counts every occurrence — a reference inside
+		// an occurrence participates in the stream even if that
+		// occurrence overlaps a counted one.
+		if start >= unionEnd {
+			covered += length
+			unionEnd = end
+		} else if end > unionEnd {
+			covered += end - unionEnd
+			unionEnd = end
+		}
+		// Regularity frequency counts maximal non-overlapping
+		// occurrences (§2.2), greedy from the left.
+		if s.seen && start < s.lastEnd {
+			return
+		}
+		if s.seen {
+			s.GapSum += start - s.lastEnd
+		} else {
+			s.seen = true
+		}
+		s.Freq++
+		s.lastEnd = end
+	}
+	src.Walk(func(v uint64) bool {
+		state = tr.step(state, v)
+		end := pos + 1
+		// Report the match at this node (if terminating) and every
+		// shorter match on the output chain.
+		n := state
+		if tr.nodes[n].streamID < 0 {
+			n = tr.nodes[n].out
+		}
+		for n > 0 {
+			onMatch(tr.nodes[n].streamID, end)
+			n = tr.nodes[n].out
+		}
+		pos++
+		return true
+	})
+	m.TotalRefs = pos
+	m.CoveredRefs = covered
+	m.ColdRefs = m.TotalRefs - covered
+
+	// Keep only streams with regularity (>= 2 non-overlapping
+	// occurrences), renumbering densely.
+	kept := make([]*Stream, 0, len(streams))
+	keptIdx := make([]int32, len(streams))
+	for i := range keptIdx {
+		keptIdx[i] = -1
+	}
+	for i, s := range streams {
+		if s.Freq >= 2 {
+			keptIdx[i] = int32(len(kept))
+			s.ID = len(kept)
+			kept = append(kept, s)
+		}
+	}
+	m.Streams = kept
+
+	// Coverage correction: spans contributed only by dropped streams
+	// should not count. Rather than re-deriving the union, rescan only
+	// when something was dropped and the answer could change.
+	if len(kept) != len(streams) && len(kept) > 0 {
+		m.CoveredRefs, m.ColdRefs = reunion(src, kept, cfg)
+		m.ColdRefs = m.TotalRefs - m.CoveredRefs
+	} else if len(kept) == 0 {
+		m.CoveredRefs = 0
+		m.ColdRefs = m.TotalRefs
+	}
+
+	// Pass 2: reduced-trace tokenization over the kept streams.
+	if emitReduced {
+		m.Reduced = tokenize(src, kept, streamBase)
+	}
+	return m
+}
+
+// reunion recomputes union coverage over the kept streams only.
+func reunion(src walker, streams []*Stream, cfg Config) (covered, cold uint64) {
+	tr := newTrie()
+	for i, s := range streams {
+		tr.insert(s.Seq, i)
+	}
+	tr.buildFailLinks()
+	var state int32
+	var pos, unionEnd, total uint64
+	src.Walk(func(v uint64) bool {
+		state = tr.step(state, v)
+		end := pos + 1
+		n := state
+		if tr.nodes[n].streamID < 0 {
+			n = tr.nodes[n].out
+		}
+		for n > 0 {
+			length := uint64(tr.nodes[n].depth)
+			start := end - length
+			if start >= unionEnd {
+				covered += length
+				unionEnd = end
+			} else if end > unionEnd {
+				covered += end - unionEnd
+				unionEnd = end
+			}
+			n = tr.nodes[n].out
+		}
+		pos++
+		total++
+		return true
+	})
+	return covered, total - covered
+}
+
+// tokenize produces the reduced trace: greedy longest-match from the left,
+// cold references elided.
+func tokenize(src walker, streams []*Stream, streamBase uint64) []uint64 {
+	tr := newTrie()
+	maxLen := 1
+	for i, s := range streams {
+		tr.insert(s.Seq, i)
+		if len(s.Seq) > maxLen {
+			maxLen = len(s.Seq)
+		}
+	}
+	reduced := make([]uint64, 0, 1024)
+	win := make([]uint64, 0, 4*maxLen)
+	consume := func(final bool) {
+		for len(win) >= maxLen || (final && len(win) > 0) {
+			id, n := tr.longestMatch(win)
+			if id >= 0 {
+				reduced = append(reduced, streamBase+uint64(id))
+				win = win[n:]
+			} else {
+				win = win[1:]
+			}
+		}
+		if cap(win)-len(win) < maxLen {
+			nw := make([]uint64, len(win), 4*maxLen+len(win))
+			copy(nw, win)
+			win = nw
+		}
+	}
+	src.Walk(func(v uint64) bool {
+		win = append(win, v)
+		if len(win) >= 2*maxLen {
+			consume(false)
+		}
+		return true
+	})
+	consume(true)
+	return reduced
+}

@@ -1,0 +1,140 @@
+package hotstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveCount is the obvious quadratic implementation of §2.2's regularity
+// frequency: maximal non-overlapping occurrences, greedy from the left.
+func naiveCount(haystack, needle []uint64) (freq uint64, gaps uint64) {
+	var lastEnd = -1
+	var prevEnd = -1
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if lastEnd > i-1 {
+			continue // overlaps previous occurrence
+		}
+		match := true
+		for j, v := range needle {
+			if haystack[i+j] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if prevEnd >= 0 {
+			gaps += uint64(i - prevEnd)
+		}
+		freq++
+		lastEnd = i + len(needle) - 1
+		prevEnd = i + len(needle)
+	}
+	return
+}
+
+// TestMeasureMatchesNaiveCounting cross-checks the Aho-Corasick pass
+// against the quadratic model on random inputs and random pattern sets.
+func TestMeasureMatchesNaiveCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 200 + rng.Intn(800)
+		alpha := 2 + rng.Intn(5)
+		hay := make([]uint64, n)
+		for i := range hay {
+			hay[i] = uint64(rng.Intn(alpha)) + 1
+		}
+		var streams []*Stream
+		for k := 0; k < 5; k++ {
+			l := 2 + rng.Intn(4)
+			start := rng.Intn(n - l)
+			seq := make([]uint64, l)
+			copy(seq, hay[start:start+l])
+			dup := false
+			for _, s := range streams {
+				if len(s.Seq) == len(seq) {
+					same := true
+					for i := range seq {
+						if s.Seq[i] != seq[i] {
+							same = false
+							break
+						}
+					}
+					if same {
+						dup = true
+						break
+					}
+				}
+			}
+			if !dup {
+				streams = append(streams, &Stream{Seq: seq})
+			}
+		}
+		m := Measure(SliceSource(hay), streams, DefaultConfig(1), 0, false)
+		for _, s := range m.Streams {
+			wantFreq, wantGaps := naiveCount(hay, s.Seq)
+			if s.Freq != wantFreq {
+				t.Fatalf("trial %d: stream %v freq %d, naive %d", trial, s.Seq, s.Freq, wantFreq)
+			}
+			if s.GapSum != wantGaps {
+				t.Fatalf("trial %d: stream %v gaps %d, naive %d", trial, s.Seq, s.GapSum, wantGaps)
+			}
+		}
+		// Streams dropped by Measure must have naive freq < 2.
+		kept := make(map[int]bool)
+		for _, s := range m.Streams {
+			kept[s.ID] = true
+		}
+		if len(m.Streams) > len(streams) {
+			t.Fatalf("trial %d: gained streams", trial)
+		}
+	}
+}
+
+// TestCoverageMatchesNaiveUnion cross-checks union coverage against a
+// position-bitmap model.
+func TestCoverageMatchesNaiveUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		n := 300 + rng.Intn(500)
+		hay := make([]uint64, n)
+		for i := range hay {
+			hay[i] = uint64(rng.Intn(4)) + 1
+		}
+		streams := []*Stream{
+			{Seq: []uint64{1, 2}},
+			{Seq: []uint64{2, 3, 1}},
+			{Seq: []uint64{4, 4}},
+		}
+		m := Measure(SliceSource(hay), streams, DefaultConfig(1), 0, false)
+		// Naive: mark every position inside any occurrence (overlapping
+		// or not) of any KEPT stream.
+		covered := make([]bool, n)
+		for _, s := range m.Streams {
+			for i := 0; i+len(s.Seq) <= n; i++ {
+				match := true
+				for j, v := range s.Seq {
+					if hay[i+j] != v {
+						match = false
+						break
+					}
+				}
+				if match {
+					for j := range s.Seq {
+						covered[i+j] = true
+					}
+				}
+			}
+		}
+		var want uint64
+		for _, c := range covered {
+			if c {
+				want++
+			}
+		}
+		if m.CoveredRefs != want {
+			t.Fatalf("trial %d: covered %d, naive %d", trial, m.CoveredRefs, want)
+		}
+	}
+}

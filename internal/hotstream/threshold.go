@@ -1,0 +1,183 @@
+package hotstream
+
+import (
+	"math"
+
+	"repro/internal/sequitur"
+)
+
+// DAGSource adapts a *sequitur.DAG to the detector's view.
+type DAGSource struct {
+	D     *sequitur.DAG
+	rules map[uint64]*sequitur.Rule
+}
+
+// NewDAGSource wraps d.
+func NewDAGSource(d *sequitur.DAG) *DAGSource {
+	rules := make(map[uint64]*sequitur.Rule, len(d.Order))
+	for _, r := range d.Order {
+		rules[r.ID()] = r
+	}
+	return &DAGSource{D: d, rules: rules}
+}
+
+// RuleIDs returns rules in the DAG's postorder (children first).
+func (s *DAGSource) RuleIDs() []uint64 {
+	out := make([]uint64, len(s.D.Order))
+	for i, r := range s.D.Order {
+		out[i] = r.ID()
+	}
+	return out
+}
+
+// Occ returns the rule's occurrence count in the full sequence.
+func (s *DAGSource) Occ(id uint64) uint64 { return s.D.Occ[id] }
+
+// ExpLen returns the rule's expansion length.
+func (s *DAGSource) ExpLen(id uint64) uint64 { return s.D.ExpLen(s.rules[id]) }
+
+// RHSLen returns the number of right-hand-side positions.
+func (s *DAGSource) RHSLen(id uint64) int { return s.D.RHS[id].Len() }
+
+// Elem returns position i of the rule's RHS.
+func (s *DAGSource) Elem(id uint64, i int) (uint64, bool) {
+	rhs := s.D.RHS[id]
+	if ref := rhs.Refs[i]; ref != nil {
+		return ref.ID(), true
+	}
+	return rhs.Terminals[i], false
+}
+
+// Prefix returns the first n terminals of the rule's expansion.
+func (s *DAGSource) Prefix(id uint64, n int) []uint64 { return s.D.Prefix(s.rules[id], n) }
+
+// Suffix returns the last n terminals of the rule's expansion.
+func (s *DAGSource) Suffix(id uint64, n int) []uint64 { return s.D.Suffix(s.rules[id], n) }
+
+var _ dagView = (*DAGSource)(nil)
+
+// Threshold reports the outcome of the exploitable-locality threshold
+// search of §5.2: the heat threshold normalized to multiples of the "unit
+// uniform access" (total references / total addresses), which permits
+// comparison across programs. A larger multiple means more data-reference
+// regularity.
+type Threshold struct {
+	// Multiple is the threshold in unit-uniform-access multiples (Table
+	// 2's "locality threshold" column).
+	Multiple uint64
+	// Unit is one uniform access: total refs / total addresses.
+	Unit float64
+	// Heat is the absolute regularity-magnitude threshold used.
+	Heat uint64
+	// Coverage achieved at this threshold.
+	Coverage float64
+}
+
+// SearchConfig parameterizes FindThreshold.
+type SearchConfig struct {
+	// MinLen/MaxLen bound stream lengths (paper: 2 and 100).
+	MinLen, MaxLen int
+	// CoverageTarget is the fraction of references hot streams must
+	// cover (paper: 0.90).
+	CoverageTarget float64
+	// MaxMultiple caps the search (default 1<<20).
+	MaxMultiple uint64
+}
+
+func (c *SearchConfig) normalize() {
+	if c.MinLen < 2 {
+		c.MinLen = 2
+	}
+	if c.MaxLen < c.MinLen {
+		c.MaxLen = 100
+	}
+	if c.CoverageTarget <= 0 || c.CoverageTarget > 1 {
+		c.CoverageTarget = 0.90
+	}
+	if c.MaxMultiple == 0 {
+		c.MaxMultiple = 1 << 20
+	}
+}
+
+// FixedThreshold builds the threshold record for an explicitly chosen
+// multiple, bypassing the coverage-driven search. Coverage is left zero;
+// callers fill it from a subsequent measurement.
+func FixedThreshold(multiple, totalRefs, totalAddrs uint64) Threshold {
+	unit := 1.0
+	if totalAddrs > 0 {
+		unit = float64(totalRefs) / float64(totalAddrs)
+	}
+	if unit < 1 {
+		unit = 1
+	}
+	h := uint64(math.Round(float64(multiple) * unit))
+	if h < 1 {
+		h = 1
+	}
+	return Threshold{Multiple: multiple, Unit: unit, Heat: h}
+}
+
+// FindThreshold finds the largest unit-uniform-access multiple whose hot
+// data streams still cover the target fraction of references: few, hot
+// streams covering 90% of references make attractive optimization targets,
+// so the search maximizes the threshold subject to the coverage
+// constraint. Coverage is monotone non-increasing in the threshold, so an
+// exponential probe plus binary search suffices.
+//
+// It returns the threshold and the measurement at it (streams with exact
+// frequencies and gaps). If even multiple 1 misses the target, multiple 1
+// is returned with whatever coverage it achieves.
+func FindThreshold(d dagView, src walker, totalRefs, totalAddrs uint64, cfg SearchConfig) (Threshold, *Measurement) {
+	cfg.normalize()
+	unit := 1.0
+	if totalAddrs > 0 {
+		unit = float64(totalRefs) / float64(totalAddrs)
+	}
+	if unit < 1 {
+		unit = 1
+	}
+	heatOf := func(m uint64) uint64 {
+		h := uint64(math.Round(float64(m) * unit))
+		if h < 1 {
+			h = 1
+		}
+		return h
+	}
+	eval := func(m uint64) *Measurement {
+		c := Config{MinLen: cfg.MinLen, MaxLen: cfg.MaxLen, Heat: heatOf(m)}
+		streams := Detect(d, c)
+		return Measure(src, streams, c, 0, false)
+	}
+
+	bestM := uint64(1)
+	best := eval(1)
+	if best.Coverage() < cfg.CoverageTarget {
+		return Threshold{Multiple: 1, Unit: unit, Heat: heatOf(1), Coverage: best.Coverage()}, best
+	}
+	// Exponential probe for the first failing multiple.
+	lo, hi := uint64(1), uint64(0)
+	for m := uint64(2); m <= cfg.MaxMultiple; m *= 2 {
+		meas := eval(m)
+		if meas.Coverage() >= cfg.CoverageTarget {
+			lo, bestM, best = m, m, meas
+			continue
+		}
+		hi = m
+		break
+	}
+	if hi == 0 {
+		// Never failed within the cap.
+		return Threshold{Multiple: bestM, Unit: unit, Heat: heatOf(bestM), Coverage: best.Coverage()}, best
+	}
+	// Binary search the boundary in (lo, hi).
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		meas := eval(mid)
+		if meas.Coverage() >= cfg.CoverageTarget {
+			lo, bestM, best = mid, mid, meas
+		} else {
+			hi = mid
+		}
+	}
+	return Threshold{Multiple: bestM, Unit: unit, Heat: heatOf(bestM), Coverage: best.Coverage()}, best
+}

@@ -1,0 +1,209 @@
+package optim
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/hotstream"
+	"repro/internal/locality"
+)
+
+// This file implements §4.2.1–4.2.2: identifying data-locality
+// optimization targets and selecting the most suitable optimization for
+// each hot data stream from its exploitable-locality metrics.
+//
+// The paper's rules:
+//
+//   - the best targets are long hot data streams that are not repeated in
+//     close succession and have poor cache-block packing efficiency;
+//   - short streams limit any optimization's benefit; streams repeating
+//     in close succession are likely cache resident already;
+//   - clustering enforces the dominant layout for streams with poor
+//     packing efficiency;
+//   - inter-stream prefetching suits streams with poor exploitable
+//     temporal locality (clustering alone cannot make them resident);
+//   - intra-stream prefetching suits streams with good exploitable
+//     spatial locality whose packing stays poor even after clustering
+//     (competing layout constraints).
+type Choice uint8
+
+// Optimization choices, in the paper's §4.2.2 vocabulary.
+const (
+	// NoTarget: the stream is short or repeats in close succession —
+	// not worth optimizing.
+	NoTarget Choice = iota
+	// Clustering: co-locate the stream's members (poor packing, decent
+	// temporal locality).
+	Clustering
+	// InterStreamPrefetch: prefetch this stream when its predecessor is
+	// seen (poor temporal locality).
+	InterStreamPrefetch
+	// IntraStreamPrefetch: prefetch the stream's tail on its head (good
+	// spatial locality, packing unfixable by clustering).
+	IntraStreamPrefetch
+)
+
+// String names the choice.
+func (c Choice) String() string {
+	switch c {
+	case NoTarget:
+		return "none"
+	case Clustering:
+		return "clustering"
+	case InterStreamPrefetch:
+		return "inter-stream-prefetch"
+	case IntraStreamPrefetch:
+		return "intra-stream-prefetch"
+	}
+	return fmt.Sprintf("choice(%d)", uint8(c))
+}
+
+// SelectorConfig holds the thresholds the rules quantify over. The zero
+// value selects sensible defaults.
+type SelectorConfig struct {
+	// MinSpatial is the minimum stream length worth optimizing (short
+	// streams "limit the benefit of any data locality optimization").
+	MinSpatial int
+	// ResidentInterval is the repetition interval below which a stream
+	// is assumed cache resident between occurrences.
+	ResidentInterval float64
+	// GoodPacking is the packing efficiency above which layout is
+	// already exploiting the stream's spatial locality.
+	GoodPacking float64
+	// SharedMemberStreams is the number of hot streams a member may
+	// appear in before layouts are considered competing (clustering
+	// "cannot address competing layout constraints").
+	SharedMemberStreams int
+	// BlockSize for packing computation.
+	BlockSize int
+}
+
+func (c *SelectorConfig) normalize() {
+	if c.MinSpatial <= 0 {
+		c.MinSpatial = 4
+	}
+	if c.ResidentInterval <= 0 {
+		c.ResidentInterval = 64
+	}
+	if c.GoodPacking <= 0 {
+		c.GoodPacking = 0.75
+	}
+	if c.SharedMemberStreams <= 0 {
+		c.SharedMemberStreams = 2
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+}
+
+// Selection is the per-stream outcome.
+type Selection struct {
+	StreamID int
+	Choice   Choice
+	// Packing, Temporal and Spatial record the metrics the rule fired
+	// on.
+	Packing  float64
+	Temporal float64
+	Spatial  int
+}
+
+// SelectOptimizations applies §4.2.2's rules to every hot data stream.
+func SelectOptimizations(streams []*hotstream.Stream, objects map[uint64]*abstract.Object, cfg SelectorConfig) []Selection {
+	cfg.normalize()
+	// Count how many streams each member participates in: the competing-
+	// layout signal.
+	memberStreams := make(map[uint64]int)
+	for _, s := range streams {
+		seen := make(map[uint64]struct{}, len(s.Seq))
+		for _, m := range s.Seq {
+			if _, dup := seen[m]; !dup {
+				seen[m] = struct{}{}
+				memberStreams[m]++
+			}
+		}
+	}
+	out := make([]Selection, 0, len(streams))
+	for _, s := range streams {
+		sel := Selection{
+			StreamID: s.ID,
+			Packing:  locality.PackingEfficiency(s, objects, cfg.BlockSize),
+			Temporal: s.TemporalRegularity(),
+			Spatial:  s.SpatialRegularity(),
+		}
+		// Competing layouts: a stream is contested when most of its
+		// unique members also belong to other hot streams (a single
+		// shared global does not stop clustering from packing the
+		// stream's private members).
+		uniq := make(map[uint64]struct{}, len(s.Seq))
+		shared := 0
+		for _, m := range s.Seq {
+			if _, dup := uniq[m]; dup {
+				continue
+			}
+			uniq[m] = struct{}{}
+			if memberStreams[m] >= cfg.SharedMemberStreams {
+				shared++
+			}
+		}
+		contested := shared*2 > len(uniq)
+		switch {
+		case sel.Spatial < cfg.MinSpatial:
+			sel.Choice = NoTarget // short streams limit any benefit
+		case sel.Temporal < cfg.ResidentInterval && sel.Packing >= cfg.GoodPacking:
+			sel.Choice = NoTarget // likely cache resident on reuse
+		case sel.Temporal >= cfg.ResidentInterval && sel.Packing >= cfg.GoodPacking:
+			// Layout is fine but the stream is evicted between
+			// occurrences: prefetch it from its predecessor.
+			sel.Choice = InterStreamPrefetch
+		case sel.Packing < cfg.GoodPacking && !contested:
+			sel.Choice = Clustering
+		default:
+			// Poor packing that clustering cannot fix (members shared
+			// with other hot streams): fetch the tail on the head.
+			sel.Choice = IntraStreamPrefetch
+		}
+		out = append(out, sel)
+	}
+	return out
+}
+
+// SelectionSummary tallies choices, heat-weighted: the benchmark-level
+// view §5.3/§5.4 reason with ("boxsim and 300.twolf... would benefit most
+// from data locality optimizations, while 197.parser and 252.eon... would
+// benefit the least").
+type SelectionSummary struct {
+	// CountByChoice and HeatByChoice tally streams and their heat.
+	CountByChoice map[Choice]int
+	HeatByChoice  map[Choice]uint64
+	TotalHeat     uint64
+}
+
+// TargetFraction returns the fraction of total heat selected for any
+// optimization (everything but NoTarget): the benchmark's optimization
+// opportunity.
+func (s SelectionSummary) TargetFraction() float64 {
+	if s.TotalHeat == 0 {
+		return 0
+	}
+	return float64(s.TotalHeat-s.HeatByChoice[NoTarget]) / float64(s.TotalHeat)
+}
+
+// Summarize tallies the per-stream selections.
+func Summarize(streams []*hotstream.Stream, sels []Selection) SelectionSummary {
+	sum := SelectionSummary{
+		CountByChoice: make(map[Choice]int),
+		HeatByChoice:  make(map[Choice]uint64),
+	}
+	byID := make(map[int]*hotstream.Stream, len(streams))
+	for _, s := range streams {
+		byID[s.ID] = s
+	}
+	for _, sel := range sels {
+		sum.CountByChoice[sel.Choice]++
+		if s, ok := byID[sel.StreamID]; ok {
+			sum.HeatByChoice[sel.Choice] += s.Magnitude()
+			sum.TotalHeat += s.Magnitude()
+		}
+	}
+	return sum
+}

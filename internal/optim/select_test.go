@@ -1,0 +1,120 @@
+package optim
+
+import (
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/hotstream"
+)
+
+func selObjects() map[uint64]*abstract.Object {
+	return map[uint64]*abstract.Object{
+		1: {Name: 1, Base: 0, Size: 16},
+		2: {Name: 2, Base: 16, Size: 16},      // packed with 1
+		3: {Name: 3, Base: 4096, Size: 16},    // scattered
+		4: {Name: 4, Base: 8192, Size: 16},    // scattered
+		5: {Name: 5, Base: 32, Size: 16},      // packed with 1,2
+		6: {Name: 6, Base: 1 << 20, Size: 16}, // scattered
+	}
+}
+
+func mkStream(id int, seq []uint64, freq uint64, interval float64) *hotstream.Stream {
+	s := &hotstream.Stream{ID: id, Seq: seq, Freq: freq}
+	if freq >= 2 {
+		s.GapSum = uint64(interval * float64(freq-1))
+	}
+	return s
+}
+
+func selectOne(t *testing.T, s *hotstream.Stream, all []*hotstream.Stream) Selection {
+	t.Helper()
+	sels := SelectOptimizations(all, selObjects(), SelectorConfig{})
+	for _, sel := range sels {
+		if sel.StreamID == s.ID {
+			return sel
+		}
+	}
+	t.Fatalf("stream %d not selected", s.ID)
+	return Selection{}
+}
+
+func TestSelectShortStreamNoTarget(t *testing.T) {
+	s := mkStream(0, []uint64{3, 4}, 100, 500) // len 2 < MinSpatial
+	if got := selectOne(t, s, []*hotstream.Stream{s}); got.Choice != NoTarget {
+		t.Errorf("choice = %v", got.Choice)
+	}
+}
+
+func TestSelectResidentNoTarget(t *testing.T) {
+	// Well packed and repeating in close succession.
+	s := mkStream(0, []uint64{1, 2, 5, 1}, 100, 10)
+	if got := selectOne(t, s, []*hotstream.Stream{s}); got.Choice != NoTarget {
+		t.Errorf("choice = %v (packing %v, temporal %v)", got.Choice, got.Packing, got.Temporal)
+	}
+}
+
+func TestSelectInterStreamPrefetch(t *testing.T) {
+	// Well packed but long repetition interval: clustering can't help,
+	// prefetch from the predecessor.
+	s := mkStream(0, []uint64{1, 2, 5, 1}, 100, 5000)
+	if got := selectOne(t, s, []*hotstream.Stream{s}); got.Choice != InterStreamPrefetch {
+		t.Errorf("choice = %v", got.Choice)
+	}
+}
+
+func TestSelectClustering(t *testing.T) {
+	// Poorly packed, members not shared: enforce the dominant layout.
+	s := mkStream(0, []uint64{1, 3, 4, 6}, 100, 5000)
+	if got := selectOne(t, s, []*hotstream.Stream{s}); got.Choice != Clustering {
+		t.Errorf("choice = %v (packing %v)", got.Choice, got.Packing)
+	}
+}
+
+func TestSelectIntraStreamPrefetchOnContention(t *testing.T) {
+	// Poorly packed and members shared with another hot stream:
+	// competing layouts, so clustering is ruled out.
+	a := mkStream(0, []uint64{1, 3, 4, 6}, 100, 5000)
+	b := mkStream(1, []uint64{3, 6, 4, 1}, 90, 5000)
+	got := selectOne(t, a, []*hotstream.Stream{a, b})
+	if got.Choice != IntraStreamPrefetch {
+		t.Errorf("choice = %v", got.Choice)
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	want := map[Choice]string{
+		NoTarget: "none", Clustering: "clustering",
+		InterStreamPrefetch: "inter-stream-prefetch",
+		IntraStreamPrefetch: "intra-stream-prefetch",
+		Choice(9):           "choice(9)",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := mkStream(0, []uint64{1, 3, 4, 6}, 100, 5000) // clustering, heat 400
+	b := mkStream(1, []uint64{2, 5}, 50, 10)          // short: no target, heat 100
+	streams := []*hotstream.Stream{a, b}
+	sels := SelectOptimizations(streams, selObjects(), SelectorConfig{})
+	sum := Summarize(streams, sels)
+	if sum.TotalHeat != 500 {
+		t.Errorf("total heat = %d", sum.TotalHeat)
+	}
+	if sum.CountByChoice[NoTarget] != 1 || sum.CountByChoice[Clustering] != 1 {
+		t.Errorf("counts = %v", sum.CountByChoice)
+	}
+	if got := sum.TargetFraction(); got != 0.8 {
+		t.Errorf("target fraction = %v, want 0.8", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	sum := Summarize(nil, nil)
+	if sum.TargetFraction() != 0 {
+		t.Error("empty summary must target 0")
+	}
+}

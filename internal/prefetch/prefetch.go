@@ -1,0 +1,296 @@
+// Package prefetch implements a practical (non-ideal) hot-data-stream
+// prefetching engine: the optimization §4.2.3 sketches and the paper's
+// conclusion previews ("preliminary results for an initial implementation
+// of a hot data stream-based prefetching optimization indicate cache miss
+// rate improvements of 15–43% ... when different data reference profiles
+// were used as train and test profiles").
+//
+// Streams are learned from a training profile and carried across runs in
+// instruction space (see the stability package). At "runtime" the engine
+// observes the (PC, address) reference stream through an Aho-Corasick
+// automaton over stream PC sequences:
+//
+//   - when a stream's full PC sequence completes, the engine records the
+//     data addresses of that occurrence (streams repeat, so the previous
+//     occurrence's addresses predict the next);
+//   - when the first PrefixLen PCs of a stream match (the detection
+//     prefix), the engine prefetches the remembered addresses of the
+//     stream's remaining members.
+//
+// Unlike Figure 9's ideal scheme, this engine pays for mispredictions
+// (useless prefetches that may evict useful blocks) and cannot help a
+// stream's first occurrence — it is the realistic counterpart the 15–43%
+// numbers refer to.
+package prefetch
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/stability"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// PrefixLen is the detection-prefix length: the number of matched
+	// references before prefetching triggers. Shorter prefixes
+	// prefetch earlier (more timely) but misfire more often.
+	PrefixLen int
+	// Cache is the simulated geometry.
+	Cache cache.Config
+	// MaxTriggersPerSite bounds how many streams one detection site may
+	// trigger. PC prefixes are heavily shared when the same loop
+	// processes many data structures (a compiler pass walking thousands
+	// of functions shares one prefix across all their streams);
+	// triggering them all would prefetch most of the heap. A real
+	// trigger table keeps the hottest candidates per site.
+	MaxTriggersPerSite int
+}
+
+// DefaultConfig matches the evaluation's cache with a 2-reference
+// detection prefix and at most 4 candidate streams per trigger site.
+func DefaultConfig() Config {
+	return Config{PrefixLen: 2, Cache: cache.FullyAssociative8K, MaxTriggersPerSite: 4}
+}
+
+// node is an Aho-Corasick state over PC symbols.
+type node struct {
+	children map[uint32]int32
+	fail     int32
+	depth    int32
+	// ends lists streams whose full PC sequence terminates here.
+	ends []int32
+	// triggers lists streams whose detection prefix terminates here.
+	triggers []int32
+}
+
+// Engine matches stream PC sequences online and issues prefetches.
+type Engine struct {
+	cfg     Config
+	streams []stability.PCStream
+	nodes   []node
+	// history[i] maps a stream occurrence's first data address to the
+	// addresses of the most recent occurrence starting there. Keying by
+	// the leading address makes prediction instance-aware: one PC
+	// sequence (a shared loop body) services many data instances, and
+	// the prefix's observed address selects which instance's tail to
+	// prefetch.
+	history []map[uint32][]uint32
+	maxLen  int
+}
+
+// NewEngine builds the matcher from training streams. Streams shorter
+// than the detection prefix are ignored (nothing left to prefetch).
+func NewEngine(streams []stability.PCStream, cfg Config) *Engine {
+	if cfg.PrefixLen < 1 {
+		cfg.PrefixLen = 2
+	}
+	if cfg.Cache.Size == 0 {
+		cfg.Cache = cache.FullyAssociative8K
+	}
+	if cfg.MaxTriggersPerSite < 1 {
+		cfg.MaxTriggersPerSite = 4
+	}
+	e := &Engine{
+		cfg:     cfg,
+		streams: streams,
+		nodes:   []node{{fail: 0}},
+		history: make([]map[uint32][]uint32, len(streams)),
+	}
+	for i, s := range streams {
+		if len(s.PCs) <= cfg.PrefixLen {
+			continue
+		}
+		if len(s.PCs) > e.maxLen {
+			e.maxLen = len(s.PCs)
+		}
+		n := int32(0)
+		for d, pc := range s.PCs {
+			nd := &e.nodes[n]
+			if nd.children == nil {
+				nd.children = make(map[uint32]int32, 2)
+			}
+			next, ok := nd.children[pc]
+			if !ok {
+				next = int32(len(e.nodes))
+				e.nodes = append(e.nodes, node{depth: int32(d + 1)})
+				e.nodes[n].children[pc] = next
+			}
+			n = next
+			if d+1 == cfg.PrefixLen {
+				e.nodes[n].triggers = append(e.nodes[n].triggers, int32(i))
+			}
+		}
+		e.nodes[n].ends = append(e.nodes[n].ends, int32(i))
+	}
+	e.buildFailLinks()
+	e.capTriggers()
+	return e
+}
+
+// capTriggers keeps, per node, only the hottest MaxTriggersPerSite
+// trigger candidates (deduplicated — fail-link inheritance can introduce
+// repeats).
+func (e *Engine) capTriggers() {
+	for i := range e.nodes {
+		tr := e.nodes[i].triggers
+		if len(tr) == 0 {
+			continue
+		}
+		seen := make(map[int32]struct{}, len(tr))
+		uniq := tr[:0]
+		for _, id := range tr {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				uniq = append(uniq, id)
+			}
+		}
+		sort.Slice(uniq, func(a, b int) bool {
+			if e.streams[uniq[a]].Heat != e.streams[uniq[b]].Heat {
+				return e.streams[uniq[a]].Heat > e.streams[uniq[b]].Heat
+			}
+			return uniq[a] < uniq[b]
+		})
+		if len(uniq) > e.cfg.MaxTriggersPerSite {
+			uniq = uniq[:e.cfg.MaxTriggersPerSite]
+		}
+		e.nodes[i].triggers = uniq
+	}
+}
+
+func (e *Engine) buildFailLinks() {
+	var queue []int32
+	for _, c := range e.nodes[0].children {
+		e.nodes[c].fail = 0
+		queue = append(queue, c)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		for pc, c := range e.nodes[n].children {
+			f := e.nodes[n].fail
+			for {
+				if next, ok := e.nodes[f].children[pc]; ok && next != c {
+					e.nodes[c].fail = next
+					break
+				}
+				if f == 0 {
+					e.nodes[c].fail = 0
+					break
+				}
+				f = e.nodes[f].fail
+			}
+			// Inherit suffix matches: a completed suffix stream also
+			// ends/triggers here.
+			fl := e.nodes[c].fail
+			e.nodes[c].ends = append(e.nodes[c].ends, e.nodes[fl].ends...)
+			e.nodes[c].triggers = append(e.nodes[c].triggers, e.nodes[fl].triggers...)
+			queue = append(queue, c)
+		}
+	}
+}
+
+func (e *Engine) step(n int32, pc uint32) int32 {
+	for {
+		if e.nodes[n].children != nil {
+			if next, ok := e.nodes[n].children[pc]; ok {
+				return next
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		n = e.nodes[n].fail
+	}
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	// Stats is the cache outcome with the engine active.
+	Stats cache.Stats
+	// Baseline is the same trace without prefetching.
+	Baseline cache.Stats
+	// Triggers counts detection-prefix matches; Completions counts full
+	// stream matches (address recordings).
+	Triggers, Completions uint64
+	// Issued counts prefetch requests sent to the cache.
+	Issued uint64
+}
+
+// Improvement returns the miss-rate reduction vs baseline in percent
+// (positive is better).
+func (r Result) Improvement() float64 {
+	b := r.Baseline.MissRate()
+	if b == 0 {
+		return 0
+	}
+	return (b - r.Stats.MissRate()) / b * 100
+}
+
+// Run simulates the engine over a test profile given as parallel PC and
+// address arrays (the abstraction layer's output for a trace).
+func (e *Engine) Run(pcs, addrs []uint32) Result {
+	var res Result
+	withEngine := cache.New(e.cfg.Cache)
+	baseline := cache.New(e.cfg.Cache)
+
+	// Ring buffer of recent addresses for occurrence recording.
+	ring := make([]uint32, e.maxLen)
+	state := int32(0)
+	for i := range pcs {
+		baseline.Access(addrs[i])
+		withEngine.Access(addrs[i])
+		if e.maxLen == 0 {
+			continue
+		}
+		ring[i%e.maxLen] = addrs[i]
+
+		state = e.step(state, pcs[i])
+		nd := &e.nodes[state]
+		for _, sid := range nd.ends {
+			// Record this occurrence's addresses (most recent len
+			// entries of the ring, oldest first), keyed by the
+			// occurrence's leading address.
+			n := len(e.streams[sid].PCs)
+			if n > i+1 {
+				continue
+			}
+			buf := make([]uint32, n)
+			for k := 0; k < n; k++ {
+				buf[k] = ring[(i-n+1+k)%e.maxLen]
+			}
+			if e.history[sid] == nil {
+				e.history[sid] = make(map[uint32][]uint32, 8)
+			}
+			e.history[sid][buf[0]] = buf
+			res.Completions++
+		}
+		for _, sid := range nd.triggers {
+			res.Triggers++
+			if i+1 < e.cfg.PrefixLen {
+				continue
+			}
+			// The instance is identified by the prefix's first data
+			// address.
+			first := ring[(i-e.cfg.PrefixLen+1)%e.maxLen]
+			last := e.history[sid][first]
+			if last == nil {
+				continue // instance not seen before: nothing to predict
+			}
+			for _, a := range last[e.cfg.PrefixLen:] {
+				withEngine.Prefetch(a)
+				res.Issued++
+			}
+		}
+	}
+	res.Stats = withEngine.Stats()
+	res.Baseline = baseline.Stats()
+	return res
+}
+
+// TrainTest is the §4/[7] experiment: learn streams from one profile,
+// evaluate the engine on another. trainNames/trainPCs and the test arrays
+// are abstraction outputs of two runs (different seeds/inputs) of the same
+// program.
+func TrainTest(trainStreams []stability.PCStream, testPCs, testAddrs []uint32, cfg Config) Result {
+	return NewEngine(trainStreams, cfg).Run(testPCs, testAddrs)
+}

@@ -1,0 +1,204 @@
+package sequitur
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements the binary grammar codec. §5.2 notes the WPS sizes
+// reported are for the ASCII grammar and "the binary representation can be
+// two times smaller"; this varint encoding realizes that form and lets
+// WPS representations be persisted and reloaded for later analysis.
+//
+// Format: magic, rule count, then each rule as (RHS length, symbols).
+// Rules are renumbered densely in postorder with the root last; a symbol
+// is value<<1 for a terminal and index<<1|1 for a rule reference, so the
+// common small values stay one byte. Loaded grammars are frozen: they
+// support analysis (DAG construction, Walk, Expand) but not Append, since
+// the digram index is not reconstructed.
+
+var codecMagic = [4]byte{'W', 'P', 'S', '1'}
+
+// ErrFrozen is returned (via panic recovery in callers' tests) when
+// appending to a grammar loaded from the binary form.
+var ErrFrozen = errors.New("sequitur: grammar loaded from binary is read-only")
+
+// WriteBinary encodes the grammar in the compact binary form, returning
+// the number of bytes written.
+func (d *DAG) WriteBinary(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	write := func(p []byte) error {
+		n, err := bw.Write(p)
+		total += int64(n)
+		return err
+	}
+	if err := write(codecMagic[:]); err != nil {
+		return total, err
+	}
+	// Dense postorder numbering, root last.
+	index := make(map[uint64]uint64, len(d.Order))
+	for i, r := range d.Order {
+		index[r.ID()] = uint64(i)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		return write(buf[:n])
+	}
+	if err := putUvarint(uint64(len(d.Order))); err != nil {
+		return total, err
+	}
+	for _, r := range d.Order {
+		rhs := d.RHS[r.ID()]
+		if err := putUvarint(uint64(rhs.Len())); err != nil {
+			return total, err
+		}
+		for i, ref := range rhs.Refs {
+			var sym uint64
+			if ref != nil {
+				sym = index[ref.ID()]<<1 | 1
+			} else {
+				sym = rhs.Terminals[i] << 1
+			}
+			if err := putUvarint(sym); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// BinarySize computes the encoded size without writing.
+func (d *DAG) BinarySize() uint64 {
+	n := uint64(4) + uvarintLen(uint64(len(d.Order)))
+	for _, r := range d.Order {
+		rhs := d.RHS[r.ID()]
+		n += uvarintLen(uint64(rhs.Len()))
+		index := uint64(0)
+		_ = index
+		for i, ref := range rhs.Refs {
+			if ref != nil {
+				// Postorder index <= len(Order); bounded by rule count.
+				n += uvarintLen(uint64(orderIndexBound(d, ref))<<1 | 1)
+			} else {
+				n += uvarintLen(rhs.Terminals[i] << 1)
+			}
+		}
+	}
+	return n
+}
+
+// orderIndexBound returns the rule's postorder index for size accounting.
+func orderIndexBound(d *DAG, r *Rule) int {
+	// The DAG caches no reverse index; build it lazily once.
+	if d.orderIdx == nil {
+		d.orderIdx = make(map[uint64]int, len(d.Order))
+		for i, rr := range d.Order {
+			d.orderIdx[rr.ID()] = i
+		}
+	}
+	return d.orderIdx[r.ID()]
+}
+
+func uvarintLen(v uint64) uint64 {
+	n := uint64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// ReadBinary decodes a grammar from the binary form. The result is frozen:
+// Append panics with ErrFrozen; analysis entry points (NewDAG, Walk,
+// Expand, Rules) work normally.
+func ReadBinary(r io.Reader) (*Grammar, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sequitur: reading magic: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("sequitur: bad magic %q", magic[:])
+	}
+	nRules, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("sequitur: rule count: %w", err)
+	}
+	if nRules == 0 {
+		return nil, errors.New("sequitur: empty grammar")
+	}
+	const maxRules = 1 << 28
+	if nRules > maxRules {
+		return nil, fmt.Errorf("sequitur: implausible rule count %d", nRules)
+	}
+	g := &Grammar{
+		rules:  make(map[uint64]*Rule, nRules),
+		frozen: true,
+	}
+	rules := make([]*Rule, nRules)
+	for i := range rules {
+		r := &Rule{id: uint64(i)}
+		guard := &symbol{r: r, guard: true}
+		guard.next, guard.prev = guard, guard
+		r.guard = guard
+		rules[i] = r
+		g.rules[r.id] = r
+	}
+	g.nextID = nRules
+	var total uint64
+	for i := uint64(0); i < nRules; i++ {
+		rhsLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("sequitur: rule %d length: %w", i, err)
+		}
+		r := rules[i]
+		for j := uint64(0); j < rhsLen; j++ {
+			sv, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("sequitur: rule %d symbol %d: %w", i, j, err)
+			}
+			var s *symbol
+			if sv&1 == 1 {
+				idx := sv >> 1
+				if idx >= i {
+					return nil, fmt.Errorf("sequitur: rule %d references rule %d out of postorder", i, idx)
+				}
+				s = &symbol{r: rules[idx]}
+				rules[idx].uses++
+			} else {
+				s = &symbol{value: sv >> 1}
+			}
+			// Raw append before the guard.
+			last := r.guard.prev
+			last.next = s
+			s.prev = last
+			s.next = r.guard
+			r.guard.prev = s
+		}
+	}
+	g.root = rules[nRules-1]
+	// Recompute the input length from expansion lengths.
+	lens := make([]uint64, nRules)
+	for i := uint64(0); i < nRules; i++ {
+		var n uint64
+		for s := rules[i].first(); !s.guard; s = s.next {
+			if s.r != nil {
+				n += lens[s.r.id]
+			} else {
+				n++
+			}
+		}
+		lens[i] = n
+	}
+	total = lens[nRules-1]
+	g.input = total
+	return g, nil
+}

@@ -1,0 +1,125 @@
+package sequitur
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, in []uint64) (*Grammar, *Grammar, int64) {
+	t.Helper()
+	g := New()
+	g.AppendAll(in)
+	d := NewDAG(g, 100)
+	var buf bytes.Buffer
+	n, err := d.WriteBinary(&buf)
+	if err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	return g, g2, n
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := sym("abcbcabcabcxyzxyzabc")
+	g, g2, _ := roundTrip(t, in)
+	if !reflect.DeepEqual(g2.Expand(), in) {
+		t.Fatal("round-tripped grammar expands differently")
+	}
+	if g2.InputLen() != g.InputLen() {
+		t.Errorf("input len %d != %d", g2.InputLen(), g.InputLen())
+	}
+	if g2.NumRules() != g.NumRules() {
+		t.Errorf("rules %d != %d", g2.NumRules(), g.NumRules())
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		in := make([]uint64, 2000)
+		for i := range in {
+			in[i] = uint64(rng.Intn(12)) + 1
+		}
+		_, g2, _ := roundTrip(t, in)
+		if !reflect.DeepEqual(g2.Expand(), in) {
+			t.Fatalf("trial %d: expansion mismatch", trial)
+		}
+		// The loaded grammar supports full DAG analysis.
+		d := NewDAG(g2, 50)
+		if d.ExpLen(g2.Root()) != 2000 {
+			t.Fatalf("trial %d: root expansion %d", trial, d.ExpLen(g2.Root()))
+		}
+	}
+}
+
+func TestBinaryHalvesASCII(t *testing.T) {
+	// §5.2: "the binary representation can be two times smaller" than
+	// the ASCII grammar.
+	var in []uint64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30000; i++ {
+		in = append(in, uint64(rng.Intn(200))+1)
+	}
+	g := New()
+	g.AppendAll(in)
+	d := NewDAG(g, 100)
+	st := d.ComputeStats()
+	bin := d.BinarySize()
+	if bin*2 > st.ASCIIBytes*3 {
+		t.Errorf("binary %d not meaningfully smaller than ASCII %d", bin, st.ASCIIBytes)
+	}
+	// BinarySize must match the actual encoding.
+	var buf bytes.Buffer
+	n, err := d.WriteBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(n) != bin {
+		t.Errorf("BinarySize %d != written %d", bin, n)
+	}
+}
+
+func TestLoadedGrammarIsFrozen(t *testing.T) {
+	_, g2, _ := roundTrip(t, sym("abcabcabc"))
+	defer func() {
+		if r := recover(); r != ErrFrozen {
+			t.Errorf("recover = %v, want ErrFrozen", r)
+		}
+	}()
+	g2.Append(1)
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("xxxx"),
+		[]byte("WPS1"),                // missing count
+		append([]byte("WPS1"), 0),     // zero rules
+		append([]byte("WPS1"), 1),     // truncated rule
+		{'W', 'P', 'S', '1', 2, 1, 3}, // rule 0 references rule 1 (forward)
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadBinaryForwardReferenceRejected(t *testing.T) {
+	// Hand-build: 2 rules; rule 0 RHS = [ref rule 1] -> invalid
+	// (postorder requires references to earlier rules only).
+	data := []byte{'W', 'P', 'S', '1', 2, 1, byte(1<<1 | 1), 1, 0 << 1}
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "postorder") {
+		t.Errorf("err = %v", err)
+	}
+}

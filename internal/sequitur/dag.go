@@ -1,0 +1,297 @@
+package sequitur
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DAG is the analysis view of a grammar: the directed acyclic graph Larus
+// used for Whole Program Paths and the paper reuses for Whole Program
+// Streams (Figure 3). Nodes are rules; each right-hand-side position is an
+// edge to either another rule or a terminal. The DAG precomputes, per rule:
+//
+//   - Occ: how many times the rule's expansion occurs in the whole input
+//     (the root occurs once), and
+//   - ExpLen: the length of the rule's expansion in terminals,
+//
+// which the hot-data-stream analysis needs to weight boundary-crossing
+// subsequences.
+type DAG struct {
+	G *Grammar
+	// Order lists rules in reverse topological order: every rule appears
+	// after all rules it references (children first), so Order[len-1] is
+	// the root. This is the postorder the detection algorithm traverses.
+	Order []*Rule
+	// Occ[id] is the number of occurrences of rule id's expansion in the
+	// full input string.
+	Occ map[uint64]uint64
+	// RHS caches each rule's materialized right-hand side.
+	RHS map[uint64]RHS
+
+	prefixes map[uint64][]uint64 // rule id -> first <=maxAffix terminals
+	suffixes map[uint64][]uint64 // rule id -> last <=maxAffix terminals
+	maxAffix int
+	orderIdx map[uint64]int // lazy rule id -> postorder index (codec)
+}
+
+// NewDAG freezes the grammar into its DAG view. maxAffix bounds the length
+// of memoized prefix/suffix expansions (use the maximum hot-stream length).
+func NewDAG(g *Grammar, maxAffix int) *DAG {
+	if maxAffix < 1 {
+		maxAffix = 1
+	}
+	d := &DAG{
+		G:        g,
+		Occ:      make(map[uint64]uint64, len(g.rules)),
+		RHS:      make(map[uint64]RHS, len(g.rules)),
+		prefixes: make(map[uint64][]uint64, len(g.rules)),
+		suffixes: make(map[uint64][]uint64, len(g.rules)),
+		maxAffix: maxAffix,
+	}
+	for id, r := range g.rules {
+		d.RHS[id] = r.RHS()
+	}
+	d.topoSort()
+	d.computeOcc()
+	d.computeLens()
+	d.computeAffixes()
+	return d
+}
+
+// topoSort orders rules children-first via an iterative DFS from the root.
+// Unreachable rules (none exist in a well-formed grammar) are appended at
+// the end for robustness.
+func (d *DAG) topoSort() {
+	visited := make(map[uint64]bool, len(d.G.rules))
+	var order []*Rule
+	type frame struct {
+		r    *Rule
+		next int
+	}
+	push := func(stack []frame, r *Rule) []frame {
+		visited[r.id] = true
+		return append(stack, frame{r: r})
+	}
+	stack := push(nil, d.G.root)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		rhs := d.RHS[top.r.id]
+		advanced := false
+		for top.next < rhs.Len() {
+			ref := rhs.Refs[top.next]
+			top.next++
+			if ref != nil && !visited[ref.id] {
+				stack = push(stack, ref)
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		order = append(order, top.r)
+		stack = stack[:len(stack)-1]
+	}
+	for id, r := range d.G.rules {
+		if !visited[id] {
+			order = append(order, r)
+		}
+	}
+	d.Order = order
+}
+
+// computeOcc propagates occurrence counts root-down (reverse of Order).
+func (d *DAG) computeOcc() {
+	for _, r := range d.Order {
+		d.Occ[r.id] = 0
+	}
+	d.Occ[d.G.root.id] = 1
+	for i := len(d.Order) - 1; i >= 0; i-- {
+		r := d.Order[i]
+		n := d.Occ[r.id]
+		if n == 0 {
+			continue
+		}
+		rhs := d.RHS[r.id]
+		for _, ref := range rhs.Refs {
+			if ref != nil {
+				d.Occ[ref.id] += n
+			}
+		}
+	}
+}
+
+// computeLens fills each rule's expansion length, children first.
+func (d *DAG) computeLens() {
+	for _, r := range d.Order {
+		var n uint64
+		rhs := d.RHS[r.id]
+		for _, ref := range rhs.Refs {
+			if ref == nil {
+				n++
+			} else {
+				n += ref.expLen
+			}
+		}
+		r.expLen = n
+	}
+}
+
+// ExpLen returns the expansion length of rule r in terminals.
+func (d *DAG) ExpLen(r *Rule) uint64 { return r.expLen }
+
+// computeAffixes memoizes each rule's expansion prefix and suffix up to
+// maxAffix terminals, children first.
+func (d *DAG) computeAffixes() {
+	for _, r := range d.Order {
+		rhs := d.RHS[r.id]
+		pre := make([]uint64, 0, d.maxAffix)
+		for i := 0; i < rhs.Len() && len(pre) < d.maxAffix; i++ {
+			if ref := rhs.Refs[i]; ref != nil {
+				pre = append(pre, d.prefixes[ref.id][:min(d.maxAffix-len(pre), len(d.prefixes[ref.id]))]...)
+			} else {
+				pre = append(pre, rhs.Terminals[i])
+			}
+		}
+		suf := make([]uint64, 0, d.maxAffix)
+		for i := rhs.Len() - 1; i >= 0 && len(suf) < d.maxAffix; i-- {
+			// Build the suffix reversed, then flip once at the end.
+			if ref := rhs.Refs[i]; ref != nil {
+				rs := d.suffixes[ref.id]
+				for j := len(rs) - 1; j >= 0 && len(suf) < d.maxAffix; j-- {
+					suf = append(suf, rs[j])
+				}
+			} else {
+				suf = append(suf, rhs.Terminals[i])
+			}
+		}
+		reverse(suf)
+		d.prefixes[r.id] = pre
+		d.suffixes[r.id] = suf
+	}
+}
+
+func reverse(s []uint64) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Prefix returns the first n terminals of r's expansion (fewer if the
+// expansion is shorter). n must not exceed the maxAffix given to NewDAG.
+func (d *DAG) Prefix(r *Rule, n int) []uint64 {
+	p := d.prefixes[r.id]
+	if n > len(p) {
+		n = len(p)
+	}
+	return p[:n]
+}
+
+// Suffix returns the last n terminals of r's expansion.
+func (d *DAG) Suffix(r *Rule, n int) []uint64 {
+	s := d.suffixes[r.id]
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[len(s)-n:]
+}
+
+// Stats summarizes representation size, the quantities Figure 5 plots.
+type Stats struct {
+	// Rules is the number of productions including the root.
+	Rules int
+	// Symbols is the total number of right-hand-side positions, i.e. DAG
+	// edges.
+	Symbols int
+	// Terminals is the number of distinct terminal values.
+	Terminals int
+	// ASCIIBytes is the size of the grammar rendered in the textual form
+	// whose size the paper reports ("the size of the ASCII grammar
+	// produced by SEQUITUR"). The binary form is about half this.
+	ASCIIBytes uint64
+	// InputLen is the length of the represented sequence.
+	InputLen uint64
+}
+
+// CompressionRatio returns input length over grammar symbols: the measure
+// of data-reference regularity discussed in §5.2.
+func (s Stats) CompressionRatio() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.InputLen) / float64(s.Symbols)
+}
+
+// ComputeStats sizes the grammar.
+func (d *DAG) ComputeStats() Stats {
+	st := Stats{Rules: len(d.G.rules), InputLen: d.G.input}
+	terms := make(map[uint64]struct{})
+	for id := range d.G.rules {
+		rhs := d.RHS[id]
+		st.Symbols += rhs.Len()
+		st.ASCIIBytes += asciiRuleSize(id, rhs)
+		for i, ref := range rhs.Refs {
+			if ref == nil {
+				terms[rhs.Terminals[i]] = struct{}{}
+			}
+		}
+	}
+	st.Terminals = len(terms)
+	return st
+}
+
+// asciiRuleSize computes the byte length of one rule in the textual
+// rendering without materializing it.
+func asciiRuleSize(id uint64, rhs RHS) uint64 {
+	n := uint64(len(fmt.Sprintf("%d", id))) + 4 // "id -> "... plus newline
+	for i, ref := range rhs.Refs {
+		if ref != nil {
+			n += uint64(len(fmt.Sprintf("R%d", ref.id))) + 1
+		} else {
+			n += uint64(len(fmt.Sprintf("%d", rhs.Terminals[i]))) + 1
+		}
+	}
+	return n
+}
+
+// WriteASCII renders the grammar in a stable, human-readable form:
+//
+//	0 -> R1 R1 c
+//	1 -> a b
+//
+// Rules print in ascending ID order. It returns the number of bytes
+// written.
+func (d *DAG) WriteASCII(w io.Writer) (int64, error) {
+	ids := make([]uint64, 0, len(d.G.rules))
+	for id := range d.G.rules {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var total int64
+	for _, id := range ids {
+		rhs := d.RHS[id]
+		n, err := fmt.Fprintf(w, "%d ->", id)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		for i, ref := range rhs.Refs {
+			if ref != nil {
+				n, err = fmt.Fprintf(w, " R%d", ref.id)
+			} else {
+				n, err = fmt.Fprintf(w, " %d", rhs.Terminals[i])
+			}
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		n, err = fmt.Fprintln(w)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

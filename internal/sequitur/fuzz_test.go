@@ -1,0 +1,71 @@
+package sequitur
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzExpandIdentity fuzzes the core SEQUITUR invariant: for any input,
+// the grammar expands back to it and maintains digram uniqueness and rule
+// utility.
+func FuzzExpandIdentity(f *testing.F) {
+	f.Add([]byte("abcbcabcabc"))
+	f.Add([]byte("abbbabcbb"))
+	f.Add([]byte("aaaaaaaa"))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 1, 2, 1, 2, 3, 3, 3, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		in := make([]uint64, len(data))
+		for i, b := range data {
+			in[i] = uint64(b) + 1
+		}
+		g := New()
+		g.AppendAll(in)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		if !reflect.DeepEqual(g.Expand(), in) {
+			t.Fatal("expansion mismatch")
+		}
+	})
+}
+
+// FuzzBinaryCodec fuzzes both directions: arbitrary bytes must never
+// panic the reader, and valid grammars must round-trip.
+func FuzzBinaryCodec(f *testing.F) {
+	f.Add([]byte("WPS1"))
+	f.Add([]byte("abcabcabc"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: arbitrary input to the reader.
+		if g, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			// A successfully parsed grammar must at least expand
+			// without panicking.
+			g.Walk(func(uint64) bool { return true })
+		}
+		// Direction 2: treat data as a symbol stream, encode, decode.
+		if len(data) == 0 || len(data) > 2048 {
+			return
+		}
+		in := make([]uint64, len(data))
+		for i, b := range data {
+			in[i] = uint64(b) + 1
+		}
+		g := New()
+		g.AppendAll(in)
+		var buf bytes.Buffer
+		if _, err := NewDAG(g, 100).WriteBinary(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !reflect.DeepEqual(g2.Expand(), in) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package sfg implements Stream Flow Graphs (§3.3): a summarized
+// representation in which hot data streams replace basic blocks as graph
+// nodes, analogous to a control flow graph. Each node is one hot data
+// stream; a weighted directed edge (src, dst) counts how many times an
+// access to stream src is immediately followed by an access to stream dst.
+//
+// Reference-sequence information is no longer retained, making the SFG the
+// most compact (and least precise) representation in the paper's series
+// (Figure 5's SFG bars). Control-flow-graph analyses adapt directly: this
+// package provides dominators (which "suggest program load/store points to
+// initiate prefetching") and affinity extraction for clustering and
+// inter-stream prefetching.
+package sfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted transition between two hot data streams.
+type Edge struct {
+	Src, Dst int
+	Weight   uint64
+}
+
+// Graph is a Stream Flow Graph over streams 0..NumNodes-1.
+type Graph struct {
+	// NumNodes is the number of hot data streams (graph nodes).
+	NumNodes int
+	// NodeWeight[i] counts occurrences of stream i in the reduced trace.
+	NodeWeight []uint64
+	// Entry is the first stream observed (the CFG-style entry node);
+	// -1 for an empty graph.
+	Entry int
+
+	succ []map[int]uint64
+	pred []map[int]uint64
+}
+
+// Build constructs the SFG from the reduced trace of §3.2: the sequence of
+// hot-stream occurrence symbols (cold references already elided), where
+// symbol value = base + stream index.
+func Build(reduced []uint64, base uint64, numStreams int) *Graph {
+	g := &Graph{
+		NumNodes:   numStreams,
+		NodeWeight: make([]uint64, numStreams),
+		Entry:      -1,
+		succ:       make([]map[int]uint64, numStreams),
+		pred:       make([]map[int]uint64, numStreams),
+	}
+	prev := -1
+	for _, sym := range reduced {
+		id := int(sym - base)
+		if id < 0 || id >= numStreams {
+			continue // foreign symbol; reduced traces from Measure never contain these
+		}
+		g.NodeWeight[id]++
+		if g.Entry == -1 {
+			g.Entry = id
+		}
+		if prev >= 0 {
+			if g.succ[prev] == nil {
+				g.succ[prev] = make(map[int]uint64, 2)
+			}
+			g.succ[prev][id]++
+			if g.pred[id] == nil {
+				g.pred[id] = make(map[int]uint64, 2)
+			}
+			g.pred[id][prev]++
+		}
+		prev = id
+	}
+	return g
+}
+
+// Succs returns the successor edges of node n, sorted by descending weight
+// then ascending destination.
+func (g *Graph) Succs(n int) []Edge {
+	return sortedEdges(n, g.succ[n], true)
+}
+
+// Preds returns the predecessor edges of node n (Src = predecessor).
+func (g *Graph) Preds(n int) []Edge {
+	return sortedEdges(n, g.pred[n], false)
+}
+
+func sortedEdges(n int, m map[int]uint64, out bool) []Edge {
+	edges := make([]Edge, 0, len(m))
+	for o, w := range m {
+		if out {
+			edges = append(edges, Edge{Src: n, Dst: o, Weight: w})
+		} else {
+			edges = append(edges, Edge{Src: o, Dst: n, Weight: w})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight > edges[j].Weight
+		}
+		if out {
+			return edges[i].Dst < edges[j].Dst
+		}
+		return edges[i].Src < edges[j].Src
+	})
+	return edges
+}
+
+// Edges returns every edge, sorted by descending weight (ties by src,dst).
+func (g *Graph) Edges() []Edge {
+	var edges []Edge
+	for src, m := range g.succ {
+		for dst, w := range m {
+			edges = append(edges, Edge{Src: src, Dst: dst, Weight: w})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	return edges
+}
+
+// NumEdges returns the number of distinct transitions.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, m := range g.succ {
+		n += len(m)
+	}
+	return n
+}
+
+// SizeBytes estimates the textual size of the SFG (one line per node and
+// per edge), the quantity Figure 5 reports for SFG representations.
+func (g *Graph) SizeBytes() uint64 {
+	var n uint64
+	for i, w := range g.NodeWeight {
+		if w > 0 {
+			n += uint64(len(fmt.Sprintf("n%d %d\n", i, w)))
+		}
+	}
+	for src, m := range g.succ {
+		for dst, w := range m {
+			n += uint64(len(fmt.Sprintf("e%d %d %d\n", src, dst, w)))
+		}
+	}
+	return n
+}
+
+// Dominators computes immediate dominators from the entry node using the
+// Cooper-Harvey-Kennedy iterative algorithm. idom[Entry] == Entry; nodes
+// unreachable from the entry (or never observed) have idom -1.
+//
+// §3.3/§4.2.3: dominators in the SFG suggest the program points at which
+// to initiate prefetching — if stream d dominates stream s, every path of
+// hot-stream transitions reaching s passes through d, so a prefetch of s's
+// members issued at d is always useful and maximally early.
+func (g *Graph) Dominators() []int {
+	idom := make([]int, g.NumNodes)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if g.Entry < 0 {
+		return idom
+	}
+	order, pos := g.reversePostorder()
+	idom[g.Entry] = g.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for p := range g.pred[b] {
+				if idom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(idom, pos, p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func (g *Graph) intersect(idom, pos []int, a, b int) int {
+	for a != b {
+		for pos[a] > pos[b] {
+			a = idom[a]
+		}
+		for pos[b] > pos[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// reversePostorder returns nodes reachable from the entry in reverse
+// postorder plus each node's position index (unreachable nodes get -1).
+func (g *Graph) reversePostorder() (order []int, pos []int) {
+	pos = make([]int, g.NumNodes)
+	for i := range pos {
+		pos[i] = -1
+	}
+	visited := make([]bool, g.NumNodes)
+	var post []int
+	type frame struct {
+		n  int
+		it []Edge
+		i  int
+	}
+	stack := []frame{{n: g.Entry, it: g.Succs(g.Entry)}}
+	visited[g.Entry] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(top.it) {
+			next := top.it[top.i].Dst
+			top.i++
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, frame{n: next, it: g.Succs(next)})
+			}
+			continue
+		}
+		post = append(post, top.n)
+		stack = stack[:len(stack)-1]
+	}
+	order = make([]int, len(post))
+	for i := range post {
+		order[i] = post[len(post)-1-i]
+	}
+	for i, n := range order {
+		pos[n] = i
+	}
+	return order, pos
+}
+
+// AffinityPair is a pair of streams with high transition affinity: the
+// SFG-based replacement for the object affinity graph used to drive
+// clustering, and the candidate-pair source for inter-stream prefetching
+// (§4.2.3).
+type AffinityPair struct {
+	A, B   int
+	Weight uint64 // combined weight of A->B and B->A
+}
+
+// Affinity returns stream pairs whose combined transition weight meets
+// minWeight, sorted by descending weight.
+func (g *Graph) Affinity(minWeight uint64) []AffinityPair {
+	agg := make(map[[2]int]uint64)
+	for src, m := range g.succ {
+		for dst, w := range m {
+			if src == dst {
+				continue
+			}
+			k := [2]int{src, dst}
+			if dst < src {
+				k = [2]int{dst, src}
+			}
+			agg[k] += w
+		}
+	}
+	var out []AffinityPair
+	for k, w := range agg {
+		if w >= minWeight {
+			out = append(out, AffinityPair{A: k[0], B: k[1], Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// PrefetchPairs returns the strongest inter-stream prefetch candidates:
+// for each stream, its heaviest successor, provided the edge carries at
+// least minFraction of the stream's outgoing weight. Triggering a prefetch
+// of the successor's members when the source stream starts is then
+// profitable on most executions.
+func (g *Graph) PrefetchPairs(minFraction float64) []Edge {
+	var out []Edge
+	for src := range g.succ {
+		succs := g.Succs(src)
+		if len(succs) == 0 {
+			continue
+		}
+		var total uint64
+		for _, e := range succs {
+			total += e.Weight
+		}
+		best := succs[0]
+		if total > 0 && float64(best.Weight) >= minFraction*float64(total) {
+			out = append(out, best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+package sfg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// reduced builds a reduced trace from stream indices at base 0.
+func reduced(ids ...uint64) []uint64 { return ids }
+
+func TestBuildCountsNodesAndEdges(t *testing.T) {
+	g := Build(reduced(0, 1, 0, 1, 2), 0, 3)
+	if g.Entry != 0 {
+		t.Errorf("entry = %d", g.Entry)
+	}
+	if !reflect.DeepEqual(g.NodeWeight, []uint64{2, 2, 1}) {
+		t.Errorf("node weights = %v", g.NodeWeight)
+	}
+	edges := g.Edges()
+	// 0->1 twice, 1->0 once, 1->2 once.
+	want := []Edge{{0, 1, 2}, {1, 0, 1}, {1, 2, 1}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Errorf("edges = %v, want %v", edges, want)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestEdgeWeightInvariant(t *testing.T) {
+	// Total edge weight equals transitions = occurrences - 1.
+	seq := reduced(0, 1, 2, 1, 0, 2, 2, 1)
+	g := Build(seq, 0, 3)
+	var total uint64
+	for _, e := range g.Edges() {
+		total += e.Weight
+	}
+	if total != uint64(len(seq)-1) {
+		t.Errorf("edge mass = %d, want %d", total, len(seq)-1)
+	}
+}
+
+func TestBaseOffset(t *testing.T) {
+	g := Build([]uint64{100, 101, 100}, 100, 2)
+	if g.NodeWeight[0] != 2 || g.NodeWeight[1] != 1 {
+		t.Errorf("weights = %v", g.NodeWeight)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build(nil, 0, 0)
+	if g.Entry != -1 {
+		t.Errorf("entry = %d, want -1", g.Entry)
+	}
+	if len(g.Dominators()) != 0 {
+		t.Error("dominators of empty graph must be empty")
+	}
+	if g.SizeBytes() != 0 {
+		t.Error("empty graph must have size 0")
+	}
+}
+
+func TestSuccsPredsSorted(t *testing.T) {
+	g := Build(reduced(0, 1, 0, 2, 0, 1, 0, 1), 0, 3)
+	succs := g.Succs(0)
+	if len(succs) != 2 || succs[0].Dst != 1 || succs[0].Weight != 3 {
+		t.Errorf("succs = %v", succs)
+	}
+	preds := g.Preds(0)
+	if len(preds) != 2 || preds[0].Src != 1 {
+		t.Errorf("preds = %v", preds)
+	}
+}
+
+func TestDominatorsChain(t *testing.T) {
+	// Linear chain 0 -> 1 -> 2: idom(1)=0, idom(2)=1.
+	g := Build(reduced(0, 1, 2), 0, 3)
+	idom := g.Dominators()
+	if idom[0] != 0 || idom[1] != 0 || idom[2] != 1 {
+		t.Errorf("idom = %v", idom)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// Diamond: 0->1->3, 0->2->3 (two traversals through entry). idom(3)
+	// must be 0, not 1 or 2.
+	seq := reduced(0, 1, 3, 0, 2, 3)
+	g := Build(seq, 0, 4)
+	idom := g.Dominators()
+	if idom[3] != 0 {
+		t.Errorf("idom[3] = %d, want 0 (diamond join)", idom[3])
+	}
+	if idom[1] != 0 || idom[2] != 0 {
+		t.Errorf("idom = %v", idom)
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	// Node 2 observed before any transition into it from the entry
+	// component cannot happen in a real reduced trace, so emulate by
+	// numStreams larger than observed ids.
+	g := Build(reduced(0, 1, 0, 1), 0, 5)
+	idom := g.Dominators()
+	for n := 2; n < 5; n++ {
+		if idom[n] != -1 {
+			t.Errorf("idom[%d] = %d, want -1 for unobserved node", n, idom[n])
+		}
+	}
+}
+
+func TestDominatorsWithCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1: back edge; idom(2) = 1.
+	g := Build(reduced(0, 1, 2, 1, 2), 0, 3)
+	idom := g.Dominators()
+	if idom[1] != 0 || idom[2] != 1 {
+		t.Errorf("idom = %v", idom)
+	}
+}
+
+func TestAffinitySymmetric(t *testing.T) {
+	// 0<->1 heavily, 1->2 once.
+	g := Build(reduced(0, 1, 0, 1, 0, 1, 2), 0, 3)
+	pairs := g.Affinity(1)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].A != 0 || pairs[0].B != 1 || pairs[0].Weight != 5 {
+		t.Errorf("top pair = %+v", pairs[0])
+	}
+	// Threshold filters.
+	if got := g.Affinity(6); len(got) != 0 {
+		t.Errorf("Affinity(6) = %v", got)
+	}
+}
+
+func TestAffinityIgnoresSelfLoops(t *testing.T) {
+	g := Build(reduced(0, 0, 0, 1), 0, 2)
+	for _, p := range g.Affinity(1) {
+		if p.A == p.B {
+			t.Errorf("self loop pair %+v", p)
+		}
+	}
+}
+
+func TestPrefetchPairs(t *testing.T) {
+	// Stream 0 is followed by 1 on 3 of 4 transitions: a strong pair at
+	// 0.6 fraction; not at 0.9.
+	g := Build(reduced(0, 1, 0, 1, 0, 1, 0, 2), 0, 3)
+	pairs := g.PrefetchPairs(0.6)
+	found := false
+	for _, e := range pairs {
+		if e.Src == 0 && e.Dst == 1 && e.Weight == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pairs = %v, want 0->1 weight 3", pairs)
+	}
+	for _, e := range g.PrefetchPairs(0.9) {
+		if e.Src == 0 {
+			t.Errorf("0's best edge only carries 3/4 < 0.9: %v", e)
+		}
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	g := Build(reduced(0, 1, 0), 0, 2)
+	if g.SizeBytes() == 0 {
+		t.Error("non-empty graph must have positive size")
+	}
+	// More edges, more bytes.
+	g2 := Build(reduced(0, 1, 2, 3, 0, 1, 2, 3), 0, 4)
+	if g2.SizeBytes() <= g.SizeBytes() {
+		t.Error("larger graph must render larger")
+	}
+}
+
+func TestForeignSymbolsIgnored(t *testing.T) {
+	g := Build([]uint64{5, 0, 1}, 0, 2)
+	if g.NodeWeight[0] != 1 || g.NodeWeight[1] != 1 {
+		t.Errorf("weights = %v", g.NodeWeight)
+	}
+}

@@ -1,0 +1,103 @@
+package sfg
+
+import "sort"
+
+// This file implements Gloy et al.'s Temporal Relationship Graph (TRG)
+// over hot data streams, for the comparison §3.3 makes: "the SFG captures
+// temporal relationships that are potentially more precise than Gloy et
+// al.'s TRG since they are not determined by an arbitrarily selected
+// temporal reference window size." The TRG connects two streams whenever
+// they co-occur within a sliding window of W occurrences; its edge set —
+// unlike the SFG's exact successor counts — changes with W, which the
+// comparison experiment quantifies.
+
+// TRG is a temporal relationship graph over streams 0..NumNodes-1.
+type TRG struct {
+	NumNodes int
+	Window   int
+	weights  map[[2]int]uint64
+}
+
+// BuildTRG constructs the TRG from the reduced trace (symbol = base +
+// stream index) with the given window size (in stream occurrences).
+func BuildTRG(reduced []uint64, base uint64, numStreams, window int) *TRG {
+	if window < 2 {
+		window = 2
+	}
+	g := &TRG{NumNodes: numStreams, Window: window, weights: make(map[[2]int]uint64)}
+	recent := make([]int, 0, window)
+	for _, sym := range reduced {
+		id := int(sym - base)
+		if id < 0 || id >= numStreams {
+			continue
+		}
+		for _, other := range recent {
+			if other == id {
+				continue
+			}
+			k := [2]int{other, id}
+			if id < other {
+				k = [2]int{id, other}
+			}
+			g.weights[k]++
+		}
+		recent = append(recent, id)
+		if len(recent) > window-1 {
+			recent = recent[1:]
+		}
+	}
+	return g
+}
+
+// NumEdges returns the number of distinct co-occurrence pairs.
+func (g *TRG) NumEdges() int { return len(g.weights) }
+
+// Weight returns the co-occurrence weight of pair (a, b).
+func (g *TRG) Weight(a, b int) uint64 {
+	if b < a {
+		a, b = b, a
+	}
+	return g.weights[[2]int{a, b}]
+}
+
+// TopPairs returns the n heaviest pairs.
+func (g *TRG) TopPairs(n int) []AffinityPair {
+	out := make([]AffinityPair, 0, len(g.weights))
+	for k, w := range g.weights {
+		out = append(out, AffinityPair{A: k[0], B: k[1], Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// PairChurn measures how much of one TRG's top-n pair set differs from
+// another's: the window-sensitivity §3.3 criticizes. It returns the
+// fraction of a's top-n pairs absent from b's top-n (0 = identical sets).
+func PairChurn(a, b *TRG, n int) float64 {
+	ta, tb := a.TopPairs(n), b.TopPairs(n)
+	if len(ta) == 0 {
+		return 0
+	}
+	set := make(map[[2]int]struct{}, len(tb))
+	for _, p := range tb {
+		set[[2]int{p.A, p.B}] = struct{}{}
+	}
+	missing := 0
+	for _, p := range ta {
+		if _, ok := set[[2]int{p.A, p.B}]; !ok {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(ta))
+}

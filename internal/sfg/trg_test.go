@@ -1,0 +1,84 @@
+package sfg
+
+import "testing"
+
+func TestTRGWindow2MatchesAdjacency(t *testing.T) {
+	// With W=2 the TRG sees only adjacent pairs, like the SFG (modulo
+	// direction).
+	seq := []uint64{0, 1, 2, 0, 1}
+	g := BuildTRG(seq, 0, 3, 2)
+	if g.Weight(0, 1) != 2 {
+		t.Errorf("w(0,1) = %d, want 2", g.Weight(0, 1))
+	}
+	if g.Weight(1, 2) != 1 || g.Weight(2, 0) != 1 {
+		t.Errorf("w(1,2)=%d w(2,0)=%d", g.Weight(1, 2), g.Weight(2, 0))
+	}
+	if g.Weight(0, 2) != 1 {
+		t.Errorf("w(0,2) = %d (2 then 0 are adjacent)", g.Weight(0, 2))
+	}
+}
+
+func TestTRGEdgeSetGrowsWithWindow(t *testing.T) {
+	// §3.3's point: the edge set depends on the arbitrary window size.
+	seq := []uint64{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}
+	small := BuildTRG(seq, 0, 5, 2)
+	big := BuildTRG(seq, 0, 5, 5)
+	if big.NumEdges() <= small.NumEdges() {
+		t.Errorf("W=5 edges %d <= W=2 edges %d", big.NumEdges(), small.NumEdges())
+	}
+}
+
+func TestTRGSymmetric(t *testing.T) {
+	seq := []uint64{0, 1, 0, 1}
+	g := BuildTRG(seq, 0, 2, 3)
+	if g.Weight(0, 1) != g.Weight(1, 0) {
+		t.Error("TRG must be undirected")
+	}
+}
+
+func TestTRGSelfPairsIgnored(t *testing.T) {
+	seq := []uint64{0, 0, 0}
+	g := BuildTRG(seq, 0, 1, 3)
+	if g.NumEdges() != 0 {
+		t.Errorf("self pairs counted: %d", g.NumEdges())
+	}
+}
+
+func TestTopPairsOrdered(t *testing.T) {
+	seq := []uint64{0, 1, 0, 1, 0, 2}
+	g := BuildTRG(seq, 0, 3, 2)
+	top := g.TopPairs(2)
+	if len(top) != 2 || top[0].A != 0 || top[0].B != 1 {
+		t.Errorf("top = %+v", top)
+	}
+	if top[0].Weight < top[1].Weight {
+		t.Error("not sorted")
+	}
+}
+
+func TestPairChurn(t *testing.T) {
+	seq := []uint64{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}
+	a := BuildTRG(seq, 0, 4, 2)
+	b := BuildTRG(seq, 0, 4, 4)
+	if got := PairChurn(a, a, 5); got != 0 {
+		t.Errorf("self churn = %v", got)
+	}
+	churn := PairChurn(a, b, 3)
+	if churn < 0 || churn > 1 {
+		t.Errorf("churn = %v", churn)
+	}
+}
+
+func TestPairChurnEmpty(t *testing.T) {
+	e := BuildTRG(nil, 0, 0, 2)
+	if PairChurn(e, e, 5) != 0 {
+		t.Error("empty churn must be 0")
+	}
+}
+
+func TestTRGBaseOffsetAndForeign(t *testing.T) {
+	g := BuildTRG([]uint64{100, 101, 999}, 100, 2, 2)
+	if g.Weight(0, 1) != 1 || g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}

@@ -1,0 +1,110 @@
+// Package stability analyzes hot-data-stream stability across program
+// executions. §3.4 notes that "hot data streams, when expressed in terms
+// of the program loads and stores that generate the references, are
+// relatively stable across program executions with different inputs"
+// (Chilimbi, MSR-TR-2001-43) — the property that makes profile-driven
+// stream optimizations (clustering, prefetching) deployable: streams
+// learned on a training input remain hot on other inputs.
+//
+// Abstract object names (birth IDs) are run-specific, so cross-run
+// comparison re-expresses each stream as the sequence of load/store PCs
+// that generated its first measured occurrence.
+package stability
+
+import (
+	"fmt"
+
+	"repro/internal/hotstream"
+)
+
+// PCStream is a hot data stream expressed in instruction space.
+type PCStream struct {
+	// PCs is the instruction sequence of one occurrence.
+	PCs []uint32
+	// Heat is the stream's regularity magnitude in its own run.
+	Heat uint64
+}
+
+// key renders the PC sequence for set comparison.
+func (s PCStream) key() string {
+	b := make([]byte, 0, len(s.PCs)*4)
+	for _, pc := range s.PCs {
+		b = append(b, byte(pc), byte(pc>>8), byte(pc>>16), byte(pc>>24))
+	}
+	return string(b)
+}
+
+// PCStreams re-expresses streams in instruction space: for each stream,
+// the PCs of its first occurrence under greedy matching over the
+// abstracted trace (names and pcs are the abstraction's parallel arrays).
+func PCStreams(names []uint64, pcs []uint32, streams []*hotstream.Stream) []PCStream {
+	out := make([]PCStream, len(streams))
+	seen := make([]bool, len(streams))
+	found := 0
+	hotstream.ScanOccurrences(names, streams, func(id, start, length int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		found++
+		seq := make([]uint32, length)
+		copy(seq, pcs[start:start+length])
+		out[id] = PCStream{PCs: seq, Heat: streams[id].Magnitude()}
+	})
+	// Streams with no tokenized occurrence keep empty PC sequences;
+	// drop them.
+	kept := out[:0]
+	for i, s := range out {
+		if seen[i] {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// Report quantifies cross-run stream stability.
+type Report struct {
+	// TrainStreams and TestStreams are the population sizes.
+	TrainStreams, TestStreams int
+	// Common is the number of train streams whose PC sequence is also a
+	// hot stream of the test run.
+	Common int
+	// StreamOverlap is Common / TrainStreams.
+	StreamOverlap float64
+	// HeatOverlap weights the overlap by train heat: the fraction of
+	// training heat carried by streams that recur — hot streams are
+	// more stable than the tail, so this is typically higher than
+	// StreamOverlap.
+	HeatOverlap float64
+}
+
+// String summarizes the report.
+func (r Report) String() string {
+	return fmt.Sprintf("%d/%d train streams recur (%.0f%% by count, %.0f%% by heat) among %d test streams",
+		r.Common, r.TrainStreams, r.StreamOverlap*100, r.HeatOverlap*100, r.TestStreams)
+}
+
+// Compare measures how much of the training run's hot-stream population
+// recurs in the test run.
+func Compare(train, test []PCStream) Report {
+	r := Report{TrainStreams: len(train), TestStreams: len(test)}
+	testSet := make(map[string]struct{}, len(test))
+	for _, s := range test {
+		testSet[s.key()] = struct{}{}
+	}
+	var heat, commonHeat uint64
+	for _, s := range train {
+		heat += s.Heat
+		if _, ok := testSet[s.key()]; ok {
+			r.Common++
+			commonHeat += s.Heat
+		}
+	}
+	if r.TrainStreams > 0 {
+		r.StreamOverlap = float64(r.Common) / float64(r.TrainStreams)
+	}
+	if heat > 0 {
+		r.HeatOverlap = float64(commonHeat) / float64(heat)
+	}
+	return r
+}

@@ -1,0 +1,82 @@
+package stability
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hotstream"
+)
+
+func TestPCStreamsExtraction(t *testing.T) {
+	// Names abcabc with distinct PCs per position.
+	names := []uint64{1, 2, 3, 1, 2, 3}
+	pcs := []uint32{10, 20, 30, 11, 21, 31}
+	streams := []*hotstream.Stream{{Seq: []uint64{1, 2, 3}, Freq: 2}}
+	out := PCStreams(names, pcs, streams)
+	if len(out) != 1 {
+		t.Fatalf("streams = %d", len(out))
+	}
+	// First occurrence's PCs.
+	if !reflect.DeepEqual(out[0].PCs, []uint32{10, 20, 30}) {
+		t.Errorf("PCs = %v", out[0].PCs)
+	}
+	if out[0].Heat != 6 {
+		t.Errorf("heat = %d", out[0].Heat)
+	}
+}
+
+func TestPCStreamsDropsUnmatched(t *testing.T) {
+	names := []uint64{1, 2, 1, 2}
+	pcs := []uint32{10, 20, 10, 20}
+	streams := []*hotstream.Stream{
+		{Seq: []uint64{1, 2}, Freq: 2},
+		{Seq: []uint64{9, 9}, Freq: 2}, // never occurs
+	}
+	out := PCStreams(names, pcs, streams)
+	if len(out) != 1 {
+		t.Errorf("streams = %d, want 1", len(out))
+	}
+}
+
+func TestCompareOverlap(t *testing.T) {
+	train := []PCStream{
+		{PCs: []uint32{1, 2, 3}, Heat: 90},
+		{PCs: []uint32{4, 5}, Heat: 10},
+	}
+	test := []PCStream{
+		{PCs: []uint32{1, 2, 3}, Heat: 70},
+		{PCs: []uint32{7, 8}, Heat: 30},
+	}
+	r := Compare(train, test)
+	if r.Common != 1 || r.TrainStreams != 2 || r.TestStreams != 2 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.StreamOverlap != 0.5 {
+		t.Errorf("stream overlap = %v", r.StreamOverlap)
+	}
+	if r.HeatOverlap != 0.9 {
+		t.Errorf("heat overlap = %v (hot stream recurs)", r.HeatOverlap)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	r := Compare(nil, nil)
+	if r.StreamOverlap != 0 || r.HeatOverlap != 0 {
+		t.Errorf("empty compare = %+v", r)
+	}
+}
+
+func TestKeyDistinguishesSequences(t *testing.T) {
+	a := PCStream{PCs: []uint32{1, 2}}
+	b := PCStream{PCs: []uint32{1, 3}}
+	c := PCStream{PCs: []uint32{1, 2}}
+	if a.key() == b.key() {
+		t.Error("distinct sequences share a key")
+	}
+	if a.key() != c.key() {
+		t.Error("equal sequences differ")
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+// Buffer is an in-memory trace: the unit of work the analysis pipeline
+// consumes. The paper wrote traces to files "for experimentation purposes";
+// Buffer supports both in-memory generation and file round-trips (see
+// codec.go).
+type Buffer struct {
+	events []Event
+}
+
+// NewBuffer returns an empty trace buffer with capacity for hint events.
+func NewBuffer(hint int) *Buffer {
+	return &Buffer{events: make([]Event, 0, hint)}
+}
+
+// Append adds an event to the trace.
+func (b *Buffer) Append(e Event) { b.events = append(b.events, e) }
+
+// Load appends a load reference.
+func (b *Buffer) Load(pc, addr uint32) { b.Append(Event{Kind: Load, PC: pc, Addr: addr}) }
+
+// Store appends a store reference.
+func (b *Buffer) Store(pc, addr uint32) { b.Append(Event{Kind: Store, PC: pc, Addr: addr}) }
+
+// Alloc appends an allocation record for an object of size bytes at base,
+// allocated from the given site.
+func (b *Buffer) Alloc(site, base, size uint32) {
+	b.Append(Event{Kind: Alloc, PC: site, Addr: base, Size: size})
+}
+
+// Free appends a free record for the object at base.
+func (b *Buffer) Free(base uint32) { b.Append(Event{Kind: Free, Addr: base}) }
+
+// Call appends a function-entry record from the given call site.
+func (b *Buffer) Call(site uint32) { b.Append(Event{Kind: Call, PC: site}) }
+
+// Return appends a function-exit record.
+func (b *Buffer) Return() { b.Append(Event{Kind: Return}) }
+
+// Path appends an acyclic-path completion record; id identifies the path
+// (the control-flow analogue of a data reference).
+func (b *Buffer) Path(id uint32) { b.Append(Event{Kind: Path, PC: id}) }
+
+// SetThread tags events[from:to] with a thread identifier. Producers that
+// interleave logical sessions (the database workload interleaves
+// transactions) tag each unit's event range after emitting it.
+func (b *Buffer) SetThread(from, to int, thread uint8) {
+	if thread >= MaxThreads {
+		panic("trace: thread id out of range")
+	}
+	for i := from; i < to && i < len(b.events); i++ {
+		b.events[i].Thread = thread
+	}
+}
+
+// Threads returns the distinct thread identifiers present, sorted.
+func (b *Buffer) Threads() []uint8 {
+	var seen [MaxThreads]bool
+	for _, e := range b.events {
+		seen[e.Thread] = true
+	}
+	var out []uint8
+	for t, ok := range seen {
+		if ok {
+			out = append(out, uint8(t))
+		}
+	}
+	return out
+}
+
+// SplitByThread separates a multi-threaded trace into per-thread traces,
+// the precursor to §5.1's per-thread WPS construction. References, calls
+// and returns go to their own thread's trace; allocation and free records
+// are replicated into every thread's trace so each per-thread heap map is
+// complete (the heap is shared state).
+func SplitByThread(b *Buffer) map[uint8]*Buffer {
+	threads := b.Threads()
+	out := make(map[uint8]*Buffer, len(threads))
+	for _, t := range threads {
+		out[t] = NewBuffer(b.Len() / len(threads))
+	}
+	for _, e := range b.events {
+		switch e.Kind {
+		case Alloc, Free:
+			for _, sub := range out {
+				sub.Append(e)
+			}
+		default:
+			out[e.Thread].Append(e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of events (references plus bookkeeping records).
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Events returns the underlying event slice. Callers must not modify it.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Stats computes Table 1-style summary statistics in a single pass.
+func (b *Buffer) Stats() Stats {
+	var s Stats
+	addrs := make(map[uint32]struct{}, 1<<16)
+	pcs := make(map[uint32]struct{}, 1<<12)
+	for _, e := range b.events {
+		switch e.Kind {
+		case Load, Store:
+			s.Refs++
+			if e.Kind == Load {
+				s.Loads++
+			} else {
+				s.Stores++
+			}
+			switch RegionOf(e.Addr) {
+			case RegionHeap:
+				s.HeapRefs++
+			case RegionGlobal:
+				s.GlobalRefs++
+			}
+			addrs[e.Addr] = struct{}{}
+			pcs[e.PC] = struct{}{}
+			s.TraceBytes += refRecordSize
+		case Alloc:
+			s.Allocs++
+			s.AllocBytes += uint64(e.Size)
+			s.TraceBytes += allocRecordSize
+		case Free:
+			s.Frees++
+			s.TraceBytes += freeRecordSize
+		case Call, Return, Path:
+			s.TraceBytes += refRecordSize
+		}
+	}
+	s.Addresses = uint64(len(addrs))
+	s.PCs = uint64(len(pcs))
+	return s
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record sizes of the on-disk format. Loads, stores and frees use the
+// paper's 9-byte layout (kind, PC, address); allocation records append a
+// 4-byte size field.
+const (
+	refRecordSize   = 9
+	freeRecordSize  = 9
+	allocRecordSize = 13
+)
+
+// ErrCorrupt is returned when a trace stream cannot be decoded.
+var ErrCorrupt = errors.New("trace: corrupt record stream")
+
+// Writer encodes events to an underlying stream in the binary record
+// format. It buffers internally; call Flush before closing the stream.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write encodes one event. It reports the first underlying error on every
+// subsequent call.
+func (tw *Writer) Write(e Event) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	var buf [allocRecordSize]byte
+	buf[0] = byte(e.Kind) | e.Thread<<3
+	binary.LittleEndian.PutUint32(buf[1:5], e.PC)
+	binary.LittleEndian.PutUint32(buf[5:9], e.Addr)
+	n := refRecordSize
+	if e.Kind == Alloc {
+		binary.LittleEndian.PutUint32(buf[9:13], e.Size)
+		n = allocRecordSize
+	}
+	if _, err := tw.w.Write(buf[:n]); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// WriteAll encodes every event in the buffer.
+func (tw *Writer) WriteAll(b *Buffer) error {
+	for _, e := range b.Events() {
+		if err := tw.Write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush writes any buffered data to the underlying stream.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.err = tw.w.Flush()
+	return tw.err
+}
+
+// Reader decodes events from an underlying stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read decodes the next event. It returns io.EOF at a clean end of stream
+// and ErrCorrupt if the stream ends mid-record or contains an unknown kind.
+func (tr *Reader) Read() (Event, error) {
+	k, err := tr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	kind := Kind(k & 7)
+	thread := k >> 3
+	if kind > Path {
+		return Event{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, k&7)
+	}
+	n := refRecordSize - 1
+	if kind == Alloc {
+		n = allocRecordSize - 1
+	}
+	var buf [allocRecordSize - 1]byte
+	if _, err := io.ReadFull(tr.r, buf[:n]); err != nil {
+		return Event{}, fmt.Errorf("%w: truncated %s record: %v", ErrCorrupt, kind, err)
+	}
+	e := Event{
+		Kind:   kind,
+		Thread: thread,
+		PC:     binary.LittleEndian.Uint32(buf[0:4]),
+		Addr:   binary.LittleEndian.Uint32(buf[4:8]),
+	}
+	if kind == Alloc {
+		e.Size = binary.LittleEndian.Uint32(buf[8:12])
+	}
+	return e, nil
+}
+
+// ReadAll decodes the entire stream into a buffer.
+func ReadAll(r io.Reader) (*Buffer, error) {
+	tr := NewReader(r)
+	b := NewBuffer(1 << 16)
+	for {
+		e, err := tr.Read()
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Append(e)
+	}
+}

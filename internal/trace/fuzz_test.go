@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader ensures arbitrary byte streams never panic the trace reader:
+// it either decodes events or returns a descriptive error.
+func FuzzReader(f *testing.F) {
+	var good bytes.Buffer
+	w := NewWriter(&good)
+	w.Write(Event{Kind: Load, PC: 1, Addr: HeapBase})
+	w.Write(Event{Kind: Alloc, PC: 2, Addr: HeapBase, Size: 64})
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte{0})
+	f.Add([]byte{9, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded traces must re-encode to a prefix-equal stream.
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		if err := w.WriteAll(b); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		w.Flush()
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("re-encoding differs from accepted input")
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package trace models program data-reference traces: the raw event stream
+// a binary instrumentation tool such as Vulcan or ATOM would produce.
+//
+// The paper (Chilimbi, PLDI 2001, §5.1) records each data reference in 9
+// bytes: one byte encodes the reference type and the program counter and
+// data address occupy four bytes each. This package reproduces that record
+// format exactly for loads and stores, and adds allocation/free side records
+// (carrying object size and allocation site) that the paper's heap-map
+// construction consumes.
+//
+// The paper's experimental setup excludes stack references and prevents
+// heap-address reuse; both conventions are enforced by the address-space
+// layout constants below and checked by the abstraction layer.
+package trace
+
+import "fmt"
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+// Event kinds. Load and Store are data references; Alloc and Free delimit
+// heap (and global) object lifetimes and are consumed by the heap map;
+// Call and Return delimit function activations, giving the abstraction
+// layer the calling context that §3.1's depth-k heap naming requires;
+// Path marks the completion of an acyclic control-flow path (the input to
+// Whole Program Path construction — the control-flow counterpart the
+// paper builds on, §6: "Together, they provide a complete picture of a
+// program's dynamic execution behavior").
+const (
+	Load Kind = iota
+	Store
+	Alloc
+	Free
+	Call
+	Return
+	Path
+)
+
+// String returns the conventional lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Alloc:
+		return "alloc"
+	case Free:
+		return "free"
+	case Call:
+		return "call"
+	case Return:
+		return "return"
+	case Path:
+		return "path"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsRef reports whether the kind is a data reference (load or store) as
+// opposed to an allocation bookkeeping event.
+func (k Kind) IsRef() bool { return k == Load || k == Store }
+
+// Address-space layout shared by the synthetic workloads and the
+// abstraction layer. Globals and heap objects occupy disjoint ranges so
+// that trace statistics can classify references without a symbol table,
+// mirroring the paper's separate "Heap refs" and "Global refs" columns in
+// Table 1.
+const (
+	// GlobalBase is the lowest address used for global/static objects.
+	GlobalBase uint32 = 0x1000_0000
+	// HeapBase is the lowest heap address; addresses in
+	// [GlobalBase, HeapBase) are globals.
+	HeapBase uint32 = 0x4000_0000
+	// StackBase marks the stack segment. References at or above it are
+	// stack references, which the paper excludes from analysis; the
+	// abstraction layer filters them defensively.
+	StackBase uint32 = 0xF000_0000
+)
+
+// Region classifies an address into the paper's reference categories.
+type Region uint8
+
+// Address regions.
+const (
+	RegionOther Region = iota
+	RegionGlobal
+	RegionHeap
+	RegionStack
+)
+
+// RegionOf returns the region containing addr.
+func RegionOf(addr uint32) Region {
+	switch {
+	case addr >= StackBase:
+		return RegionStack
+	case addr >= HeapBase:
+		return RegionHeap
+	case addr >= GlobalBase:
+		return RegionGlobal
+	}
+	return RegionOther
+}
+
+// MaxThreads bounds thread identifiers: the on-disk format packs the
+// thread into the record's type byte (kind in the low 3 bits, thread in
+// the high 5), preserving the paper's one-byte type encoding.
+const MaxThreads = 32
+
+// Event is a single trace record.
+//
+// For Load/Store, PC is the program counter of the referencing instruction
+// and Addr the data address; Size is unused (zero). For Alloc, PC is the
+// allocation site, Addr the object base, and Size the object size in bytes.
+// For Free, Addr is the object base being released. For Call, PC is the
+// call site; Return carries no operands.
+//
+// Thread identifies the logical thread/session that issued the event
+// (§5.1: SQL Server "executes many threads. The current system
+// distinguishes data references between threads and constructs a separate
+// WPS for each one"). Single-threaded traces leave it zero.
+type Event struct {
+	PC     uint32
+	Addr   uint32
+	Size   uint32
+	Kind   Kind
+	Thread uint8
+}
+
+// String renders the event in a compact human-readable form.
+func (e Event) String() string {
+	if e.Kind == Alloc {
+		return fmt.Sprintf("alloc pc=%#x addr=%#x size=%d", e.PC, e.Addr, e.Size)
+	}
+	return fmt.Sprintf("%s pc=%#x addr=%#x", e.Kind, e.PC, e.Addr)
+}
+
+// Stats summarizes a trace in the shape of the paper's Table 1.
+type Stats struct {
+	// Refs is the total number of load/store events.
+	Refs uint64
+	// HeapRefs counts references into the heap region.
+	HeapRefs uint64
+	// GlobalRefs counts references into the global region.
+	GlobalRefs uint64
+	// Loads and Stores break Refs down by kind.
+	Loads, Stores uint64
+	// Addresses is the number of distinct heap+global data addresses
+	// referenced.
+	Addresses uint64
+	// PCs is the number of distinct load/store program counters seen.
+	PCs uint64
+	// Allocs and Frees count bookkeeping events.
+	Allocs, Frees uint64
+	// AllocBytes is the total bytes allocated.
+	AllocBytes uint64
+	// TraceBytes is the encoded size of the trace using the paper's
+	// record format (9 bytes per reference; 13 per alloc; 9 per free).
+	TraceBytes uint64
+}
+
+// RefsPerAddress returns the average number of references to each distinct
+// heap/global address (Table 1's final column). It returns 0 for an empty
+// trace.
+func (s Stats) RefsPerAddress() float64 {
+	if s.Addresses == 0 {
+		return 0
+	}
+	return float64(s.Refs) / float64(s.Addresses)
+}

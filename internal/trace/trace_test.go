@@ -1,0 +1,321 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Load: "load", Store: "store", Alloc: "alloc", Free: "free", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindIsRef(t *testing.T) {
+	if !Load.IsRef() || !Store.IsRef() {
+		t.Error("Load/Store must be references")
+	}
+	if Alloc.IsRef() || Free.IsRef() {
+		t.Error("Alloc/Free must not be references")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		want Region
+	}{
+		{0, RegionOther},
+		{GlobalBase - 1, RegionOther},
+		{GlobalBase, RegionGlobal},
+		{HeapBase - 1, RegionGlobal},
+		{HeapBase, RegionHeap},
+		{StackBase - 1, RegionHeap},
+		{StackBase, RegionStack},
+		{0xFFFF_FFFF, RegionStack},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: Alloc, PC: 0x10, Addr: 0x40000000, Size: 24}
+	if got := e.String(); !strings.Contains(got, "alloc") || !strings.Contains(got, "size=24") {
+		t.Errorf("alloc String() = %q", got)
+	}
+	e = Event{Kind: Load, PC: 1, Addr: 2}
+	if got := e.String(); !strings.Contains(got, "load") {
+		t.Errorf("load String() = %q", got)
+	}
+}
+
+func TestBufferAppendHelpers(t *testing.T) {
+	b := NewBuffer(4)
+	b.Load(1, HeapBase)
+	b.Store(2, GlobalBase)
+	b.Alloc(3, HeapBase, 16)
+	b.Free(HeapBase)
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	ev := b.Events()
+	wantKinds := []Kind{Load, Store, Alloc, Free}
+	for i, k := range wantKinds {
+		if ev[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, ev[i].Kind, k)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuffer(0)
+	b.Alloc(100, HeapBase, 32)
+	b.Load(1, HeapBase)
+	b.Load(1, HeapBase+4)
+	b.Store(2, HeapBase)
+	b.Load(3, GlobalBase)
+	b.Free(HeapBase)
+	s := b.Stats()
+	if s.Refs != 4 || s.Loads != 3 || s.Stores != 1 {
+		t.Errorf("refs=%d loads=%d stores=%d", s.Refs, s.Loads, s.Stores)
+	}
+	if s.HeapRefs != 3 || s.GlobalRefs != 1 {
+		t.Errorf("heap=%d global=%d", s.HeapRefs, s.GlobalRefs)
+	}
+	if s.Addresses != 3 {
+		t.Errorf("addresses=%d, want 3", s.Addresses)
+	}
+	if s.PCs != 3 {
+		t.Errorf("pcs=%d, want 3", s.PCs)
+	}
+	if s.Allocs != 1 || s.Frees != 1 || s.AllocBytes != 32 {
+		t.Errorf("allocs=%d frees=%d bytes=%d", s.Allocs, s.Frees, s.AllocBytes)
+	}
+	// 4 refs * 9 + 1 alloc * 13 + 1 free * 9 = 58
+	if s.TraceBytes != 58 {
+		t.Errorf("TraceBytes=%d, want 58", s.TraceBytes)
+	}
+}
+
+func TestRefsPerAddress(t *testing.T) {
+	var s Stats
+	if s.RefsPerAddress() != 0 {
+		t.Error("empty stats should give 0 refs/address")
+	}
+	s = Stats{Refs: 100, Addresses: 4}
+	if got := s.RefsPerAddress(); got != 25 {
+		t.Errorf("RefsPerAddress = %v, want 25", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuffer(0)
+	for i := 0; i < 1000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			b.Load(rng.Uint32(), rng.Uint32())
+		case 1:
+			b.Store(rng.Uint32(), rng.Uint32())
+		case 2:
+			b.Alloc(rng.Uint32(), rng.Uint32(), rng.Uint32())
+		case 3:
+			b.Free(rng.Uint32())
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(b); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events(), b.Events()) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCodecEncodedSizeMatchesStats(t *testing.T) {
+	b := NewBuffer(0)
+	b.Load(1, 2)
+	b.Alloc(1, 2, 3)
+	b.Free(2)
+	b.Store(4, 5)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(buf.Len()) != b.Stats().TraceBytes {
+		t.Errorf("encoded %d bytes, Stats.TraceBytes=%d", buf.Len(), b.Stats().TraceBytes)
+	}
+}
+
+func TestReaderCorruptKind(t *testing.T) {
+	// Low 3 bits = 7: not a valid kind regardless of the thread bits.
+	data := []byte{7, 0, 0, 0, 0, 0, 0, 0, 0}
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v, want unknown kind", err)
+	}
+}
+
+func TestThreadRoundTrip(t *testing.T) {
+	b := NewBuffer(0)
+	b.Load(1, HeapBase)
+	b.SetThread(0, 1, 7)
+	b.Store(2, HeapBase)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(b); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events()[0].Thread != 7 || got.Events()[1].Thread != 0 {
+		t.Errorf("threads = %d, %d", got.Events()[0].Thread, got.Events()[1].Thread)
+	}
+}
+
+func TestSplitByThread(t *testing.T) {
+	b := NewBuffer(0)
+	b.Alloc(9, HeapBase, 64) // shared: replicated to all threads
+	b.Load(1, HeapBase)      // thread 0
+	b.Load(2, HeapBase+8)
+	b.SetThread(2, 3, 1) // second load -> thread 1
+	b.Call(5)
+	b.SetThread(3, 4, 1)
+	parts := SplitByThread(b)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if s := parts[0].Stats(); s.Refs != 1 || s.Allocs != 1 {
+		t.Errorf("thread 0 stats = %+v", s)
+	}
+	if s := parts[1].Stats(); s.Refs != 1 || s.Allocs != 1 {
+		t.Errorf("thread 1 stats = %+v", s)
+	}
+	// The call went to thread 1 only.
+	calls := 0
+	for _, e := range parts[1].Events() {
+		if e.Kind == Call {
+			calls++
+		}
+	}
+	if calls != 1 {
+		t.Errorf("thread 1 calls = %d", calls)
+	}
+}
+
+func TestSetThreadRangeClamps(t *testing.T) {
+	b := NewBuffer(0)
+	b.Load(1, 2)
+	b.SetThread(0, 100, 3) // beyond len: must not panic
+	if b.Events()[0].Thread != 3 {
+		t.Error("thread not set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for thread >= MaxThreads")
+		}
+	}()
+	b.SetThread(0, 1, MaxThreads)
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Event{Kind: Load, PC: 7, Addr: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:5] // cut mid-record
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncated", err)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failWriter{after: 4})
+	for i := 0; i < 1<<14; i++ {
+		w.Write(Event{Kind: Load})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected error from Flush after underlying failure")
+	}
+	if err := w.Write(Event{Kind: Load}); err == nil {
+		t.Fatal("expected sticky error from Write")
+	}
+}
+
+// Property: encoding then decoding any event sequence is the identity
+// (sizes reduced modulo the record layout's field widths).
+func TestQuickCodecIdentity(t *testing.T) {
+	f := func(kinds []uint8, pcs, addrs, sizes []uint32) bool {
+		n := len(kinds)
+		for _, s := range [][]uint32{pcs, addrs, sizes} {
+			if len(s) < n {
+				n = len(s)
+			}
+		}
+		b := NewBuffer(n)
+		for i := 0; i < n; i++ {
+			e := Event{Kind: Kind(kinds[i] % 4), PC: pcs[i], Addr: addrs[i]}
+			if e.Kind == Alloc {
+				e.Size = sizes[i]
+			}
+			b.Append(e)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.WriteAll(b) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Events(), b.Events())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

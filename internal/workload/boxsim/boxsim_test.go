@@ -1,0 +1,144 @@
+package boxsim
+
+import (
+	"math"
+	"testing"
+)
+
+// nullMem satisfies Memory without recording, for pure-physics tests.
+type nullMem struct{ next uint32 }
+
+func (m *nullMem) AllocHeap(site, size uint32) uint32 {
+	base := 0x4000_0000 + m.next
+	m.next += (size + 7) &^ 7
+	return base
+}
+func (m *nullMem) Pad(hole uint32)       { m.next += (hole + 7) &^ 7 }
+func (m *nullMem) Load(pc, addr uint32)  {}
+func (m *nullMem) Store(pc, addr uint32) {}
+
+// countMem counts references.
+type countMem struct {
+	nullMem
+	loads, stores int
+}
+
+func (m *countMem) Load(pc, addr uint32)  { m.loads++ }
+func (m *countMem) Store(pc, addr uint32) { m.stores++ }
+
+func TestSpheresStayInBox(t *testing.T) {
+	s := New(&nullMem{}, 50, 1)
+	for i := 0; i < 500; i++ {
+		s.Step()
+	}
+	for i := 0; i < s.NumSpheres(); i++ {
+		p := s.Position(i)
+		for a := 0; a < 3; a++ {
+			if p[a] < 0 || p[a] > 1 {
+				t.Fatalf("sphere %d escaped: %v", i, p)
+			}
+		}
+	}
+	if s.Steps() != 500 {
+		t.Errorf("steps = %d", s.Steps())
+	}
+}
+
+func TestEnergyConserved(t *testing.T) {
+	// Elastic walls and collisions: kinetic energy must be conserved to
+	// floating-point accuracy.
+	s := New(&nullMem{}, 80, 2)
+	e0 := s.KineticEnergy()
+	for i := 0; i < 300; i++ {
+		s.Step()
+	}
+	e1 := s.KineticEnergy()
+	if math.Abs(e1-e0)/e0 > 1e-9 {
+		t.Errorf("energy drifted: %v -> %v", e0, e1)
+	}
+}
+
+func TestCollisionsHappen(t *testing.T) {
+	s := New(&nullMem{}, 100, 3)
+	for i := 0; i < 300; i++ {
+		s.Step()
+	}
+	if s.Hits() == 0 {
+		t.Error("no wall or pair collisions in 300 steps of a dense box")
+	}
+}
+
+func TestStepEmitsReferences(t *testing.T) {
+	m := &countMem{}
+	s := New(m, 20, 4)
+	m.loads, m.stores = 0, 0
+	s.Step()
+	// Integration alone is >= 7 refs per sphere.
+	if m.loads < 20*7 {
+		t.Errorf("loads = %d, want >= 140", m.loads)
+	}
+	if m.stores < 20*3 {
+		t.Errorf("stores = %d, want >= 60 (position writeback)", m.stores)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	s1 := New(&nullMem{}, 30, 9)
+	s2 := New(&nullMem{}, 30, 9)
+	for i := 0; i < 100; i++ {
+		s1.Step()
+		s2.Step()
+	}
+	for i := 0; i < 30; i++ {
+		if s1.Position(i) != s2.Position(i) {
+			t.Fatalf("positions diverged at sphere %d", i)
+		}
+	}
+}
+
+func TestSplitAllocationLayout(t *testing.T) {
+	// The poor-packing signature: a sphere's position and velocity
+	// objects must not be adjacent (they are allocated in separate
+	// phases).
+	m := &nullMem{}
+	s := New(m, 10, 5)
+	a := s.spheres[0].posAddr
+	b := s.spheres[0].velAddr
+	if b-a < 24*10 {
+		t.Errorf("pos and vel phases not separated: %#x vs %#x", a, b)
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	if cellOf([3]float64{0, 0, 0}) != 0 {
+		t.Error("origin not in cell 0")
+	}
+	if c := cellOf([3]float64{0.99, 0.99, 0.99}); c != gridN*gridN*gridN-1 {
+		t.Errorf("corner cell = %d", c)
+	}
+	// Out-of-range positions clamp.
+	if c := cellOf([3]float64{-1, 2, 0.5}); c < 0 || c >= gridN*gridN*gridN {
+		t.Errorf("clamped cell out of range: %d", c)
+	}
+}
+
+func TestPairCollisionExchangesVelocity(t *testing.T) {
+	// Two spheres head on: after collide, the normal components swap
+	// (equal masses), so total momentum is preserved and they separate.
+	s := New(&nullMem{}, 2, 6)
+	s.spheres[0].pos = [3]float64{0.5 - radius*0.9, 0.5, 0.5}
+	s.spheres[1].pos = [3]float64{0.5 + radius*0.9, 0.5, 0.5}
+	s.spheres[0].vel = [3]float64{1, 0, 0}
+	s.spheres[1].vel = [3]float64{-1, 0, 0}
+	s.collide(0, 1)
+	if s.spheres[0].vel[0] >= 0 || s.spheres[1].vel[0] <= 0 {
+		t.Errorf("velocities after head-on collision: %v %v",
+			s.spheres[0].vel, s.spheres[1].vel)
+	}
+	// Separating spheres must not re-collide.
+	v0 := s.spheres[0].vel
+	s.collide(0, 1)
+	if s.spheres[0].vel != v0 {
+		t.Error("separating spheres re-collided")
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import "repro/internal/trace"
+
+// gccModel models 176.gcc: a compiler whose passes walk the IR of many
+// distinct functions. Published shape (Tables 2–3): the lowest locality
+// threshold (1 unit), by far the most hot data streams (7,461), the
+// largest fraction of addresses participating in streams (17.3%), short
+// streams (wt avg 10.3) and an enormous repetition interval (4,575) —
+// every function's IR walk is its own stream, repeated only once per pass
+// with the whole rest of the program in between.
+type gccModel struct{}
+
+func init() { register(gccModel{}) }
+
+func (gccModel) Name() string { return "176.gcc" }
+
+func (gccModel) Description() string {
+	return "compiler pass pipeline walking per-function IR node chains"
+}
+
+// PC layout for the model's code sites.
+const (
+	gccPCLoadNode = 0x1000 + iota
+	gccPCLoadOperand
+	gccPCStoreResult
+	gccPCSymLookup
+	gccPCSymUpdate
+	gccPCAllocNode
+	gccPCAllocFunc
+	gccPCAllocSym
+)
+
+func (gccModel) Generate(b *trace.Buffer, targetRefs int, seed int64) {
+	t := NewTracer(b, seed)
+
+	// Size the program so that ~3 passes over all functions consume the
+	// budget: refs ≈ passes * funcs * nodes * refsPerNode.
+	// Size the program so the budget covers each function's expected
+	// 2.25 applicable passes (3 passes, a quarter skipped) at ~48
+	// references per walk.
+	const passes = 3
+	funcs := targetRefs / 108
+	if funcs < 8 {
+		funcs = 8
+	}
+
+	// Symbol table: one global bucket array plus per-function symbol
+	// objects touched rarely (they widen the address footprint, keeping
+	// the unit uniform access low, which is what pushes gcc's threshold
+	// multiple down to 1).
+	symtab := t.AllocGlobal(gccPCAllocSym, 4096)
+
+	type fn struct {
+		nodes []uint32
+		sym   uint32
+	}
+	program := make([]fn, funcs)
+	for i := range program {
+		n := 5 + t.Rng.Intn(9) // 5–13 IR nodes
+		f := fn{nodes: make([]uint32, n)}
+		for j := range f.nodes {
+			f.nodes[j] = t.AllocHeap(gccPCAllocNode, 40)
+			if t.Rng.Intn(3) == 0 {
+				// Interleave unrelated allocations (string/metadata)
+				// so consecutive nodes straddle cache blocks: the
+				// published packing efficiency is ~52%.
+				t.Pad(24)
+			}
+		}
+		f.sym = t.AllocHeap(gccPCAllocFunc, 32)
+		program[i] = f
+	}
+
+	// Pass worklists are shuffled: real compiler passes process
+	// functions in differing orders (worklists, call-graph order), so
+	// repetition exists per function, not across the whole pass.
+	order := make([]int, funcs)
+	for i := range order {
+		order[i] = i
+	}
+	for pass := 0; pass < passes && t.Refs() < targetRefs; pass++ {
+		t.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			f := &program[i]
+			if t.Rng.Intn(4) == 0 {
+				// Pass not applicable to this function: a quarter of
+				// walks are skipped, so most functions repeat only two
+				// or three times — their streams are hot at the lowest
+				// threshold and cold at any higher one, which is why
+				// gcc's locality threshold is 1.
+				continue
+			}
+			// Per-function symbol lookup through the global table.
+			t.Load(gccPCSymLookup, symtab+uint32(i%1024)*4)
+			t.Load(gccPCSymLookup, f.sym)
+			// The IR walk: this sequence is the function's hot data
+			// stream; it repeats once per applicable pass. Each node
+			// visit also probes the shared symbol table twice (hash
+			// plus chain), which concentrates references on a small
+			// shared structure — that reuse is what puts the unit
+			// uniform access comfortably above the heat of a
+			// twice-repeated function's streams, pinning gcc's
+			// locality threshold at the bottom of the range.
+			for j, node := range f.nodes {
+				t.Load(gccPCSymLookup, symtab+uint32((i+j)%1024)*4)
+				t.Load(gccPCSymLookup, symtab+uint32((i+j+512)%1024)*4)
+				t.Load(gccPCLoadNode, node)
+				t.Load(gccPCLoadOperand, node+8)
+				t.Store(gccPCStoreResult, node+16)
+			}
+			t.Store(gccPCSymUpdate, f.sym+8)
+			t.Buf.Path(0x50_0000 + uint32(i))
+			if t.Rng.Intn(48) == 0 {
+				t.RarePath(f.sym, 3) // diagnostics, rare pass feedback
+			}
+			if t.Refs() >= targetRefs {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import "repro/internal/trace"
+
+// mcfModel models 181.mcf, which appears in the paper's Figure 1: a
+// network-simplex minimum-cost-flow solver. Its signature behaviour is
+// memory-boundness from two access patterns — a sequential pricing scan
+// over the arc array (good spatial locality, one long recurring stream)
+// and pointer-chasing walks up the spanning tree's parent chains (poor
+// locality, node-dependent streams).
+type mcfModel struct{}
+
+func init() { register(mcfModel{}) }
+
+func (mcfModel) Name() string { return "181.mcf" }
+
+func (mcfModel) Description() string {
+	return "network simplex: arc pricing scans plus spanning-tree parent chases"
+}
+
+const (
+	mcfPCArc = 0x9000 + iota
+	mcfPCArcHead
+	mcfPCArcTail
+	mcfPCNode
+	mcfPCParent
+	mcfPCPotential
+	mcfPCFlow
+	mcfPCAllocNode
+	mcfPCAllocArc
+)
+
+func (mcfModel) Generate(b *trace.Buffer, targetRefs int, seed int64) {
+	t := NewTracer(b, seed)
+
+	nNodes := targetRefs / 400
+	if nNodes < 32 {
+		nNodes = 32
+	}
+	nArcs := nNodes * 4
+
+	type node struct {
+		base   uint32
+		parent int
+		depth  int
+	}
+	nodes := make([]node, nNodes)
+	for i := range nodes {
+		nodes[i].base = t.AllocHeap(mcfPCAllocNode, 56)
+	}
+	// A random spanning tree: node 0 is the root.
+	for i := 1; i < nNodes; i++ {
+		p := t.Rng.Intn(i)
+		nodes[i].parent = p
+		nodes[i].depth = nodes[p].depth + 1
+	}
+	// Arcs allocated contiguously, as mcf's arc array is.
+	arcs := make([]uint32, nArcs)
+	arcEnds := make([][2]int, nArcs)
+	for i := range arcs {
+		arcs[i] = t.AllocHeap(mcfPCAllocArc, 24)
+		arcEnds[i] = [2]int{t.Rng.Intn(nNodes), t.Rng.Intn(nNodes)}
+	}
+
+	const scanChunk = 48
+	pos := 0
+	for t.Refs() < targetRefs {
+		// Pricing scan: one sequential chunk of the arc array, reading
+		// each arc's cost and its endpoints' potentials. The chunk
+		// pattern recurs every full rotation over the arc array.
+		for k := 0; k < scanChunk; k++ {
+			ai := (pos + k) % nArcs
+			t.Load(mcfPCArc, arcs[ai])
+			t.Load(mcfPCArcHead, nodes[arcEnds[ai][0]].base+16)
+			t.Load(mcfPCArcTail, nodes[arcEnds[ai][1]].base+16)
+		}
+		pos = (pos + scanChunk) % nArcs
+		t.Buf.Path(0x56_0000)
+		// Tree update: chase parent pointers from a random entering
+		// node to the root, updating potentials — the pointer-chasing
+		// half of mcf's behaviour.
+		n := t.Rng.Intn(nNodes)
+		for hop := 0; n != 0 && hop < 24; hop++ {
+			t.Load(mcfPCNode, nodes[n].base)
+			t.Load(mcfPCParent, nodes[n].base+8)
+			t.Store(mcfPCPotential, nodes[n].base+16)
+			n = nodes[n].parent
+		}
+		t.Store(mcfPCFlow, nodes[0].base+24)
+		t.Buf.Path(0x56_0001)
+		if t.Rng.Intn(32) == 0 {
+			t.RarePath(arcs[pos%nArcs], 3) // infeasibility diagnostics
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package minidb
+
+// This file implements the traced B+tree: every page visit goes through
+// the buffer pool (frame descriptor + page header), key probes are traced
+// slot-directory loads, and structural modifications (inserts, splits)
+// emit the corresponding stores. The index-descent reference patterns the
+// tree produces are the dominant hot data streams of the database
+// workload.
+
+// touchPage emits the buffer-pool and page-header references for a visit
+// to page index pi.
+func (db *DB) touchPage(pi int, p *page) {
+	frame := db.frames[pi%bufFrames]
+	db.mem.Load(PCFrame, frame)    // frame descriptor (hash probe)
+	db.mem.Store(PCFrame, frame+8) // LRU touch
+	db.mem.Load(PCPageHeader, p.addr)
+}
+
+// findSlot binary-searches the page's keys, tracing each probe, and
+// returns the first index with keys[i] >= key.
+func (t *btree) findSlot(p *page, key uint64) int {
+	lo, hi := 0, len(p.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.db.mem.Load(PCKeyCmp, p.addr+16+uint32(mid%maxSlots)*slotBytes)
+		if p.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex picks the descent child for key in an interior page.
+func (t *btree) childIndex(p *page, key uint64) int {
+	i := t.findSlot(p, key)
+	if i < len(p.keys) && p.keys[i] == key {
+		i++
+	}
+	return i
+}
+
+// search returns the row address for key.
+func (t *btree) search(key uint64) (uint32, bool) {
+	pi := t.root
+	for {
+		p := t.pages[pi]
+		t.db.touchPage(pi, p)
+		if p.leaf {
+			i := t.findSlot(p, key)
+			if i < len(p.keys) && p.keys[i] == key {
+				t.db.mem.Load(PCSlot, p.addr+16+uint32(i%maxSlots)*slotBytes)
+				return p.vals[i], true
+			}
+			return 0, false
+		}
+		pi = int(p.vals[t.childIndex(p, key)])
+	}
+}
+
+// scan visits up to n consecutive keys starting at the first key >= from,
+// invoking fn with each row address (the stock-level range scan).
+func (t *btree) scan(from uint64, n int, fn func(key uint64, row uint32)) {
+	pi := t.root
+	for {
+		p := t.pages[pi]
+		t.db.touchPage(pi, p)
+		if p.leaf {
+			i := t.findSlot(p, from)
+			for n > 0 {
+				for ; i < len(p.keys) && n > 0; i++ {
+					t.db.mem.Load(PCSlot, p.addr+16+uint32(i%maxSlots)*slotBytes)
+					fn(p.keys[i], p.vals[i])
+					n--
+				}
+				if n == 0 || p.next < 0 {
+					return
+				}
+				pi = p.next
+				p = t.pages[pi]
+				t.db.touchPage(pi, p)
+				i = 0
+			}
+			return
+		}
+		pi = int(p.vals[t.childIndex(p, from)])
+	}
+}
+
+// addPage appends p and returns its index.
+func (t *btree) addPage(p *page) int {
+	t.pages = append(t.pages, p)
+	return len(t.pages) - 1
+}
+
+// insert adds key -> row, splitting pages as needed.
+func (t *btree) insert(key uint64, row uint32) {
+	sep, right, split := t.insertRec(t.root, key, row)
+	if split {
+		root := t.newPage(false)
+		root.keys = []uint64{sep}
+		root.vals = []uint32{uint32(t.root), uint32(right)}
+		t.root = t.addPage(root)
+	}
+}
+
+// insertRec inserts into the subtree at pi; on split it returns the
+// separator key and the new right sibling's index.
+func (t *btree) insertRec(pi int, key uint64, row uint32) (sep uint64, right int, split bool) {
+	p := t.pages[pi]
+	t.db.touchPage(pi, p)
+	if p.leaf {
+		i := t.findSlot(p, key)
+		if i < len(p.keys) && p.keys[i] == key {
+			// Overwrite (TPC-C keys are unique; defensive).
+			p.vals[i] = row
+			t.db.mem.Store(PCSlot, p.addr+16+uint32(i%maxSlots)*slotBytes)
+			return 0, 0, false
+		}
+		p.keys = insertU64(p.keys, i, key)
+		p.vals = insertU32(p.vals, i, row)
+		t.db.mem.Store(PCSlot, p.addr+16+uint32(i%maxSlots)*slotBytes)
+		t.db.mem.Store(PCPageHeader, p.addr+8) // slot count
+		if len(p.keys) <= maxSlots {
+			return 0, 0, false
+		}
+		// Leaf split.
+		mid := len(p.keys) / 2
+		r := t.newPage(true)
+		r.keys = append(r.keys, p.keys[mid:]...)
+		r.vals = append(r.vals, p.vals[mid:]...)
+		p.keys = p.keys[:mid]
+		p.vals = p.vals[:mid]
+		ri := t.addPage(r)
+		r.next = p.next
+		p.next = ri
+		t.db.mem.Store(PCPageHeader, r.addr)
+		t.db.mem.Store(PCPageHeader, p.addr)
+		return r.keys[0], ri, true
+	}
+
+	ci := t.childIndex(p, key)
+	sep, right, split = t.insertRec(int(p.vals[ci]), key, row)
+	if !split {
+		return 0, 0, false
+	}
+	p.keys = insertU64(p.keys, ci, sep)
+	p.vals = insertU32(p.vals, ci+1, uint32(right))
+	t.db.mem.Store(PCSlot, p.addr+16+uint32(ci%maxSlots)*slotBytes)
+	if len(p.vals) <= fanout {
+		return 0, 0, false
+	}
+	// Interior split: promote the median separator.
+	m := len(p.keys) / 2
+	promote := p.keys[m]
+	r := t.newPage(false)
+	r.keys = append(r.keys, p.keys[m+1:]...)
+	r.vals = append(r.vals, p.vals[m+1:]...)
+	p.keys = p.keys[:m]
+	p.vals = p.vals[:m+1]
+	ri := t.addPage(r)
+	t.db.mem.Store(PCPageHeader, r.addr)
+	t.db.mem.Store(PCPageHeader, p.addr)
+	return promote, ri, true
+}
+
+// Height returns the tree height (for engine tests).
+func (t *btree) Height() int {
+	h, pi := 1, t.root
+	for !t.pages[pi].leaf {
+		pi = int(t.pages[pi].vals[0])
+		h++
+	}
+	return h
+}
+
+// Count returns the number of stored keys (for engine tests).
+func (t *btree) Count() int {
+	n := 0
+	for _, p := range t.pages {
+		if p.leaf {
+			n += len(p.keys)
+		}
+	}
+	return n
+}
+
+func insertU64(s []uint64, i int, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertU32(s []uint32, i int, v uint32) []uint32 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,214 @@
+// Package minidb is an in-memory storage engine executing a TPC-C-style
+// transaction mix: the stand-in for the paper's Microsoft SQL Server 7.0
+// running TPC-C (§5.1). It implements the structural sources of SQL
+// Server's published reference behaviour — slotted pages managed by a
+// buffer pool, B+tree indexes, heap-allocated rows, and the five-
+// transaction mix (new-order, payment, order-status, delivery,
+// stock-level) — with every page, slot and row access traced through the
+// Memory interface.
+//
+// Those structures are why SQL Server's trace looks the way Tables 1–3
+// report: a huge address footprint with tiny reuse (112 refs/address), a
+// very large hot-stream population (index-path streams per page), short
+// streams (wt avg 10.9) and the worst temporal regularity of all
+// benchmarks (interval 2,544) — transactions interleave over many tables.
+package minidb
+
+import "math/rand"
+
+// Memory is the traced-memory substrate (workload.Tracer satisfies it).
+type Memory interface {
+	AllocHeap(site, size uint32) uint32
+	Pad(hole uint32)
+	Load(pc, addr uint32)
+	Store(pc, addr uint32)
+}
+
+// rarePather is the optional capability of emitting references from
+// freshly minted PCs; the engine uses it for rarely executed code
+// (deadlock probes, page-compaction checks) so the PC population has a
+// realistic cold tail.
+type rarePather interface {
+	RarePath(addr uint32, n int)
+}
+
+// callTracer is the optional capability of recording function
+// entries/exits, which the calling-context heap abstraction consumes: the
+// engine's one row-allocation site serves every transaction type, so
+// context is what distinguishes order rows from history rows.
+type callTracer interface {
+	Call(site uint32)
+	Return()
+}
+
+// pathTracer is the optional capability of recording acyclic-path
+// completions (Whole Program Path input); each transaction type is one
+// path shape.
+type pathTracer interface {
+	Path(id uint32)
+}
+
+// enter records a function activation if the memory supports it; the
+// returned func records the exit and the transaction's path completion.
+func (db *DB) enter(site uint32) func() {
+	ct, hasCall := db.mem.(callTracer)
+	if hasCall {
+		ct.Call(site)
+	}
+	return func() {
+		if hasCall {
+			ct.Return()
+		}
+		if pt, ok := db.mem.(pathTracer); ok {
+			pt.Path(0x58_0000 + site)
+		}
+	}
+}
+
+// Call-site PCs for the engine's activation records.
+const (
+	PCCallLoad = 0x8100 + iota
+	PCCallNewOrder
+	PCCallPayment
+	PCCallOrderStatus
+	PCCallDelivery
+	PCCallStockLevel
+)
+
+// Instruction sites.
+const (
+	PCFrame = 0x8000 + iota
+	PCPageHeader
+	PCSlot
+	PCKeyCmp
+	PCRowLoad
+	PCRowStore
+	PCLock
+	PCLog
+	PCAllocPage
+	PCAllocRow
+	PCAllocFrame
+	PCAllocLock
+)
+
+// Engine geometry. Pages are small so the page population (and thus the
+// stream population) is large at reproduction scale.
+const (
+	pageSize   = 256
+	slotBytes  = 8
+	maxSlots   = 24
+	fanout     = 24 // B+tree interior fanout
+	bufFrames  = 256
+	lockBucket = 128
+)
+
+// page is a slotted page: a traced object plus Go-side slot directory.
+type page struct {
+	addr uint32
+	keys []uint64
+	vals []uint32 // row addresses (leaf) or child page indices (interior)
+	next int      // right-sibling leaf index, -1 at the end of the chain
+	leaf bool
+}
+
+// btree is a B+tree keyed by uint64, mapping to traced row addresses.
+type btree struct {
+	db    *DB
+	pages []*page
+	root  int
+}
+
+// DB is the engine instance.
+type DB struct {
+	mem Memory
+	rng *rand.Rand
+
+	frames []uint32 // buffer-pool frame descriptors (individually allocated)
+	locks  uint32   // lock hash table
+
+	customers *btree // (w,d,c) -> customer row
+	stock     *btree // (w,i) -> stock row
+	orders    *btree // order id -> order row
+	district  []uint32
+	warehouse []uint32
+
+	cfg         Config
+	nextOrderID uint64
+	orderMeta   map[uint64]*orderInfo
+	undelivered []uint64
+	logPage     uint32
+	logOff      int
+	// Txns counts executed transactions by type.
+	Txns [5]int
+}
+
+// Config sizes the initial database population.
+type Config struct {
+	Warehouses int
+	Districts  int // per warehouse
+	Customers  int // per district
+	Items      int // stock rows per warehouse
+}
+
+// DefaultConfig is the reproduction-scale population.
+func DefaultConfig() Config {
+	return Config{Warehouses: 2, Districts: 10, Customers: 120, Items: 400}
+}
+
+// Open creates and populates a database.
+func Open(mem Memory, cfg Config, seed int64) *DB {
+	if cfg.Warehouses <= 0 {
+		cfg = DefaultConfig()
+	}
+	db := &DB{mem: mem, rng: rand.New(rand.NewSource(seed)), orderMeta: make(map[uint64]*orderInfo)}
+	// Buffer frame descriptors are allocated dynamically as the pool
+	// warms up, so a page's descriptor and the descriptors of the other
+	// pages on its index path live in unrelated cache blocks — one
+	// source of the engine's mediocre packing efficiency.
+	db.frames = make([]uint32, bufFrames)
+	for i := range db.frames {
+		db.frames[i] = mem.AllocHeap(PCAllocFrame, 16)
+		mem.Pad(48)
+	}
+	db.locks = mem.AllocHeap(PCAllocLock, lockBucket*8)
+	db.customers = db.newBtree()
+	db.stock = db.newBtree()
+	db.orders = db.newBtree()
+
+	leave := db.enter(PCCallLoad)
+	for w := 0; w < cfg.Warehouses; w++ {
+		db.warehouse = append(db.warehouse, mem.AllocHeap(PCAllocRow, 96))
+		for d := 0; d < cfg.Districts; d++ {
+			db.district = append(db.district, mem.AllocHeap(PCAllocRow, 96))
+			for c := 0; c < cfg.Customers; c++ {
+				row := mem.AllocHeap(PCAllocRow, 160)
+				mem.Pad(32)
+				db.customers.insert(custKey(w, d, c), row)
+			}
+		}
+		for i := 0; i < cfg.Items; i++ {
+			row := mem.AllocHeap(PCAllocRow, 64)
+			db.stock.insert(stockKey(w, i), row)
+		}
+	}
+	leave()
+	db.cfg = cfg
+	return db
+}
+
+func custKey(w, d, c int) uint64 { return uint64(w)<<40 | uint64(d)<<24 | uint64(c) }
+func stockKey(w, i int) uint64   { return uint64(w)<<32 | uint64(i) }
+
+func (db *DB) newBtree() *btree {
+	t := &btree{db: db}
+	t.pages = append(t.pages, t.newPage(true))
+	t.root = 0
+	return t
+}
+
+func (t *btree) newPage(leaf bool) *page {
+	return &page{addr: t.db.AllocPage(), leaf: leaf, next: -1}
+}
+
+// AllocPage allocates one traced page object.
+func (db *DB) AllocPage() uint32 { return db.mem.AllocHeap(PCAllocPage, pageSize) }

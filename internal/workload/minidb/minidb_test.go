@@ -1,0 +1,229 @@
+package minidb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type nullMem struct{ next uint32 }
+
+func (m *nullMem) AllocHeap(site, size uint32) uint32 {
+	base := 0x4000_0000 + m.next
+	m.next += (size + 7) &^ 7
+	return base
+}
+func (m *nullMem) Pad(hole uint32)       { m.next += (hole + 7) &^ 7 }
+func (m *nullMem) Load(pc, addr uint32)  {}
+func (m *nullMem) Store(pc, addr uint32) {}
+
+type countMem struct {
+	nullMem
+	refs int
+}
+
+func (m *countMem) Load(pc, addr uint32)  { m.refs++ }
+func (m *countMem) Store(pc, addr uint32) { m.refs++ }
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	return Open(&nullMem{}, Config{Warehouses: 2, Districts: 4, Customers: 50, Items: 200}, 1)
+}
+
+func TestOpenPopulates(t *testing.T) {
+	db := testDB(t)
+	if got := db.customers.Count(); got != 2*4*50 {
+		t.Errorf("customers = %d, want 400", got)
+	}
+	if got := db.stock.Count(); got != 2*200 {
+		t.Errorf("stock = %d, want 400", got)
+	}
+	if len(db.warehouse) != 2 || len(db.district) != 8 {
+		t.Errorf("warehouses=%d districts=%d", len(db.warehouse), len(db.district))
+	}
+}
+
+func TestBtreeSearchFindsAllInserted(t *testing.T) {
+	db := testDB(t)
+	for w := 0; w < 2; w++ {
+		for d := 0; d < 4; d++ {
+			for c := 0; c < 50; c++ {
+				if _, ok := db.customers.search(custKey(w, d, c)); !ok {
+					t.Fatalf("customer (%d,%d,%d) missing", w, d, c)
+				}
+			}
+		}
+	}
+	if _, ok := db.customers.search(custKey(9, 9, 9)); ok {
+		t.Error("found nonexistent customer")
+	}
+}
+
+func TestBtreeRandomInsertSearch(t *testing.T) {
+	db := Open(&nullMem{}, Config{Warehouses: 1, Districts: 1, Customers: 1, Items: 1}, 1)
+	tree := db.newBtree()
+	rng := rand.New(rand.NewSource(2))
+	keys := make(map[uint64]uint32)
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(100000))
+		v := uint32(i + 1)
+		tree.insert(k, v)
+		keys[k] = v
+	}
+	for k, v := range keys {
+		got, ok := tree.search(k)
+		if !ok || got != v {
+			t.Fatalf("search(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+	if tree.Count() != len(keys) {
+		t.Errorf("count = %d, want %d", tree.Count(), len(keys))
+	}
+	if tree.Height() < 2 {
+		t.Errorf("height = %d: 5000 keys must split", tree.Height())
+	}
+}
+
+func TestBtreeSplitsKeepPagesBounded(t *testing.T) {
+	db := Open(&nullMem{}, Config{Warehouses: 1, Districts: 1, Customers: 1, Items: 1}, 1)
+	tree := db.newBtree()
+	for i := 0; i < 2000; i++ {
+		tree.insert(uint64(i), uint32(i))
+	}
+	for pi, p := range tree.pages {
+		if p.leaf && len(p.keys) > maxSlots {
+			t.Errorf("leaf %d has %d slots", pi, len(p.keys))
+		}
+		if !p.leaf && len(p.vals) > fanout {
+			t.Errorf("interior %d has %d children", pi, len(p.vals))
+		}
+		if !p.leaf && len(p.keys)+1 != len(p.vals) {
+			t.Errorf("interior %d: %d keys, %d children", pi, len(p.keys), len(p.vals))
+		}
+	}
+}
+
+func TestBtreeScanOrdered(t *testing.T) {
+	db := Open(&nullMem{}, Config{Warehouses: 1, Districts: 1, Customers: 1, Items: 1}, 1)
+	tree := db.newBtree()
+	for i := 0; i < 500; i++ {
+		tree.insert(uint64(i*2), uint32(i))
+	}
+	var got []uint64
+	tree.scan(100, 20, func(k uint64, _ uint32) { got = append(got, k) })
+	if len(got) != 20 {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	if got[0] != 100 {
+		t.Errorf("scan start = %d, want 100", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+2 {
+			t.Fatalf("scan out of order: %v", got)
+		}
+	}
+}
+
+func TestBtreeScanAcrossLeaves(t *testing.T) {
+	db := Open(&nullMem{}, Config{Warehouses: 1, Districts: 1, Customers: 1, Items: 1}, 1)
+	tree := db.newBtree()
+	for i := 0; i < 200; i++ {
+		tree.insert(uint64(i), uint32(i))
+	}
+	var n int
+	tree.scan(0, 200, func(k uint64, _ uint32) { n++ })
+	if n != 200 {
+		t.Errorf("full scan visited %d, want 200 (leaf chain broken?)", n)
+	}
+}
+
+func TestTransactionsRun(t *testing.T) {
+	db := testDB(t)
+	db.RunNewOrder()
+	db.RunPayment()
+	db.RunOrderStatus()
+	db.RunDelivery()
+	db.RunStockLevel()
+	for ty := NewOrder; ty <= StockLevel; ty++ {
+		if db.Txns[ty] != 1 {
+			t.Errorf("%v count = %d, want 1", ty, db.Txns[ty])
+		}
+	}
+}
+
+func TestNewOrderCreatesOrders(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < 20; i++ {
+		db.RunNewOrder()
+	}
+	if db.orders.Count() != 20 {
+		t.Errorf("orders = %d, want 20", db.orders.Count())
+	}
+	if len(db.undelivered) != 20 {
+		t.Errorf("undelivered = %d", len(db.undelivered))
+	}
+}
+
+func TestDeliveryDrainsQueue(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < 15; i++ {
+		db.RunNewOrder()
+	}
+	db.RunDelivery() // delivers up to 10
+	if len(db.undelivered) != 5 {
+		t.Errorf("undelivered = %d, want 5", len(db.undelivered))
+	}
+	db.RunDelivery()
+	if len(db.undelivered) != 0 {
+		t.Errorf("undelivered = %d, want 0", len(db.undelivered))
+	}
+	db.RunDelivery() // empty queue must not panic
+}
+
+func TestRunMixProportions(t *testing.T) {
+	db := testDB(t)
+	db.RunMix(2000)
+	total := 0
+	for _, n := range db.Txns {
+		total += n
+	}
+	if total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+	// The mix is ~45/43/4/4/4.
+	if db.Txns[NewOrder] < 700 || db.Txns[Payment] < 700 {
+		t.Errorf("mix skewed: %v", db.Txns)
+	}
+	for ty := OrderStatus; ty <= StockLevel; ty++ {
+		if db.Txns[ty] == 0 {
+			t.Errorf("%v never ran", ty)
+		}
+	}
+}
+
+func TestTxnTypeString(t *testing.T) {
+	if NewOrder.String() != "new-order" || StockLevel.String() != "stock-level" {
+		t.Error("TxnType names wrong")
+	}
+}
+
+func TestTransactionsEmitReferences(t *testing.T) {
+	m := &countMem{}
+	db := Open(m, Config{Warehouses: 2, Districts: 4, Customers: 50, Items: 200}, 1)
+	m.refs = 0
+	db.RunNewOrder()
+	if m.refs < 30 {
+		t.Errorf("new-order emitted %d refs, want >= 30", m.refs)
+	}
+	m.refs = 0
+	db.RunStockLevel()
+	if m.refs < 40 {
+		t.Errorf("stock-level emitted %d refs, want >= 40 (20-row scan)", m.refs)
+	}
+}
+
+func TestOpenZeroConfigUsesDefault(t *testing.T) {
+	db := Open(&nullMem{}, Config{}, 1)
+	if db.cfg.Warehouses != DefaultConfig().Warehouses {
+		t.Error("zero config must fall back to default")
+	}
+}

@@ -1,0 +1,236 @@
+package minidb
+
+// This file implements the five TPC-C transaction types (§5.1: "a mix of
+// five concurrent transactions of different types and complexity") over
+// the traced engine, plus the standard mix driver.
+
+// TxnType identifies a transaction profile.
+type TxnType int
+
+// The five TPC-C transactions.
+const (
+	NewOrder TxnType = iota
+	Payment
+	OrderStatus
+	Delivery
+	StockLevel
+)
+
+// String names the transaction type.
+func (t TxnType) String() string {
+	return [...]string{"new-order", "payment", "order-status", "delivery", "stock-level"}[t]
+}
+
+// orderInfo retains Go-side metadata for rows the engine created.
+type orderInfo struct {
+	row   uint32
+	lines []uint32
+	cust  uint64
+}
+
+// lock emits the lock-manager references for a key.
+func (db *DB) lock(key uint64) {
+	h := key * 0x9E3779B97F4A7C15
+	slot := db.locks + uint32(h%lockBucket)*8
+	db.mem.Load(PCLock, slot)
+	db.mem.Store(PCLock, slot)
+}
+
+// logWrite emits write-ahead-log appends; a fresh log page is allocated
+// every 32 records, continually widening the address footprint as a real
+// log does.
+func (db *DB) logWrite(n int) {
+	for i := 0; i < n; i++ {
+		if db.logOff == 0 || db.logOff >= 32 {
+			db.logPage = db.mem.AllocHeap(PCAllocPage, pageSize)
+			db.logOff = 0
+		}
+		db.mem.Store(PCLog, db.logPage+uint32(db.logOff)*16)
+		db.logOff++
+	}
+}
+
+func (db *DB) randCustomer() (w, d, c int) {
+	w = db.rng.Intn(db.cfg.Warehouses)
+	d = db.rng.Intn(db.cfg.Districts)
+	// Customer choice is skewed, as NURand is in TPC-C.
+	c = int(float64(db.cfg.Customers) * db.rng.Float64() * db.rng.Float64())
+	return
+}
+
+func (db *DB) districtRow(w, d int) uint32 {
+	return db.district[w*db.cfg.Districts+d]
+}
+
+// RunNewOrder executes one new-order transaction.
+func (db *DB) RunNewOrder() {
+	defer db.enter(PCCallNewOrder)()
+	w, d, c := db.randCustomer()
+	db.Txns[NewOrder]++
+	db.lock(custKey(w, d, c))
+
+	// Warehouse and district reads; district next_o_id update.
+	wr := db.warehouse[w]
+	db.mem.Load(PCRowLoad, wr)
+	db.mem.Load(PCRowLoad, wr+16)
+	dr := db.districtRow(w, d)
+	db.mem.Load(PCRowLoad, dr)
+	db.mem.Store(PCRowStore, dr+8)
+
+	if row, ok := db.customers.search(custKey(w, d, c)); ok {
+		db.mem.Load(PCRowLoad, row)
+		db.mem.Load(PCRowLoad, row+24)
+	}
+
+	// 5–15 order lines, each probing the stock index and updating the
+	// stock row.
+	nl := 5 + db.rng.Intn(11)
+	id := db.nextOrderID
+	db.nextOrderID++
+	info := &orderInfo{cust: custKey(w, d, c)}
+	info.row = db.mem.AllocHeap(PCAllocRow, 64)
+	db.mem.Store(PCRowStore, info.row)
+	db.orders.insert(id, info.row)
+	for l := 0; l < nl; l++ {
+		item := db.zipfItem()
+		if srow, ok := db.stock.search(stockKey(w, item)); ok {
+			db.mem.Load(PCRowLoad, srow)
+			db.mem.Load(PCRowLoad, srow+16)
+			db.mem.Store(PCRowStore, srow+24) // quantity update
+		}
+		line := db.mem.AllocHeap(PCAllocRow, 40)
+		db.mem.Store(PCRowStore, line)
+		db.mem.Store(PCRowStore, line+16)
+		info.lines = append(info.lines, line)
+	}
+	db.orderMeta[id] = info
+	db.undelivered = append(db.undelivered, id)
+	db.logWrite(2 + nl/4)
+}
+
+// RunPayment executes one payment transaction.
+func (db *DB) RunPayment() {
+	defer db.enter(PCCallPayment)()
+	w, d, c := db.randCustomer()
+	db.Txns[Payment]++
+	db.lock(custKey(w, d, c))
+
+	wr := db.warehouse[w]
+	db.mem.Load(PCRowLoad, wr)
+	db.mem.Store(PCRowStore, wr+8) // w_ytd
+	dr := db.districtRow(w, d)
+	db.mem.Load(PCRowLoad, dr)
+	db.mem.Store(PCRowStore, dr+16) // d_ytd
+	if row, ok := db.customers.search(custKey(w, d, c)); ok {
+		db.mem.Load(PCRowLoad, row)
+		db.mem.Load(PCRowLoad, row+8)
+		db.mem.Store(PCRowStore, row+32) // balance
+		db.mem.Store(PCRowStore, row+40) // payment count
+	}
+	h := db.mem.AllocHeap(PCAllocRow, 48) // history row
+	db.mem.Store(PCRowStore, h)
+	db.logWrite(2)
+}
+
+// RunOrderStatus executes one order-status transaction (read only).
+func (db *DB) RunOrderStatus() {
+	defer db.enter(PCCallOrderStatus)()
+	w, d, c := db.randCustomer()
+	db.Txns[OrderStatus]++
+	if row, ok := db.customers.search(custKey(w, d, c)); ok {
+		db.mem.Load(PCRowLoad, row)
+		db.mem.Load(PCRowLoad, row+32)
+	}
+	if len(db.undelivered) == 0 {
+		return
+	}
+	id := db.undelivered[db.rng.Intn(len(db.undelivered))]
+	if info := db.orderMeta[id]; info != nil {
+		if row, ok := db.orders.search(id); ok {
+			db.mem.Load(PCRowLoad, row)
+		}
+		for _, line := range info.lines {
+			db.mem.Load(PCRowLoad, line)
+		}
+	}
+}
+
+// RunDelivery executes one delivery transaction: the oldest undelivered
+// orders are marked delivered.
+func (db *DB) RunDelivery() {
+	defer db.enter(PCCallDelivery)()
+	db.Txns[Delivery]++
+	n := 10
+	if n > len(db.undelivered) {
+		n = len(db.undelivered)
+	}
+	batch := db.undelivered[:n]
+	db.undelivered = db.undelivered[n:]
+	for _, id := range batch {
+		info := db.orderMeta[id]
+		if info == nil {
+			continue
+		}
+		db.lock(id)
+		if row, ok := db.orders.search(id); ok {
+			db.mem.Store(PCRowStore, row+8) // carrier id
+		}
+		for _, line := range info.lines {
+			db.mem.Store(PCRowStore, line+24) // delivery date
+		}
+		if crow, ok := db.customers.search(info.cust); ok {
+			db.mem.Store(PCRowStore, crow+32) // balance
+		}
+	}
+	db.logWrite(1 + n/2)
+}
+
+// RunStockLevel executes one stock-level transaction: a range scan over
+// recent stock rows.
+func (db *DB) RunStockLevel() {
+	defer db.enter(PCCallStockLevel)()
+	db.Txns[StockLevel]++
+	w := db.rng.Intn(db.cfg.Warehouses)
+	d := db.rng.Intn(db.cfg.Districts)
+	db.mem.Load(PCRowLoad, db.districtRow(w, d))
+	from := db.rng.Intn(db.cfg.Items)
+	db.stock.scan(stockKey(w, from), 20, func(_ uint64, row uint32) {
+		db.mem.Load(PCRowLoad, row)
+		db.mem.Load(PCRowLoad, row+8)
+	})
+}
+
+// zipfItem picks a stock item with realistic popularity skew.
+func (db *DB) zipfItem() int {
+	u := db.rng.Float64()
+	return int(float64(db.cfg.Items-1) * u * u)
+}
+
+// RunMix executes n transactions with the standard TPC-C mix: ~45%
+// new-order, ~43% payment, ~4% each of the others.
+func (db *DB) RunMix(n int) {
+	for i := 0; i < n; i++ {
+		db.RunOne()
+	}
+}
+
+// RunOne executes a single transaction drawn from the mix.
+func (db *DB) RunOne() {
+	if rp, ok := db.mem.(rarePather); ok && db.rng.Intn(12) == 0 {
+		// Rarely executed engine code: deadlock detector sweep,
+		// page-compaction check.
+		rp.RarePath(db.locks, 3)
+	}
+	switch r := db.rng.Intn(100); {
+	case r < 45:
+		db.RunNewOrder()
+	case r < 88:
+		db.RunPayment()
+	case r < 92:
+		db.RunOrderStatus()
+	case r < 96:
+		db.RunDelivery()
+	default:
+		db.RunStockLevel()
+	}
+}

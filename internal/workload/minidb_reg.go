@@ -1,0 +1,25 @@
+package workload
+
+import "repro/internal/workload/minidb"
+
+// minidbOpen sizes the TPC-C population to the reference budget: larger
+// traces get proportionally more customers and stock so the address
+// footprint keeps growing (SQL Server's signature is a very large
+// footprint with low refs/address).
+func minidbOpen(t *Tracer, targetRefs int, seed int64) *minidb.DB {
+	cfg := minidb.DefaultConfig()
+	// Population scales with the reference budget so the initial load
+	// (which itself emits references through the traced insert paths)
+	// leaves most of the budget to the transaction mix, while the
+	// footprint keeps growing at larger scales — SQL Server's signature.
+	f := float64(targetRefs) / 200_000
+	cfg.Customers = int(200 * f)
+	if cfg.Customers < 8 {
+		cfg.Customers = 8
+	}
+	cfg.Items = int(640 * f)
+	if cfg.Items < 24 {
+		cfg.Items = 24
+	}
+	return minidb.Open(t, cfg, seed)
+}

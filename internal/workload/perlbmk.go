@@ -1,0 +1,83 @@
+package workload
+
+import "repro/internal/trace"
+
+// perlbmkModel models 253.perlbmk: a bytecode interpreter executing a
+// population of subroutines. Published shape: a moderate number of hot
+// data streams (228), decent stream length (wt avg 23.1), a fairly long
+// repetition interval (334.8) and the worst packing efficiency of all
+// benchmarks (31.0%) — lexical-pad slots are allocated piecemeal during
+// compilation and end up scattered across cache blocks.
+type perlbmkModel struct{}
+
+func init() { register(perlbmkModel{}) }
+
+func (perlbmkModel) Name() string { return "253.perlbmk" }
+
+func (perlbmkModel) Description() string {
+	return "bytecode interpreter dispatching over per-subroutine op chains"
+}
+
+const (
+	perlPCFetch = 0x4000 + iota
+	perlPCDispatch
+	perlPCPadLoad
+	perlPCPadStore
+	perlPCStack
+	perlPCAllocCode
+	perlPCAllocPad
+	perlPCAllocGlob
+)
+
+func (perlbmkModel) Generate(b *trace.Buffer, targetRefs int, seed int64) {
+	t := NewTracer(b, seed)
+
+	const nSubs = 160
+	dispatch := t.AllocGlobal(perlPCAllocGlob, 16*8) // opcode handler table
+	stack := t.AllocGlobal(perlPCAllocGlob, 64)      // operand stack top, reused
+
+	type sub struct {
+		code []uint32 // per-op node objects, deliberately scattered
+		pads []uint32 // pad slot objects, deliberately scattered
+	}
+	subs := make([]sub, nSubs)
+	for i := range subs {
+		n := 6 + t.Rng.Intn(14) // 6–19 ops
+		s := sub{code: make([]uint32, n), pads: make([]uint32, 1+n/3)}
+		for j := range s.code {
+			// Each op is its own node allocated during compilation,
+			// interleaved with compile-time garbage: consecutive ops
+			// land in different cache blocks (the worst-packing
+			// signature the paper reports for perlbmk).
+			s.code[j] = t.AllocHeap(perlPCAllocCode, 16)
+			t.Pad(48)
+		}
+		for j := range s.pads {
+			s.pads[j] = t.AllocHeap(perlPCAllocPad, 16)
+			t.Pad(56)
+		}
+		subs[i] = s
+	}
+
+	for t.Refs() < targetRefs {
+		si := t.ZipfPick(nSubs, 1.25)
+		s := &subs[si]
+		// Execute the subroutine: per op, fetch bytecode, hit the
+		// dispatch table, touch a pad slot and the operand stack. The
+		// whole body is the subroutine's hot data stream.
+		for j, op := range s.code {
+			t.Load(perlPCFetch, op)
+			t.Load(perlPCDispatch, dispatch+uint32(j%16)*8)
+			pad := s.pads[j%len(s.pads)]
+			t.Load(perlPCPadLoad, pad)
+			if j%2 == 0 {
+				t.Store(perlPCPadStore, pad+8)
+			}
+			t.Store(perlPCStack, stack+uint32(j%8)*8)
+		}
+		if t.Rng.Intn(16) == 0 {
+			t.RarePath(s.pads[0], 3) // tie/magic/overload slow paths
+		}
+		t.Buf.Path(0x53_0000 + uint32(si))
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import "repro/internal/trace"
+
+// twolfModel models 300.twolf: simulated-annealing standard-cell placement.
+// A move examines a cell, the nets it belongs to and those nets' pins.
+// Published shape: a sizeable hot-stream population (1,260), good inherent
+// spatial locality (wt avg stream size 23.9), a low locality threshold (5)
+// and poor temporal regularity (interval 847.7) — cells are picked close
+// to uniformly, so a given cell's stream recurs only after many other
+// moves. Packing is mediocre (39.8%): cells, nets and pins are allocated
+// in separate phases.
+type twolfModel struct{}
+
+func init() { register(twolfModel{}) }
+
+func (twolfModel) Name() string { return "300.twolf" }
+
+func (twolfModel) Description() string {
+	return "annealing placement touching cell/net/pin structures per move"
+}
+
+const (
+	twolfPCCell = 0x6000 + iota
+	twolfPCNet
+	twolfPCPin
+	twolfPCCost
+	twolfPCMove
+	twolfPCAllocCell
+	twolfPCAllocNet
+	twolfPCAllocPin
+)
+
+func (twolfModel) Generate(b *trace.Buffer, targetRefs int, seed int64) {
+	t := NewTracer(b, seed)
+
+	const (
+		nCells = 420
+		nNets  = 300
+	)
+	type net struct {
+		base uint32
+		pins []uint32
+	}
+	type cell struct {
+		base uint32
+		nets []int
+	}
+	// Phase 1: cells.
+	cells := make([]cell, nCells)
+	for i := range cells {
+		cells[i].base = t.AllocHeap(twolfPCAllocCell, 48)
+	}
+	// Phase 2: nets, then phase 3: pins — distant from their cells.
+	nets := make([]net, nNets)
+	for i := range nets {
+		nets[i].base = t.AllocHeap(twolfPCAllocNet, 32)
+	}
+	for i := range nets {
+		np := 4
+		nets[i].pins = make([]uint32, np)
+		for j := range nets[i].pins {
+			nets[i].pins[j] = t.AllocHeap(twolfPCAllocPin, 16)
+			t.Pad(16)
+		}
+	}
+	for i := range cells {
+		nn := 2 + t.Rng.Intn(3)
+		cells[i].nets = make([]int, nn)
+		for j := range cells[i].nets {
+			cells[i].nets[j] = t.Rng.Intn(nNets)
+		}
+	}
+
+	touch := func(ci int) {
+		c := &cells[ci]
+		// The per-cell move pattern: this is the cell's hot data
+		// stream (~25 references revisiting each structure several
+		// times, as the cost evaluation does).
+		t.Load(twolfPCCell, c.base)
+		t.Load(twolfPCCell, c.base+8)
+		t.Load(twolfPCCell, c.base+16)
+		for _, ni := range c.nets {
+			n := &nets[ni]
+			t.Load(twolfPCNet, n.base)
+			t.Load(twolfPCNet, n.base+8)
+			for _, pin := range n.pins {
+				t.Load(twolfPCPin, pin)
+				t.Load(twolfPCPin, pin+8)
+			}
+			t.Load(twolfPCCost, n.base+16)
+			t.Load(twolfPCCell, c.base+24) // cost accumulates into the cell
+		}
+		t.Store(twolfPCMove, c.base+32)
+		t.Buf.Path(0x55_0000 + uint32(ci%64))
+	}
+
+	for t.Refs() < targetRefs {
+		// Annealing picks move targets nearly uniformly: poor temporal
+		// locality by construction — a cell's stream recurs only after
+		// hundreds of other moves.
+		touch(t.Rng.Intn(nCells))
+		if t.Rng.Intn(24) == 0 {
+			t.RarePath(cells[0].base, 3) // rejected-move bookkeeping, cooling schedule
+		}
+	}
+}

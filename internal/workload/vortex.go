@@ -1,0 +1,89 @@
+package workload
+
+import "repro/internal/trace"
+
+// vortexModel models 255.vortex: an object-oriented database running
+// lookup/traversal transactions over a large linked object graph.
+// Published shape: many hot data streams (475), the shortest streams of
+// the SPEC set (wt avg 11.5), good temporal regularity (interval 92.8 —
+// hot objects are revisited quickly) and poor packing (36.1% — an object's
+// header, attributes and links are allocated at widely different times).
+type vortexModel struct{}
+
+func init() { register(vortexModel{}) }
+
+func (vortexModel) Name() string { return "255.vortex" }
+
+func (vortexModel) Description() string {
+	return "object database traversing part/attribute/link graphs"
+}
+
+const (
+	vortexPCIndex = 0x5000 + iota
+	vortexPCHeader
+	vortexPCAttr
+	vortexPCLink
+	vortexPCChild
+	vortexPCStamp
+	vortexPCAllocHdr
+	vortexPCAllocAttr
+	vortexPCAllocIdx
+)
+
+func (vortexModel) Generate(b *trace.Buffer, targetRefs int, seed int64) {
+	t := NewTracer(b, seed)
+
+	const nParts = 520
+
+	type part struct {
+		entry  uint32 // catalog entry (index leaf)
+		header uint32
+		attrs  [2]uint32
+		links  [2]int // child part indices
+	}
+	parts := make([]part, nParts)
+	// Build phase 0: catalog entries (the index), scattered.
+	for i := range parts {
+		parts[i].entry = t.AllocHeap(vortexPCAllocIdx, 8)
+		t.Pad(24)
+	}
+	// Build phase 1: all headers.
+	for i := range parts {
+		parts[i].header = t.AllocHeap(vortexPCAllocHdr, 32)
+	}
+	// Build phase 2: attributes, long after the headers — the
+	// poor-packing signature: a part's header and attributes live in
+	// distant cache blocks.
+	for i := range parts {
+		parts[i].attrs[0] = t.AllocHeap(vortexPCAllocAttr, 24)
+		t.Pad(40)
+		parts[i].attrs[1] = t.AllocHeap(vortexPCAllocAttr, 24)
+		parts[i].links[0] = t.Rng.Intn(nParts)
+		parts[i].links[1] = t.Rng.Intn(nParts)
+	}
+
+	for t.Refs() < targetRefs {
+		// One transaction: index probe, then a fixed traversal of one
+		// part — its hot data stream (~12 references over 5 objects).
+		// Parts are chosen with strong skew, so hot parts recur
+		// quickly (vortex's good temporal regularity).
+		pi := t.ZipfPick(nParts, 1.7)
+		p := &parts[pi]
+		t.Load(vortexPCIndex, p.entry)
+		t.Load(vortexPCHeader, p.header)
+		t.Load(vortexPCHeader, p.header+8)
+		t.Load(vortexPCAttr, p.attrs[0])
+		t.Load(vortexPCAttr, p.attrs[0]+8)
+		t.Load(vortexPCAttr, p.attrs[1])
+		t.Load(vortexPCAttr, p.attrs[1]+8)
+		t.Load(vortexPCLink, p.header+16)
+		for _, ci := range p.links {
+			t.Load(vortexPCChild, parts[ci].header)
+		}
+		t.Store(vortexPCStamp, p.header+24)
+		if t.Rng.Intn(24) == 0 {
+			t.RarePath(p.header, 3) // integrity checks, rare subtype handlers
+		}
+		t.Buf.Path(0x54_0000 + uint32(pi%64))
+	}
+}

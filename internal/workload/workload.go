@@ -1,0 +1,194 @@
+// Package workload generates the data-reference traces the evaluation
+// runs on. The paper instrumented SPECint 2000 binaries, the boxsim
+// graphics application, and Microsoft SQL Server with Vulcan; those
+// artifacts are unavailable, so each benchmark is replaced by a generative
+// model — a small program whose data structures and access loops reproduce
+// the benchmark's published reference characteristics (reference skew,
+// hot-stream population, stream-length distribution, temporal regularity,
+// packing behaviour; Tables 1–3) — instrumented at every load and store.
+//
+// boxsim and the database are real reimplementations of the workloads
+// themselves (see the boxsim and minidb subpackages); the six SPEC entries
+// are structural models. DESIGN.md §1 documents the substitution argument.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Workload generates a trace at a given scale.
+type Workload interface {
+	// Name is the benchmark identifier used throughout the harness
+	// (matching the paper's tables, e.g. "176.gcc").
+	Name() string
+	// Description summarizes what the generator models.
+	Description() string
+	// Generate appends approximately targetRefs load/store events (plus
+	// allocation records) to the buffer. Generation is deterministic
+	// for a given seed.
+	Generate(b *trace.Buffer, targetRefs int, seed int64)
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns every registered benchmark in table order.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ByName finds a benchmark by name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range registry {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the registered benchmark names.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// Generate is a convenience wrapper: build a fresh trace for the named
+// benchmark.
+func Generate(name string, targetRefs int, seed int64) (*trace.Buffer, error) {
+	w, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	b := trace.NewBuffer(targetRefs + targetRefs/8)
+	w.Generate(b, targetRefs, seed)
+	return b, nil
+}
+
+// Tracer is the instrumented-memory substrate shared by the generators: a
+// bump allocator over the synthetic address space plus load/store
+// recording, playing the role Vulcan instrumentation plays in the paper.
+// Heap addresses are never reused (the paper removed frees to prevent
+// reuse), and no stack references are emitted.
+type Tracer struct {
+	Buf *trace.Buffer
+	Rng *rand.Rand
+
+	heapPtr   uint32
+	globalPtr uint32
+	refs      int
+	rarePC    uint32
+}
+
+// NewTracer returns a tracer writing to b with a deterministic PRNG.
+func NewTracer(b *trace.Buffer, seed int64) *Tracer {
+	return &Tracer{
+		Buf:       b,
+		Rng:       rand.New(rand.NewSource(seed)),
+		heapPtr:   trace.HeapBase,
+		globalPtr: trace.GlobalBase,
+	}
+}
+
+func align8(n uint32) uint32 { return (n + 7) &^ 7 }
+
+// AllocHeap allocates a heap object, emitting the allocation record the
+// heap map consumes. site identifies the allocation site (the paper's
+// birth-identifier component).
+func (t *Tracer) AllocHeap(site, size uint32) uint32 {
+	if size == 0 {
+		size = 8
+	}
+	base := t.heapPtr
+	t.heapPtr += align8(size)
+	if t.heapPtr >= trace.StackBase {
+		panic("workload: heap address space exhausted; lower the scale")
+	}
+	t.Buf.Alloc(site, base, size)
+	return base
+}
+
+// AllocGlobal registers a global/static object.
+func (t *Tracer) AllocGlobal(site, size uint32) uint32 {
+	if size == 0 {
+		size = 8
+	}
+	base := t.globalPtr
+	t.globalPtr += align8(size)
+	if t.globalPtr >= trace.HeapBase {
+		panic("workload: global address space exhausted")
+	}
+	t.Buf.Alloc(site, base, size)
+	return base
+}
+
+// Pad skips hole bytes in the heap, forcing the next allocation into a
+// different cache block: generators use it to model interleaved
+// allocations that scatter logically-related objects (poor packing).
+func (t *Tracer) Pad(hole uint32) { t.heapPtr += align8(hole) }
+
+// Call records a function entry from the given call site (consumed by the
+// calling-context heap abstraction).
+func (t *Tracer) Call(site uint32) { t.Buf.Call(site) }
+
+// Return records a function exit.
+func (t *Tracer) Return() { t.Buf.Return() }
+
+// Path records the completion of an acyclic control-flow path (input to
+// Whole Program Path construction).
+func (t *Tracer) Path(id uint32) { t.Buf.Path(id) }
+
+// Load records a load of addr by instruction pc.
+func (t *Tracer) Load(pc, addr uint32) {
+	t.Buf.Load(pc, addr)
+	t.refs++
+}
+
+// Store records a store.
+func (t *Tracer) Store(pc, addr uint32) {
+	t.Buf.Store(pc, addr)
+	t.refs++
+}
+
+// Refs returns the number of references emitted so far.
+func (t *Tracer) Refs() int { return t.refs }
+
+// rarePCBase starts the program-counter space minted for rare paths.
+const rarePCBase uint32 = 0x00E0_0000
+
+// RarePath emits n loads of addr from freshly minted program counters:
+// the rarely executed code (initialization tails, error handling,
+// diagnostics) that dominates a real binary's executed-instruction
+// population. Generators sprinkle these so the load/store PC population
+// has the long tail Figure 1's left panel measures — a handful of hot
+// loop PCs issue most references, while hundreds of cold sites issue the
+// rest.
+func (t *Tracer) RarePath(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		t.Load(rarePCBase+t.rarePC, addr)
+		t.rarePC++
+	}
+}
+
+// ZipfPick returns an index in [0, n) with a skewed (reference-locality
+// shaped) distribution: small indices are much more likely. s controls
+// skew; s around 1.1–1.6 matches Figure 1's curves.
+func (t *Tracer) ZipfPick(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(t.Rng, s, 1, uint64(n-1))
+	return int(z.Uint64())
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"176.gcc", "181.mcf", "197.parser", "252.eon", "253.perlbmk",
+		"255.vortex", "300.twolf", "boxsim", "sqlserver",
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("176.gcc"); !ok {
+		t.Error("176.gcc not found")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("nonesuch found")
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nonesuch", 100, 1); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestDescriptionsNonEmpty(t *testing.T) {
+	for _, w := range All() {
+		if w.Description() == "" {
+			t.Errorf("%s: empty description", w.Name())
+		}
+	}
+}
+
+func TestGeneratorsHitBudgetAndAreDeterministic(t *testing.T) {
+	const n = 30_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			b1 := trace.NewBuffer(n)
+			w.Generate(b1, n, 7)
+			st := b1.Stats()
+			if st.Refs < uint64(n)*9/10 {
+				t.Errorf("refs = %d, want >= %d", st.Refs, n*9/10)
+			}
+			if st.Refs > uint64(n)*13/10 {
+				t.Errorf("refs = %d overshoots budget %d", st.Refs, n)
+			}
+			// Deterministic for a fixed seed.
+			b2 := trace.NewBuffer(n)
+			w.Generate(b2, n, 7)
+			if b1.Len() != b2.Len() {
+				t.Fatalf("nondeterministic: %d vs %d events", b1.Len(), b2.Len())
+			}
+			for i, e := range b1.Events() {
+				if e != b2.Events()[i] {
+					t.Fatalf("nondeterministic at event %d: %v vs %v", i, e, b2.Events()[i])
+				}
+			}
+			// Different seeds differ (generators actually use the seed).
+			b3 := trace.NewBuffer(n)
+			w.Generate(b3, n, 8)
+			same := b3.Len() == b1.Len()
+			if same {
+				for i, e := range b1.Events() {
+					if e != b3.Events()[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Error("seed has no effect")
+			}
+		})
+	}
+}
+
+func TestGeneratorsNoStackRefsAndKnownObjects(t *testing.T) {
+	const n = 20_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			b := trace.NewBuffer(n)
+			w.Generate(b, n, 3)
+			res := abstract.New(abstract.BirthID).Abstract(b)
+			if res.StackRefs != 0 {
+				t.Errorf("stack refs = %d, want 0", res.StackRefs)
+			}
+			// Every reference must land in a registered object: the
+			// generators trace through the allocator, so unknowns
+			// indicate a workload bug.
+			if res.UnknownRefs > 0 {
+				t.Errorf("unknown refs = %d, want 0", res.UnknownRefs)
+			}
+		})
+	}
+}
+
+func TestReferenceSkewPresent(t *testing.T) {
+	// Figure 1's premise: all benchmarks exhibit reference locality —
+	// far fewer than 90% of addresses account for 90% of references.
+	const n = 40_000
+	for _, w := range All() {
+		b := trace.NewBuffer(n)
+		w.Generate(b, n, 3)
+		var counts = map[uint32]uint64{}
+		for _, e := range b.Events() {
+			if e.Kind.IsRef() {
+				counts[e.Addr]++
+			}
+		}
+		vals := make([]uint64, 0, len(counts))
+		for _, v := range counts {
+			vals = append(vals, v)
+		}
+		// Count addresses needed for 90% of refs.
+		var total uint64
+		for _, v := range vals {
+			total += v
+		}
+		// Simple selection: sort descending.
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] > vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		var cum uint64
+		used := 0
+		for _, v := range vals {
+			cum += v
+			used++
+			if float64(cum) >= 0.9*float64(total) {
+				break
+			}
+		}
+		pct := float64(used) / float64(len(vals)) * 100
+		if pct > 88 {
+			t.Errorf("%s: %0.1f%% of addresses needed for 90%% of refs (no skew)", w.Name(), pct)
+		}
+	}
+}
+
+func TestTracerAllocRegions(t *testing.T) {
+	b := trace.NewBuffer(0)
+	tr := NewTracer(b, 1)
+	h := tr.AllocHeap(1, 16)
+	g := tr.AllocGlobal(2, 16)
+	if trace.RegionOf(h) != trace.RegionHeap {
+		t.Errorf("heap alloc at %#x in region %v", h, trace.RegionOf(h))
+	}
+	if trace.RegionOf(g) != trace.RegionGlobal {
+		t.Errorf("global alloc at %#x in region %v", g, trace.RegionOf(g))
+	}
+	// Alignment and non-overlap.
+	h2 := tr.AllocHeap(1, 1)
+	if h2 < h+16 || h2%8 != 0 {
+		t.Errorf("second heap alloc at %#x", h2)
+	}
+}
+
+func TestTracerPadSkipsSpace(t *testing.T) {
+	b := trace.NewBuffer(0)
+	tr := NewTracer(b, 1)
+	a := tr.AllocHeap(1, 8)
+	tr.Pad(100)
+	c := tr.AllocHeap(1, 8)
+	if c < a+108 {
+		t.Errorf("pad ignored: %#x then %#x", a, c)
+	}
+}
+
+func TestTracerRefCount(t *testing.T) {
+	b := trace.NewBuffer(0)
+	tr := NewTracer(b, 1)
+	tr.AllocHeap(1, 8) // not a ref
+	tr.Load(1, trace.HeapBase)
+	tr.Store(1, trace.HeapBase)
+	if tr.Refs() != 2 {
+		t.Errorf("Refs = %d, want 2", tr.Refs())
+	}
+}
+
+func TestZipfPickBounds(t *testing.T) {
+	b := trace.NewBuffer(0)
+	tr := NewTracer(b, 1)
+	if tr.ZipfPick(1, 1.2) != 0 {
+		t.Error("n=1 must return 0")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := tr.ZipfPick(10, 1.2)
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if !seen[0] {
+		t.Error("index 0 never drawn (skew should favour it)")
+	}
+}
