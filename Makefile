@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test bench repro csv fuzz cover clean
+.PHONY: all build test bench repro csv lint race sanitize fuzz fuzz-smoke cover clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,30 @@ repro:
 csv:
 	$(GO) run ./cmd/repro -csv out/
 
+# The repository's own static-analysis registry (internal/lint): exits
+# non-zero on any finding.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
+# Full test suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Sequitur grammar construction with the per-Append invariant sweep.
+sanitize:
+	$(GO) test -tags repro_sanitize ./internal/sequitur/
+
 # Short fuzz sessions over the parsers and the grammar invariant.
 fuzz:
 	$(GO) test -fuzz=FuzzExpandIdentity -fuzztime=30s ./internal/sequitur/
 	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=30s ./internal/sequitur/
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/trace/
+
+# The CI-sized fuzz pass: 10 seconds per target.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzExpandIdentity -fuzztime=10s ./internal/sequitur/
+	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=10s ./internal/sequitur/
+	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
 
 cover:
 	$(GO) test -cover ./internal/...

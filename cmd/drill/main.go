@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drill"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -45,7 +46,9 @@ func main() {
 		var f *os.File
 		if f, err = os.Open(*traceFile); err == nil {
 			b, err = trace.ReadAll(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	default:
 		err = fmt.Errorf("one of -bench or -trace is required")
@@ -58,10 +61,10 @@ func main() {
 	a := core.Analyze(b, core.Options{SkipPotential: true})
 	rep := drill.Build(a.Streams(), a.Abstraction.Objects, 64)
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+	p := report.NewPrinter(out)
 
 	th := a.Threshold()
-	fmt.Fprintf(out, "%d hot data streams at locality threshold %d (heat %d), covering %.0f%% of %d references\n\n",
+	p.Printf("%d hot data streams at locality threshold %d (heat %d), covering %.0f%% of %d references\n\n",
 		len(a.Streams()), th.Multiple, th.Heat, a.Coverage()*100, a.TraceStats.Refs)
 
 	switch {
@@ -75,17 +78,22 @@ func main() {
 		err = rep.WriteStream(out, *streamID)
 	case *focus:
 		cands := rep.FocusCandidates(0.7, 100)
-		fmt.Fprintf(out, "%d optimization candidates (packing <= 70%%, repetition interval >= 100):\n", len(cands))
+		p.Printf("%d optimization candidates (packing <= 70%%, repetition interval >= 100):\n", len(cands))
 		focused := &drill.Report{Streams: cands, BlockSize: rep.BlockSize, Namer: rep.Namer}
 		if err = focused.WriteSummary(out, *top); err == nil {
-			fmt.Fprintln(out)
+			p.Println()
 			err = focused.WriteAdvice(out, 0.7, 5)
 		}
 	default:
 		err = rep.WriteSummary(out, *top)
 	}
+	if err == nil {
+		err = p.Err()
+	}
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
 	if err != nil {
-		out.Flush()
 		fmt.Fprintln(os.Stderr, "drill:", err)
 		os.Exit(1)
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -39,7 +40,9 @@ func main() {
 		var f *os.File
 		if f, err = os.Open(*traceFile); err == nil {
 			b, err = trace.ReadAll(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	default:
 		err = fmt.Errorf("one of -bench or -trace is required")
@@ -51,41 +54,54 @@ func main() {
 
 	a := core.Analyze(b, core.Options{})
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "locstats:", err)
+		os.Exit(1)
+	}
 
 	if *jsonOut {
-		if err := a.WriteJSON(out); err != nil {
-			out.Flush()
-			fmt.Fprintln(os.Stderr, "locstats:", err)
-			os.Exit(1)
+		err := a.WriteJSON(out)
+		if ferr := out.Flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			fail(err)
 		}
 		return
 	}
 
+	p := report.NewPrinter(out)
 	st := a.TraceStats
-	fmt.Fprintf(out, "trace:        %d refs (%d heap, %d global), %d addresses, %.0f refs/address\n",
+	p.Printf("trace:        %d refs (%d heap, %d global), %d addresses, %.0f refs/address\n",
 		st.Refs, st.HeapRefs, st.GlobalRefs, st.Addresses, st.RefsPerAddress())
-	fmt.Fprintf(out, "skew:         90%% of refs from %.2f%% of addresses, %.2f%% of PCs\n",
+	p.Printf("skew:         90%% of refs from %.2f%% of addresses, %.2f%% of PCs\n",
 		a.AddressSkew.Locality90, a.PCSkew.Locality90)
 	for _, l := range a.Pipeline.Levels {
 		sz := l.WPS.Size()
-		fmt.Fprintf(out, "WPS%d:         %d bytes (%d rules, %d symbols, %.0fx compression)",
+		p.Printf("WPS%d:         %d bytes (%d rules, %d symbols, %.0fx compression)",
 			l.Index, sz.ASCIIBytes, sz.Rules, sz.Symbols, sz.CompressionRatio())
 		if l.SFG != nil {
-			fmt.Fprintf(out, "; SFG%d %d bytes, %d nodes, %d edges",
+			p.Printf("; SFG%d %d bytes, %d nodes, %d edges",
 				l.Index, l.SFG.SizeBytes(), l.SFG.NumNodes, l.SFG.NumEdges())
 		}
-		fmt.Fprintln(out)
+		p.Println()
 	}
 	th := a.Threshold()
-	fmt.Fprintf(out, "hot streams:  %d at threshold %d (%.0f%% coverage)\n",
+	p.Printf("hot streams:  %d at threshold %d (%.0f%% coverage)\n",
 		len(a.Streams()), th.Multiple, a.Coverage()*100)
-	fmt.Fprintf(out, "inherent:     wt avg stream size %.1f, repetition interval %.1f\n",
+	p.Printf("inherent:     wt avg stream size %.1f, repetition interval %.1f\n",
 		a.Summary.WtAvgStreamSize, a.Summary.WtAvgRepetitionInterval)
-	fmt.Fprintf(out, "realized:     wt avg packing efficiency %.1f%%\n",
+	p.Printf("realized:     wt avg packing efficiency %.1f%%\n",
 		a.Summary.WtAvgPackingEfficiency)
 	pr, cl, co := a.Potential.Normalized()
-	fmt.Fprintf(out, "potential:    base miss %.2f%%; prefetch %.1f%%, cluster %.1f%%, both %.1f%% of base\n",
+	p.Printf("potential:    base miss %.2f%%; prefetch %.1f%%, cluster %.1f%%, both %.1f%% of base\n",
 		a.Potential.Base, pr, cl, co)
-	fmt.Fprintf(out, "analysis:     %.2fs\n", a.AnalysisTime.Seconds())
+	p.Printf("analysis:     %.2fs\n", a.AnalysisTime.Seconds())
+	err = p.Err()
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fail(err)
+	}
 }

@@ -1,0 +1,74 @@
+// Command repolint runs the repository's static-analysis registry
+// (internal/lint) over module packages and reports findings in the usual
+// file:line:col form. It is the lint half of the correctness tooling the
+// reproduction relies on: the tier-1 tests check outputs, repolint checks
+// the properties outputs silently depend on (trace-writer discipline,
+// seed determinism, enum-switch exhaustiveness, error handling).
+//
+// Usage:
+//
+//	repolint [-list] [pattern ...]
+//
+// Patterns take the go-command shapes ("./internal/...", "./cmd/repolint");
+// the default is the whole tree: ./internal/... ./cmd/... ./examples/...
+// Recursive patterns skip testdata directories, so the analyzer fixtures
+// under internal/lint/testdata are linted only when named explicitly.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	root := flag.String("root", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/...", "./examples/..."}
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		f.Pos.Filename = relPath(loader.Root, f.Pos.Filename)
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// relPath shortens filenames to module-relative form for readability.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}

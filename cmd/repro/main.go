@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
@@ -43,19 +44,27 @@ func main() {
 		}
 	}
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	if err := r.ByName(out, *exp); err != nil {
-		out.Flush()
+	fail := func(err error) {
+		_ = out.Flush() // best-effort; the error being reported takes precedence
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
+	}
+	if err := r.ByName(out, *exp); err != nil {
+		fail(err)
 	}
 	if *csvDir != "" {
 		paths, err := r.WriteCSV(*csvDir)
 		if err != nil {
-			out.Flush()
-			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Fprintf(out, "\nCSV data: %d files under %s\n", len(paths), *csvDir)
+		p := report.NewPrinter(out)
+		p.Printf("\nCSV data: %d files under %s\n", len(paths), *csvDir)
+		if err := p.Err(); err != nil {
+			fail(err)
+		}
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
 	}
 }

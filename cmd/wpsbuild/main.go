@@ -40,7 +40,9 @@ func main() {
 		var f *os.File
 		if f, err = os.Open(*traceFile); err == nil {
 			b, err = trace.ReadAll(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	default:
 		err = fmt.Errorf("one of -trace or -bench is required")
@@ -83,7 +85,9 @@ func main() {
 	rf, err := os.Open(*out)
 	if err == nil {
 		_, err = wps.LoadBinary(rf, 100)
-		rf.Close()
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wpsbuild: verification failed:", err)

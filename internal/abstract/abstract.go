@@ -264,6 +264,8 @@ func (a *Abstractor) newState(hint int) *state {
 				Heap:  trace.RegionOf(e.Addr) == trace.RegionHeap,
 			}
 			switch a.mode {
+			case RawAddress:
+				// Unreachable: raw mode returned before building obj.
 			case BirthID:
 				obj.Name = nextID
 				nextID++
@@ -310,6 +312,9 @@ func (a *Abstractor) newState(hint int) *state {
 			res.Names = append(res.Names, name)
 			res.PCs = append(res.PCs, e.PC)
 			res.Addrs = append(res.Addrs, e.Addr)
+		case trace.Path:
+			// Path records belong to the WPP side of the analysis
+			// (internal/wpp); abstraction sees no data reference in them.
 		}
 	}
 	return st

@@ -146,6 +146,7 @@ func Analyze(b *trace.Buffer, opts Options) *Analysis {
 	a.AddressSkew = locality.AddressSkew(a.Abstraction.Addrs)
 	a.PCSkew = locality.PCSkew(a.Abstraction.PCs)
 
+	//lint:ignore determinism wall-clock feeds AnalysisTime, a reporting-only field; no analysis result depends on it
 	start := time.Now()
 	a.Pipeline = reduce.Run(a.Abstraction.Names, a.TraceStats.Addresses, reduce.Options{
 		MinLen:         opts.MinStreamLen,

@@ -8,7 +8,7 @@ import (
 	"repro/internal/hotstream"
 )
 
-func report() *Report {
+func testReport() *Report {
 	objects := map[uint64]*abstract.Object{
 		1: {Name: 1, Base: 0, Size: 16, Site: 0x100},
 		2: {Name: 2, Base: 4096, Size: 16, Site: 0x200},
@@ -20,7 +20,7 @@ func report() *Report {
 }
 
 func TestBuildSortsByHeat(t *testing.T) {
-	r := report()
+	r := testReport()
 	if len(r.Streams) != 2 {
 		t.Fatalf("streams = %d", len(r.Streams))
 	}
@@ -30,7 +30,7 @@ func TestBuildSortsByHeat(t *testing.T) {
 }
 
 func TestMembersDedupAndCount(t *testing.T) {
-	r := report()
+	r := testReport()
 	s := r.Streams[0] // seq 1,2,1
 	if len(s.Members) != 2 {
 		t.Fatalf("members = %+v", s.Members)
@@ -47,7 +47,7 @@ func TestMembersDedupAndCount(t *testing.T) {
 }
 
 func TestMetricsFilled(t *testing.T) {
-	r := report()
+	r := testReport()
 	s := r.Streams[0]
 	if s.Spatial != 3 || s.Frequency != 50 {
 		t.Errorf("spatial=%d freq=%d", s.Spatial, s.Frequency)
@@ -62,7 +62,7 @@ func TestMetricsFilled(t *testing.T) {
 }
 
 func TestFocusCandidates(t *testing.T) {
-	r := report()
+	r := testReport()
 	// Stream 0: packing 0.5, temporal 100 -> candidate at (0.6, 50).
 	out := r.FocusCandidates(0.6, 50)
 	if len(out) != 1 || out[0].ID != 0 {
@@ -75,7 +75,7 @@ func TestFocusCandidates(t *testing.T) {
 }
 
 func TestAdvise(t *testing.T) {
-	r := report()
+	r := testReport()
 	// Stream 0 (members at 0 and 4096, 16B each): 2 blocks now, 1
 	// ideal.
 	advice := r.Advise(0.6, 0)
@@ -100,7 +100,7 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestWriteAdvice(t *testing.T) {
-	r := report()
+	r := testReport()
 	var sb strings.Builder
 	if err := r.WriteAdvice(&sb, 0.6, 5); err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestWriteAdvice(t *testing.T) {
 }
 
 func TestWriteSummary(t *testing.T) {
-	r := report()
+	r := testReport()
 	var sb strings.Builder
 	if err := r.WriteSummary(&sb, 0); err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestWriteSummary(t *testing.T) {
 }
 
 func TestWriteStream(t *testing.T) {
-	r := report()
+	r := testReport()
 	var sb strings.Builder
 	if err := r.WriteStream(&sb, 0); err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func TestWriteStream(t *testing.T) {
 }
 
 func TestCustomNamer(t *testing.T) {
-	r := report()
+	r := testReport()
 	r.Namer = func(pc uint32) string { return "alloc.c:42" }
 	var sb strings.Builder
 	if err := r.WriteStream(&sb, 0); err != nil {

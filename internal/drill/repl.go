@@ -2,12 +2,12 @@ package drill
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/report"
 	"repro/internal/sfg"
 )
 
@@ -33,8 +33,9 @@ type REPL struct {
 //	quit         exit
 func (r *REPL) Run(in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
-	fmt.Fprintf(out, "drill: %d hot data streams. Type 'help' for commands.\n", len(r.Report.Streams))
-	prompt := func() { fmt.Fprint(out, "drill> ") }
+	p := report.NewPrinter(out)
+	p.Printf("drill: %d hot data streams. Type 'help' for commands.\n", len(r.Report.Streams))
+	prompt := func() { p.Printf("drill> ") }
 	prompt()
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -51,10 +52,10 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 		}
 		switch cmd {
 		case "quit", "exit", "q":
-			fmt.Fprintln(out, "bye")
-			return sc.Err()
+			p.Println("bye")
+			return p.Err()
 		case "help", "?":
-			fmt.Fprintln(out, "commands: list [n] | show <id> | next <id> | focus | quit")
+			p.Println("commands: list [n] | show <id> | next <id> | focus | quit")
 		case "list":
 			n := arg
 			if n <= 0 {
@@ -65,42 +66,48 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 			}
 		case "show":
 			if arg < 0 {
-				fmt.Fprintln(out, "usage: show <stream-id>")
+				p.Println("usage: show <stream-id>")
 				break
 			}
 			if err := r.Report.WriteStream(out, arg); err != nil {
-				fmt.Fprintln(out, err)
+				p.Println(err)
 			}
 		case "next":
-			r.next(out, arg)
+			r.next(p, arg)
 		case "focus":
 			cands := r.Report.FocusCandidates(0.7, 100)
-			fmt.Fprintf(out, "%d candidates (packing <= 70%%, interval >= 100):\n", len(cands))
+			p.Printf("%d candidates (packing <= 70%%, interval >= 100):\n", len(cands))
 			focused := &Report{Streams: cands, BlockSize: r.Report.BlockSize, Namer: r.Report.Namer}
 			if err := focused.WriteSummary(out, 15); err != nil {
 				return err
 			}
 		default:
-			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
+			p.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+		if err := p.Err(); err != nil {
+			return err
 		}
 		prompt()
 	}
-	fmt.Fprintln(out)
-	return sc.Err()
+	p.Println()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return p.Err()
 }
 
-func (r *REPL) next(out io.Writer, id int) {
+func (r *REPL) next(p *report.Printer, id int) {
 	if r.Graph == nil {
-		fmt.Fprintln(out, "no stream flow graph loaded")
+		p.Println("no stream flow graph loaded")
 		return
 	}
 	if id < 0 || id >= r.Graph.NumNodes {
-		fmt.Fprintln(out, "usage: next <stream-id>")
+		p.Println("usage: next <stream-id>")
 		return
 	}
 	succs := r.Graph.Succs(id)
 	if len(succs) == 0 {
-		fmt.Fprintf(out, "stream #%d has no recorded successors\n", id)
+		p.Printf("stream #%d has no recorded successors\n", id)
 		return
 	}
 	var total uint64
@@ -110,10 +117,10 @@ func (r *REPL) next(out io.Writer, id int) {
 	sort.Slice(succs, func(i, j int) bool { return succs[i].Weight > succs[j].Weight })
 	for i, e := range succs {
 		if i >= 8 {
-			fmt.Fprintf(out, "  ... %d more\n", len(succs)-8)
+			p.Printf("  ... %d more\n", len(succs)-8)
 			break
 		}
-		fmt.Fprintf(out, "  -> stream #%d  %5.1f%% (%d times)\n",
+		p.Printf("  -> stream #%d  %5.1f%% (%d times)\n",
 			e.Dst, float64(e.Weight)/float64(total)*100, e.Weight)
 	}
 }

@@ -10,7 +10,7 @@ import (
 func runREPL(t *testing.T, input string) string {
 	t.Helper()
 	r := &REPL{
-		Report: report(),
+		Report: testReport(),
 		Graph:  sfg.Build([]uint64{0, 1, 0, 1, 0}, 0, 2),
 	}
 	var out strings.Builder
@@ -51,7 +51,7 @@ func TestREPLNext(t *testing.T) {
 }
 
 func TestREPLNextWithoutGraph(t *testing.T) {
-	r := &REPL{Report: report()}
+	r := &REPL{Report: testReport()}
 	var out strings.Builder
 	if err := r.Run(strings.NewReader("next 0\nquit\n"), &out); err != nil {
 		t.Fatal(err)

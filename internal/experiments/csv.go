@@ -28,7 +28,7 @@ func (r *Runner) WriteCSV(dir string) ([]string, error) {
 		}
 		w := csv.NewWriter(f)
 		if err := w.Write(header); err != nil {
-			f.Close()
+			_ = f.Close() // the header write error is the one worth reporting
 			return err
 		}
 		var rowErr error

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/locality"
 	"repro/internal/optim"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -83,6 +84,7 @@ func (r *Runner) Analysis(name string) (*core.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore determinism generation wall-clock is reporting-only (AnalysisTimes); results never depend on it
 	start := time.Now()
 	a := core.Analyze(b, core.Options{SkipPotential: r.cfg.SkipPotential})
 	elapsed := time.Since(start)
@@ -139,26 +141,28 @@ func (r *Runner) each(fn func(name string, a *core.Analysis) error) error {
 // references, plus curve samples. Paper: 1–2% of addresses and 4–8% of
 // PCs; addresses are more skewed than PCs.
 func (r *Runner) Figure1(w io.Writer) error {
-	fmt.Fprintf(w, "Figure 1: program data reference skew (90%% of references)\n")
-	fmt.Fprintf(w, "%-14s %22s %22s\n", "benchmark", "% of data addresses", "% of load-store PCs")
+	p := report.NewPrinter(w)
+	p.Printf("Figure 1: program data reference skew (90%% of references)\n")
+	p.Printf("%-14s %22s %22s\n", "benchmark", "% of data addresses", "% of load-store PCs")
 	return r.each(func(name string, a *core.Analysis) error {
-		_, err := fmt.Fprintf(w, "%-14s %21.2f%% %21.2f%%\n",
+		p.Printf("%-14s %21.2f%% %21.2f%%\n",
 			name, a.AddressSkew.Locality90, a.PCSkew.Locality90)
-		return err
+		return p.Err()
 	})
 }
 
 // Table1 prints benchmark characteristics: references (total, heap,
 // global), distinct addresses, references per address.
 func (r *Runner) Table1(w io.Writer) error {
-	fmt.Fprintf(w, "Table 1: benchmark characteristics\n")
-	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s %12s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Table 1: benchmark characteristics\n")
+	p.Printf("%-14s %12s %12s %12s %12s %12s\n",
 		"benchmark", "refs", "heap refs", "global refs", "addresses", "refs/addr")
 	return r.each(func(name string, a *core.Analysis) error {
 		st := a.TraceStats
-		_, err := fmt.Fprintf(w, "%-14s %12d %12d %12d %12d %12.0f\n",
+		p.Printf("%-14s %12d %12d %12d %12d %12.0f\n",
 			name, st.Refs, st.HeapRefs, st.GlobalRefs, st.Addresses, st.RefsPerAddress())
-		return err
+		return p.Err()
 	})
 }
 
@@ -166,8 +170,9 @@ func (r *Runner) Table1(w io.Writer) error {
 // Paper: WPS is 1–2 orders of magnitude smaller than the trace; WPS1/SFG
 // are another order smaller.
 func (r *Runner) Figure5(w io.Writer) error {
-	fmt.Fprintf(w, "Figure 5: representation sizes (bytes)\n")
-	fmt.Fprintf(w, "%-14s %14s %12s %12s %12s %12s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Figure 5: representation sizes (bytes)\n")
+	p.Printf("%-14s %14s %12s %12s %12s %12s\n",
 		"benchmark", "trace", "WPS0", "WPS1", "SFG0", "SFG1")
 	return r.each(func(name string, a *core.Analysis) error {
 		var wps0, wps1, sfg0, sfg1 uint64
@@ -186,9 +191,9 @@ func (r *Runner) Figure5(w io.Writer) error {
 				}
 			}
 		}
-		_, err := fmt.Fprintf(w, "%-14s %14d %12d %12d %12d %12d\n",
+		p.Printf("%-14s %14d %12d %12d %12d %12d\n",
 			name, a.TraceStats.TraceBytes, wps0, wps1, sfg0, sfg1)
-		return err
+		return p.Err()
 	})
 }
 
@@ -196,65 +201,76 @@ func (r *Runner) Figure5(w io.Writer) error {
 // unit-uniform-access multiples), number of hot data streams, distinct
 // addresses in streams, and those as a percentage of all addresses.
 func (r *Runner) Table2(w io.Writer) error {
-	fmt.Fprintf(w, "Table 2: hot data stream information\n")
-	fmt.Fprintf(w, "%-14s %12s %12s %14s %12s %10s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Table 2: hot data stream information\n")
+	p.Printf("%-14s %12s %12s %14s %12s %10s\n",
 		"benchmark", "threshold", "streams", "stream addrs", "% of addrs", "coverage")
 	return r.each(func(name string, a *core.Analysis) error {
 		pct := 0.0
 		if a.TraceStats.Addresses > 0 {
 			pct = float64(a.Summary.DistinctAddresses) / float64(a.TraceStats.Addresses) * 100
 		}
-		_, err := fmt.Fprintf(w, "%-14s %12d %12d %14d %11.2f%% %9.0f%%\n",
+		p.Printf("%-14s %12d %12d %14d %11.2f%% %9.0f%%\n",
 			name, a.Threshold().Multiple, len(a.Streams()),
 			a.Summary.DistinctAddresses, pct, a.Coverage()*100)
-		return err
+		return p.Err()
 	})
 }
 
 // Figure6 prints the cumulative distribution of hot-data-stream sizes.
 func (r *Runner) Figure6(w io.Writer) error {
-	fmt.Fprintf(w, "Figure 6: cumulative distribution of hot data stream sizes (%% of streams <= size)\n")
+	p := report.NewPrinter(w)
+	p.Printf("Figure 6: cumulative distribution of hot data stream sizes (%% of streams <= size)\n")
+	if err := p.Err(); err != nil {
+		return err
+	}
 	return r.cdf(w, func(a *core.Analysis) []locality.CDFPoint { return a.SizeCDF })
 }
 
 // Figure7 prints the cumulative distribution of cache-block packing
 // efficiencies (64-byte blocks).
 func (r *Runner) Figure7(w io.Writer) error {
-	fmt.Fprintf(w, "Figure 7: cumulative distribution of packing efficiencies (%% of streams <= efficiency)\n")
+	p := report.NewPrinter(w)
+	p.Printf("Figure 7: cumulative distribution of packing efficiencies (%% of streams <= efficiency)\n")
+	if err := p.Err(); err != nil {
+		return err
+	}
 	return r.cdf(w, func(a *core.Analysis) []locality.CDFPoint { return a.PackingCDF })
 }
 
 func (r *Runner) cdf(w io.Writer, get func(*core.Analysis) []locality.CDFPoint) error {
+	p := report.NewPrinter(w)
 	first := true
 	return r.each(func(name string, a *core.Analysis) error {
 		pts := get(a)
 		if first {
-			fmt.Fprintf(w, "%-14s", "benchmark")
-			for _, p := range pts {
-				fmt.Fprintf(w, " %5.0f", p.X)
+			p.Printf("%-14s", "benchmark")
+			for _, pt := range pts {
+				p.Printf(" %5.0f", pt.X)
 			}
-			fmt.Fprintln(w)
+			p.Println()
 			first = false
 		}
-		fmt.Fprintf(w, "%-14s", name)
-		for _, p := range pts {
-			fmt.Fprintf(w, " %5.1f", p.Pct)
+		p.Printf("%-14s", name)
+		for _, pt := range pts {
+			p.Printf(" %5.1f", pt.Pct)
 		}
-		_, err := fmt.Fprintln(w)
-		return err
+		p.Println()
+		return p.Err()
 	})
 }
 
 // Table3 prints the weighted-average locality metrics.
 func (r *Runner) Table3(w io.Writer) error {
-	fmt.Fprintf(w, "Table 3: inherent and realized locality metrics (heat-weighted averages)\n")
-	fmt.Fprintf(w, "%-14s %14s %18s %18s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Table 3: inherent and realized locality metrics (heat-weighted averages)\n")
+	p.Printf("%-14s %14s %18s %18s\n",
 		"benchmark", "stream size", "repetition intvl", "packing eff (%)")
 	return r.each(func(name string, a *core.Analysis) error {
-		_, err := fmt.Fprintf(w, "%-14s %14.1f %18.1f %18.1f\n",
+		p.Printf("%-14s %14.1f %18.1f %18.1f\n",
 			name, a.Summary.WtAvgStreamSize, a.Summary.WtAvgRepetitionInterval,
 			a.Summary.WtAvgPackingEfficiency)
-		return err
+		return p.Err()
 	})
 }
 
@@ -263,8 +279,9 @@ func (r *Runner) Table3(w io.Writer) error {
 // Paper: ~80% of misses are to hot-stream references once the miss rate
 // exceeds 5% (parser is the ~30% exception).
 func (r *Runner) Figure8(w io.Writer) error {
-	fmt.Fprintf(w, "Figure 8: fraction of cache misses caused by hot data streams\n")
-	fmt.Fprintf(w, "%-14s %16s %12s %14s\n", "benchmark", "cache", "miss rate", "hot-miss %")
+	p := report.NewPrinter(w)
+	p.Printf("Figure 8: fraction of cache misses caused by hot data streams\n")
+	p.Printf("%-14s %16s %12s %14s\n", "benchmark", "cache", "miss rate", "hot-miss %")
 	cfgs := []cache.Config{
 		{Size: 512, BlockSize: 64, Assoc: 1},
 		{Size: 1024, BlockSize: 64, Assoc: 2},
@@ -278,13 +295,11 @@ func (r *Runner) Figure8(w io.Writer) error {
 		pts := a.Attribution(cfgs)
 		// Present from high miss rate to low, as the paper's x-axis.
 		sort.Slice(pts, func(i, j int) bool { return pts[i].MissRate > pts[j].MissRate })
-		for _, p := range pts {
-			if _, err := fmt.Fprintf(w, "%-14s %16s %11.2f%% %13.1f%%\n",
-				name, p.Config, p.MissRate, p.HotMissPct); err != nil {
-				return err
-			}
+		for _, pt := range pts {
+			p.Printf("%-14s %16s %11.2f%% %13.1f%%\n",
+				name, pt.Config, pt.MissRate, pt.HotMissPct)
 		}
-		return nil
+		return p.Err()
 	})
 }
 
@@ -294,33 +309,36 @@ func (r *Runner) Figure8(w io.Writer) error {
 // reductions up to 64–92%; boxsim and twolf benefit most; parser, eon and
 // vortex least.
 func (r *Runner) Figure9(w io.Writer) error {
-	fmt.Fprintf(w, "Figure 9: potential of stream-based locality optimizations (miss rate, %% of base)\n")
-	fmt.Fprintf(w, "%-14s %10s %12s %12s %12s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Figure 9: potential of stream-based locality optimizations (miss rate, %% of base)\n")
+	p.Printf("%-14s %10s %12s %12s %12s\n",
 		"benchmark", "base", "prefetching", "clustering", "pref+clus")
 	return r.each(func(name string, a *core.Analysis) error {
 		pr, cl, co := a.Potential.Normalized()
-		_, err := fmt.Fprintf(w, "%-14s %9.2f%% %11.1f%% %11.1f%% %11.1f%%\n",
+		p.Printf("%-14s %9.2f%% %11.1f%% %11.1f%% %11.1f%%\n",
 			name, a.Potential.Base, pr, cl, co)
-		return err
+		return p.Err()
 	})
 }
 
 // AnalysisTimes prints the per-benchmark analysis wall-clock (§5.2 reports
 // "a few seconds to a minute").
 func (r *Runner) AnalysisTimes(w io.Writer) error {
-	fmt.Fprintf(w, "Analysis time (WPS construction + threshold search + metrics)\n")
+	p := report.NewPrinter(w)
+	p.Printf("Analysis time (WPS construction + threshold search + metrics)\n")
 	return r.each(func(name string, a *core.Analysis) error {
-		_, err := fmt.Fprintf(w, "%-14s %8.2fs (hot-stream analysis %.2fs)\n",
+		p.Printf("%-14s %8.2fs (hot-stream analysis %.2fs)\n",
 			name, r.genTime[name].Seconds(), a.AnalysisTime.Seconds())
-		return err
+		return p.Err()
 	})
 }
 
 // Coverage prints the §3.2 reduction cascade: WPS0=100%, streams0≈90%,
 // streams1≈81% of original references.
 func (r *Runner) Coverage(w io.Writer) error {
-	fmt.Fprintf(w, "Reduction cascade: original-reference coverage per level (§3.2)\n")
-	fmt.Fprintf(w, "%-14s %10s %10s\n", "benchmark", "streams0", "streams1")
+	p := report.NewPrinter(w)
+	p.Printf("Reduction cascade: original-reference coverage per level (§3.2)\n")
+	p.Printf("%-14s %10s %10s\n", "benchmark", "streams0", "streams1")
 	return r.each(func(name string, a *core.Analysis) error {
 		c0, c1 := 0.0, 0.0
 		for _, l := range a.Pipeline.Levels {
@@ -331,8 +349,8 @@ func (r *Runner) Coverage(w io.Writer) error {
 				c1 = l.OriginalCoverage
 			}
 		}
-		_, err := fmt.Fprintf(w, "%-14s %9.0f%% %9.0f%%\n", name, c0*100, c1*100)
-		return err
+		p.Printf("%-14s %9.0f%% %9.0f%%\n", name, c0*100, c1*100)
+		return p.Err()
 	})
 }
 
@@ -342,9 +360,13 @@ func (r *Runner) All(w io.Writer) error {
 		r.Figure1, r.Table1, r.Figure5, r.Table2, r.Figure6,
 		r.Table3, r.Figure7, r.Figure8, r.Figure9, r.Coverage, r.AnalysisTimes,
 	}
+	p := report.NewPrinter(w)
 	for i, step := range steps {
 		if i > 0 {
-			fmt.Fprintln(w)
+			p.Println()
+			if err := p.Err(); err != nil {
+				return err
+			}
 		}
 		if err := step(w); err != nil {
 			return err

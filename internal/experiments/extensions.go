@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/optim"
 	"repro/internal/prefetch"
+	"repro/internal/report"
 	"repro/internal/sfg"
 	"repro/internal/stability"
 	"repro/internal/trace"
@@ -46,8 +47,9 @@ func (r *Runner) analysisSeed(name string, seed int64) (*core.Analysis, error) {
 // streams of the test run. §3.4: streams "are relatively stable across
 // program executions with different inputs."
 func (r *Runner) Stability(w io.Writer) error {
-	fmt.Fprintf(w, "Stream stability across inputs (train seed %d, test seed %d)\n", r.cfg.Seed, r.cfg.Seed+1)
-	fmt.Fprintf(w, "%-14s %10s %10s %10s %12s %11s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Stream stability across inputs (train seed %d, test seed %d)\n", r.cfg.Seed, r.cfg.Seed+1)
+	p.Printf("%-14s %10s %10s %10s %12s %11s\n",
 		"benchmark", "train", "test", "common", "by count", "by heat")
 	return r.each(func(name string, a *core.Analysis) error {
 		b, err := r.analysisSeed(name, r.cfg.Seed+1)
@@ -57,10 +59,10 @@ func (r *Runner) Stability(w io.Writer) error {
 		train := stability.PCStreams(a.Abstraction.Names, a.Abstraction.PCs, a.Streams())
 		test := stability.PCStreams(b.Abstraction.Names, b.Abstraction.PCs, b.Streams())
 		rep := stability.Compare(train, test)
-		_, err = fmt.Fprintf(w, "%-14s %10d %10d %10d %11.0f%% %10.0f%%\n",
+		p.Printf("%-14s %10d %10d %10d %11.0f%% %10.0f%%\n",
 			name, rep.TrainStreams, rep.TestStreams, rep.Common,
 			rep.StreamOverlap*100, rep.HeatOverlap*100)
-		return err
+		return p.Err()
 	})
 }
 
@@ -69,8 +71,9 @@ func (r *Runner) Stability(w io.Writer) error {
 // input. The paper's preliminary implementation reported 15–43% miss-rate
 // improvements for three benchmarks under exactly this train/test split.
 func (r *Runner) PrefetchTrainTest(w io.Writer) error {
-	fmt.Fprintf(w, "Train/test stream prefetching (detection prefix 2, 8K fully-assoc cache)\n")
-	fmt.Fprintf(w, "%-14s %10s %10s %12s %12s %12s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Train/test stream prefetching (detection prefix 2, 8K fully-assoc cache)\n")
+	p.Printf("%-14s %10s %10s %12s %12s %12s\n",
 		"benchmark", "base miss", "with pref", "improvement", "triggers", "issued")
 	return r.each(func(name string, a *core.Analysis) error {
 		b, err := r.analysisSeed(name, r.cfg.Seed+1)
@@ -79,10 +82,10 @@ func (r *Runner) PrefetchTrainTest(w io.Writer) error {
 		}
 		train := stability.PCStreams(a.Abstraction.Names, a.Abstraction.PCs, a.Streams())
 		res := prefetch.TrainTest(train, b.Abstraction.PCs, b.Abstraction.Addrs, prefetch.DefaultConfig())
-		_, err = fmt.Fprintf(w, "%-14s %9.2f%% %9.2f%% %11.1f%% %12d %12d\n",
+		p.Printf("%-14s %9.2f%% %9.2f%% %11.1f%% %12d %12d\n",
 			name, res.Baseline.MissRate()*100, res.Stats.MissRate()*100,
 			res.Improvement(), res.Triggers, res.Issued)
-		return err
+		return p.Err()
 	})
 }
 
@@ -91,8 +94,9 @@ func (r *Runner) PrefetchTrainTest(w io.Writer) error {
 // arbitrarily chosen window size, while the SFG's successor counts are
 // window-free.
 func (r *Runner) TRGComparison(w io.Writer) error {
-	fmt.Fprintf(w, "SFG vs TRG (§3.3): edge counts per window, top-10 pair churn between windows\n")
-	fmt.Fprintf(w, "%-14s %9s %8s %8s %8s %8s %14s\n",
+	p := report.NewPrinter(w)
+	p.Printf("SFG vs TRG (§3.3): edge counts per window, top-10 pair churn between windows\n")
+	p.Printf("%-14s %9s %8s %8s %8s %8s %14s\n",
 		"benchmark", "SFG edges", "TRG W=2", "W=4", "W=8", "W=16", "churn 2>4>8>16")
 	return r.each(func(name string, a *core.Analysis) error {
 		if len(a.Pipeline.Levels) == 0 || a.Pipeline.Levels[0].Measurement == nil {
@@ -113,10 +117,10 @@ func (r *Runner) TRGComparison(w io.Writer) error {
 			}
 			churn += fmt.Sprintf("%.0f%%", sfg.PairChurn(trgs[i-1], trgs[i], 10)*100)
 		}
-		_, err := fmt.Fprintf(w, "%-14s %9d %8d %8d %8d %8d %14s\n",
+		p.Printf("%-14s %9d %8d %8d %8d %8d %14s\n",
 			name, l.SFG.NumEdges(), trgs[0].NumEdges(), trgs[1].NumEdges(),
 			trgs[2].NumEdges(), trgs[3].NumEdges(), churn)
-		return err
+		return p.Err()
 	})
 }
 
@@ -124,8 +128,9 @@ func (r *Runner) TRGComparison(w io.Writer) error {
 // and stores cannot replace full sequence information: analyzing every
 // k-th reference destroys the subsequences hot streams are made of.
 func (r *Runner) Sampling(w io.Writer) error {
-	fmt.Fprintf(w, "Sampling ablation (§1): hot-stream analysis on every 10th reference\n")
-	fmt.Fprintf(w, "%-14s %14s %14s %14s %14s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Sampling ablation (§1): hot-stream analysis on every 10th reference\n")
+	p.Printf("%-14s %14s %14s %14s %14s\n",
 		"benchmark", "full streams", "full cover", "sampled strms", "sampled cover")
 	return r.each(func(name string, a *core.Analysis) error {
 		b, err := workload.Generate(name, r.cfg.Scale, r.cfg.Seed)
@@ -145,9 +150,9 @@ func (r *Runner) Sampling(w io.Writer) error {
 			i++
 		}
 		sa := core.Analyze(sampled, core.Options{SkipPotential: true})
-		_, err = fmt.Fprintf(w, "%-14s %14d %13.0f%% %14d %13.0f%%\n",
+		p.Printf("%-14s %14d %13.0f%% %14d %13.0f%%\n",
 			name, len(a.Streams()), a.Coverage()*100, len(sa.Streams()), sa.Coverage()*100)
-		return err
+		return p.Err()
 	})
 }
 
@@ -155,8 +160,9 @@ func (r *Runner) Sampling(w io.Writer) error {
 // multi-session database workload: the trace is split by session and each
 // session's reference stream gets its own WPS and hot-stream analysis.
 func (r *Runner) Threads(w io.Writer) error {
-	fmt.Fprintf(w, "Per-thread WPS construction (§5.1, sqlserver sessions)\n")
-	fmt.Fprintf(w, "%8s %10s %10s %10s %10s %10s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Per-thread WPS construction (§5.1, sqlserver sessions)\n")
+	p.Printf("%8s %10s %10s %10s %10s %10s\n",
 		"session", "refs", "WPS0 B", "streams", "threshold", "coverage")
 	b, err := workload.Generate("sqlserver", r.cfg.Scale, r.cfg.Seed)
 	if err != nil {
@@ -168,21 +174,20 @@ func (r *Runner) Threads(w io.Writer) error {
 		if !ok {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%8d %10d %10d %10d %10d %9.0f%%\n",
+		p.Printf("%8d %10d %10d %10d %10d %9.0f%%\n",
 			thread, a.TraceStats.Refs, a.Pipeline.Levels[0].WPS.Size().ASCIIBytes,
-			len(a.Streams()), a.Threshold().Multiple, a.Coverage()*100); err != nil {
-			return err
-		}
+			len(a.Streams()), a.Threshold().Multiple, a.Coverage()*100)
 	}
-	return nil
+	return p.Err()
 }
 
 // WPP runs the §6 "complete picture" analysis: Whole Program Paths beside
 // Whole Program Streams, and the correlation joining each benchmark's
 // hottest subpath to the hot data streams its executions generate.
 func (r *Runner) WPP(w io.Writer) error {
-	fmt.Fprintf(w, "Whole Program Paths beside Whole Program Streams (§6)\n")
-	fmt.Fprintf(w, "%-14s %10s %10s %10s %12s %26s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Whole Program Paths beside Whole Program Streams (§6)\n")
+	p.Printf("%-14s %10s %10s %10s %12s %26s\n",
 		"benchmark", "paths", "WPP B", "subpaths", "WPS0 B", "hottest subpath's streams")
 	return r.each(func(name string, a *core.Analysis) error {
 		b, err := workload.Generate(name, r.cfg.Scale, r.cfg.Seed)
@@ -191,8 +196,8 @@ func (r *Runner) WPP(w io.Writer) error {
 		}
 		pt := wpp.Extract(b)
 		if len(pt.IDs) == 0 {
-			_, err := fmt.Fprintf(w, "%-14s %10s\n", name, "(no path records)")
-			return err
+			p.Printf("%-14s %10s\n", name, "(no path records)")
+			return p.Err()
 		}
 		pw := wpp.Build(pt)
 		_, subs := pw.HotSubpaths(0.9)
@@ -217,10 +222,10 @@ func (r *Runner) WPP(w io.Writer) error {
 				assoc = "-"
 			}
 		}
-		_, err = fmt.Fprintf(w, "%-14s %10d %10d %10d %12d %26s\n",
+		p.Printf("%-14s %10d %10d %10d %12d %26s\n",
 			name, len(pt.IDs), pw.Size().ASCIIBytes, len(subs),
 			a.Pipeline.Levels[0].WPS.Size().ASCIIBytes, assoc)
-		return err
+		return p.Err()
 	})
 }
 
@@ -229,8 +234,9 @@ func (r *Runner) WPP(w io.Writer) error {
 // narrative (boxsim and twolf would benefit most from locality
 // optimizations, parser and eon least).
 func (r *Runner) Selector(w io.Writer) error {
-	fmt.Fprintf(w, "Optimization selection (§4.2.2), heat-weighted share per choice\n")
-	fmt.Fprintf(w, "%-14s %8s %12s %12s %12s %10s\n",
+	p := report.NewPrinter(w)
+	p.Printf("Optimization selection (§4.2.2), heat-weighted share per choice\n")
+	p.Printf("%-14s %8s %12s %12s %12s %10s\n",
 		"benchmark", "none", "clustering", "inter-pref", "intra-pref", "targeted")
 	return r.each(func(name string, a *core.Analysis) error {
 		streams := a.Streams()
@@ -242,11 +248,11 @@ func (r *Runner) Selector(w io.Writer) error {
 			}
 			return float64(sum.HeatByChoice[c]) / float64(sum.TotalHeat) * 100
 		}
-		_, err := fmt.Fprintf(w, "%-14s %7.1f%% %11.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
+		p.Printf("%-14s %7.1f%% %11.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
 			name, pct(optim.NoTarget), pct(optim.Clustering),
 			pct(optim.InterStreamPrefetch), pct(optim.IntraStreamPrefetch),
 			sum.TargetFraction()*100)
-		return err
+		return p.Err()
 	})
 }
 
@@ -254,9 +260,13 @@ func (r *Runner) Selector(w io.Writer) error {
 func (r *Runner) Extensions(w io.Writer) error {
 	steps := []func(io.Writer) error{r.Stability, r.PrefetchTrainTest, r.TRGComparison,
 		r.Sampling, r.Threads, r.WPP, r.Selector}
+	p := report.NewPrinter(w)
 	for i, step := range steps {
 		if i > 0 {
-			fmt.Fprintln(w)
+			p.Println()
+			if err := p.Err(); err != nil {
+				return err
+			}
 		}
 		if err := step(w); err != nil {
 			return err

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces seed-reproducibility in non-test code under
+// internal/: a reproduction run must produce bit-identical numbers for a
+// given seed (EXPERIMENTS.md pins seeds per table), so the analysis
+// pipeline may not consult wall-clock time, the process-global math/rand
+// source, or map iteration order for anything it prints.
+//
+// Flagged:
+//   - any use of time.Now (wall-clock timing in reports is a legitimate
+//     exception — suppress it with //lint:ignore determinism <reason>),
+//   - math/rand top-level functions drawing from the global source
+//     (rand.Intn, rand.Shuffle, ...); constructors (rand.New,
+//     rand.NewSource, rand.NewZipf) that build explicitly-seeded
+//     generators are fine,
+//   - fmt printing inside a range over a map, whose order changes run to
+//     run: collect and sort keys first.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "internal packages must stay seed-deterministic",
+	Run:  runDeterminism,
+}
+
+// globalRandExempt lists math/rand functions that construct local,
+// explicitly seeded state instead of using the shared source.
+var globalRandExempt = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !moduleInternal(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := info.Uses[n.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				if sig == nil || sig.Recv() != nil {
+					return true
+				}
+				switch funcPkgPath(fn) {
+				case "time":
+					if fn.Name() == "Now" {
+						pass.Reportf(n.Pos(), "time.Now makes runs irreproducible; thread timing through explicitly or suppress with a reason")
+					}
+				case "math/rand", "math/rand/v2":
+					if !globalRandExempt[fn.Name()] {
+						pass.Reportf(n.Pos(), "rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed))", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok {
+					checkMapRangeOutput(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeOutput flags fmt printing anywhere inside the body of a
+// range over a map.
+func checkMapRangeOutput(pass *Pass, loop *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if funcPkgPath(fn) != "fmt" {
+			return true
+		}
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map %s emits map-order-dependent output; sort the keys first",
+				fn.Name(), exprString(pass.Pkg.Fset, loop.X))
+		}
+		return true
+	})
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrCheck flags calls whose error result is silently dropped: calls used
+// as statements, and deferred or go'd calls, in any loaded package. An
+// explicit `_ =` assignment is treated as an intentional discard and not
+// flagged (tracecheck is stricter for the trace writer, where even blank
+// discards are forbidden).
+//
+// Excluded as can't-fail or terminal-output by convention:
+//   - the fmt.Print family writing to standard output, and the fmt.Fprint
+//     family when the destination is syntactically os.Stdout or os.Stderr
+//     (diagnostic output; any other io.Writer is flagged),
+//   - methods on *bytes.Buffer and *strings.Builder, whose Write methods
+//     are documented never to return an error.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results must not be silently dropped",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			verb := "call to"
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+				verb = "deferred call to"
+			case *ast.GoStmt:
+				call = s.Call
+				verb = "go call to"
+			}
+			if call == nil || !returnsError(info, call) || errCheckExcluded(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "unchecked error from %s %s", verb, exprString(pass.Pkg.Fset, call.Fun))
+			return true
+		})
+	}
+}
+
+func errCheckExcluded(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	switch recvTypeString(fn) {
+	case "*bytes.Buffer", "*strings.Builder":
+		return true
+	}
+	if funcPkgPath(fn) == "fmt" {
+		name := fn.Name()
+		switch {
+		case name == "Print" || name == "Printf" || name == "Println":
+			return true
+		case (name == "Fprint" || name == "Fprintf" || name == "Fprintln") && len(call.Args) > 0:
+			return isStdStream(call.Args[0])
+		}
+	}
+	return false
+}
+
+// isStdStream matches the literal selectors os.Stdout and os.Stderr.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}

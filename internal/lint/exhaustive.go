@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveKind keeps switches over the repo's enum types in sync with
+// their constant sets. A type counts as an enum when it is a module-local
+// named integer type with at least two package-level constants of that
+// exact type (trace.Kind, trace.Region, abstract.Mode, ...). Every switch
+// over such a type must either cover every declared constant value or
+// carry a non-empty default that handles — ideally rejects — unexpected
+// values; a silent empty default hides exactly the drift (a new record
+// kind, a new abstraction mode) this analyzer exists to catch.
+var ExhaustiveKind = &Analyzer{
+	Name: "exhaustive-kind",
+	Doc:  "switches over enum types must cover every constant or default explicitly",
+	Run:  runExhaustiveKind,
+}
+
+func runExhaustiveKind(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, info, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, info *types.Info, sw *ast.SwitchStmt) {
+	named := namedType(info.TypeOf(sw.Tag))
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	if !strings.HasPrefix(named.Obj().Pkg().Path(), pass.Pkg.Module+"/") {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return
+	}
+
+	covered := make(map[int64]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			v, ok := constIntValue(info, e)
+			if !ok {
+				return // non-constant case: exhaustiveness is undecidable
+			}
+			covered[v] = true
+		}
+	}
+
+	// Missing constants, deduplicated by value (aliases count once).
+	seen := make(map[int64]bool)
+	var missing []string
+	for _, c := range consts {
+		v, ok := constInt64(c)
+		if !ok || covered[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		missing = append(missing, c.Name())
+	}
+	sort.Strings(missing)
+
+	typeName := named.Obj().Name()
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 && len(missing) > 0 {
+			pass.Reportf(defaultClause.Pos(),
+				"empty default silently drops %s values %s; handle them or make the default reject unexpected values",
+				typeName, strings.Join(missing, ", "))
+		}
+		return
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch on %s does not cover %s; add the missing cases or a default that rejects unexpected values",
+			typeName, strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the (already type-checked) call yields at
+// least one value of type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// calleeFunc resolves the called function or method, or nil for indirect
+// calls, func-literal calls, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the function's defining package,
+// or "" for builtins.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeString renders the method's receiver type (e.g. "*bytes.Buffer"),
+// or "" for plain functions.
+func recvTypeString(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return types.TypeString(sig.Recv().Type(), nil)
+}
+
+// exprString renders an expression compactly for messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "expression"
+	}
+	return sb.String()
+}
+
+// constIntValue extracts an integer constant from a type-checked
+// expression.
+func constIntValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// constInt64 extracts a constant's integer value.
+func constInt64(c *types.Const) (int64, bool) {
+	if c.Val().Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(c.Val())
+}
+
+// namedType unwraps an expression's type to a named (or aliased) type
+// defined in some package, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// enumConstants lists the package-level constants declared with exactly the
+// named type, in declaration-scope name order.
+func enumConstants(n *types.Named) []*types.Const {
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), n) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// moduleInternal reports whether the package lives under <module>/internal.
+func moduleInternal(pkg *Package) bool {
+	return strings.HasPrefix(pkg.Path, pkg.Module+"/internal/")
+}

@@ -1,0 +1,169 @@
+// Package lint is a self-contained static-analysis framework for this
+// repository, built on the standard library's go/ast, go/parser, go/types
+// and go/token packages only — no external dependencies, keeping go.mod
+// empty. It exists because the reproduction's correctness hinges on
+// properties ordinary tests cannot see: workload generators silently
+// bypassing the trace writer, nondeterminism creeping into seeded runs,
+// enum switches drifting out of sync with the trace record format. Each
+// property is enforced by a repo-specific analyzer (see registry.go); the
+// cmd/repolint command runs the registry over the tree and CI fails on any
+// finding.
+//
+// Findings can be suppressed with an explicit, audited directive placed on
+// the offending line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a malformed directive or one naming an unknown
+// analyzer is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives.
+	Name string
+	// Doc is a one-line description shown by repolint -list.
+	Doc string
+	// Run reports the analyzer's findings for one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Finding is one diagnostic: a position, the analyzer that produced it,
+// and a message.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package, applies ignore
+// directives, and returns the surviving findings sorted by position. The
+// framework's own diagnostics (malformed or unknown-analyzer ignore
+// directives) are reported under the analyzer name "lint" and cannot be
+// suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		ig, directiveFindings := parseIgnores(pkg, known)
+		var raw []Finding
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
+		}
+		for _, f := range raw {
+			if !ig.suppresses(f) {
+				all = append(all, f)
+			}
+		}
+		all = append(all, directiveFindings...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// ignoreKey locates one suppressed (file line, analyzer) pair.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// suppresses reports whether a directive covers the finding: a directive on
+// line N covers findings on N (trailing comment) and N+1 (comment above the
+// statement).
+func (ig ignoreSet) suppresses(f Finding) bool {
+	if f.Analyzer == "lint" {
+		return false
+	}
+	return ig[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]
+}
+
+// parseIgnores scans the package's comments for lint:ignore directives,
+// returning the suppression set plus findings for malformed directives.
+func parseIgnores(pkg *Package, known map[string]bool) (ignoreSet, []Finding) {
+	ig := make(ignoreSet)
+	var bad []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Finding{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "lint",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c.Pos(), "malformed directive %q: want //lint:ignore <analyzer> <reason>", text)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						report(c.Pos(), "ignore directive names unknown analyzer %q", name)
+						continue
+					}
+					ig[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ig[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return ig, bad
+}

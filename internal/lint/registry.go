@@ -1,0 +1,12 @@
+package lint
+
+// Analyzers returns the full analyzer registry in the order repolint runs
+// it. New repo-specific analyzers register here.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		ErrCheck,
+		ExhaustiveKind,
+		TraceCheck,
+	}
+}

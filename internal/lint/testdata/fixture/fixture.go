@@ -1,0 +1,64 @@
+// Package fixture holds deliberate findings for every registered analyzer.
+// It lives under testdata so recursive "./..." walks skip it; repolint (and
+// TestFixturePackageHasFindings) lint it by naming the path explicitly:
+//
+//	go run ./cmd/repolint ./internal/lint/testdata/...
+//
+// must exit 1.
+package fixture
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+type phase int
+
+const (
+	start phase = iota
+	middle
+	finish
+)
+
+func mayFail() error { return nil }
+
+// DropsError discards an error result (errcheck).
+func DropsError() {
+	mayFail()
+}
+
+// WallClock consults the wall clock (determinism).
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// MapOrder prints in map iteration order (determinism).
+func MapOrder(m map[string]int) {
+	for k := range m {
+		fmt.Printf("%s\n", k)
+	}
+}
+
+// PartialSwitch misses the finish phase (exhaustive-kind).
+func PartialSwitch(p phase) int {
+	switch p {
+	case start:
+		return 1
+	case middle:
+		return 2
+	}
+	return 0
+}
+
+// HandRolledEvent builds a trace record outside the writer API and smuggles
+// in an invalid kind byte (tracecheck, twice).
+func HandRolledEvent() trace.Event {
+	return trace.Event{Kind: trace.Kind(7)}
+}
+
+// BlankedWrite discards a trace writer error (tracecheck).
+func BlankedWrite(w *trace.Writer, e trace.Event) {
+	_ = w.Write(e)
+}

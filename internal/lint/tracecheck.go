@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceCheck guards the integrity of the 9-byte trace record stream
+// (Chilimbi §5.1): every WPS, hot-stream, and locality number downstream is
+// computed from it, so a malformed or silently truncated trace skews the
+// whole evaluation. Outside internal/trace itself (which *is* the API), it
+// flags:
+//
+//   - hand-constructed trace.Event composite literals — records must flow
+//     through the trace.Buffer / trace.Writer methods so kind bytes,
+//     thread packing, and record sizes stay consistent,
+//   - conversions of out-of-range constants to trace.Kind (an invalid kind
+//     byte is unreadable by trace.Reader),
+//   - trace.Writer error results discarded with a blank assignment
+//     (`_ = w.Flush()`): errcheck already forbids dropping them outright,
+//     and for the trace writer even an explicit discard is corruption —
+//     a failed Write or Flush truncates the stream.
+var TraceCheck = &Analyzer{
+	Name: "tracecheck",
+	Doc:  "trace records must flow through the trace writer API",
+	Run:  runTraceCheck,
+}
+
+func runTraceCheck(pass *Pass) {
+	tracePath := pass.Pkg.Module + "/internal/trace"
+	if pass.Pkg.Path == tracePath {
+		return
+	}
+	info := pass.Pkg.Info
+	isTraceType := func(t types.Type, name string) bool {
+		n := namedType(t)
+		return n != nil && n.Obj().Name() == name &&
+			n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == tracePath
+	}
+	maxKind := int64(-1)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isTraceType(info.TypeOf(n), "Event") {
+					pass.Reportf(n.Pos(), "trace.Event constructed by hand; emit records through the trace.Buffer/Writer API")
+				}
+			case *ast.CallExpr:
+				checkKindConversion(pass, n, isTraceType, &maxKind)
+			case *ast.AssignStmt:
+				checkBlankWriterDiscard(pass, n, tracePath)
+			}
+			return true
+		})
+	}
+}
+
+// checkKindConversion flags trace.Kind(c) for constant c outside the
+// declared kind range.
+func checkKindConversion(pass *Pass, call *ast.CallExpr, isTraceType func(types.Type, string) bool, maxKind *int64) {
+	info := pass.Pkg.Info
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isTraceType(tv.Type, "Kind") {
+		return
+	}
+	v, ok := constIntValue(info, call.Args[0])
+	if !ok {
+		return
+	}
+	if *maxKind < 0 {
+		for _, c := range enumConstants(namedType(tv.Type)) {
+			if cv, ok := constInt64(c); ok && cv > *maxKind {
+				*maxKind = cv
+			}
+		}
+	}
+	if v < 0 || v > *maxKind {
+		pass.Reportf(call.Pos(), "invalid trace kind byte %d (valid kinds are 0..%d); use the named trace.Kind constants", v, *maxKind)
+	}
+}
+
+// checkBlankWriterDiscard flags `_ = w.Write(e)` style discards of
+// trace.Writer error results.
+func checkBlankWriterDiscard(pass *Pass, as *ast.AssignStmt, tracePath string) {
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	for _, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(pass.Pkg.Info, call)
+		if fn == nil || funcPkgPath(fn) != tracePath {
+			continue
+		}
+		if recvTypeString(fn) != "*"+tracePath+".Writer" {
+			continue
+		}
+		switch fn.Name() {
+		case "Write", "WriteAll", "Flush":
+			pass.Reportf(call.Pos(), "error from (*trace.Writer).%s discarded; a failed trace write silently truncates the record stream", fn.Name())
+		}
+	}
+}

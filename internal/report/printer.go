@@ -1,0 +1,41 @@
+// Package report provides the error-latching printer the table/figure
+// renderers and CLIs share. Report code emits many consecutive writes to
+// one destination; checking each fmt.Fprintf individually buries the
+// layout. Printer latches the first write error and turns every later
+// print into a no-op, so renderers print unconditionally and surface the
+// error once at the end — the same discipline trace.Writer applies to the
+// record stream, and the pattern that keeps the errcheck analyzer
+// (internal/lint) clean without suppressions.
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Printer wraps an io.Writer with first-error latching.
+type Printer struct {
+	w   io.Writer
+	err error
+}
+
+// NewPrinter returns a Printer writing to w.
+func NewPrinter(w io.Writer) *Printer { return &Printer{w: w} }
+
+// Printf formats to the underlying writer unless an earlier write failed.
+func (p *Printer) Printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// Println prints operands followed by a newline unless an earlier write
+// failed.
+func (p *Printer) Println(args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintln(p.w, args...)
+	}
+}
+
+// Err returns the first error encountered by any print, or nil.
+func (p *Printer) Err() error { return p.err }

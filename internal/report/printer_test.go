@@ -1,0 +1,46 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPrinterWrites(t *testing.T) {
+	var sb strings.Builder
+	p := NewPrinter(&sb)
+	p.Printf("a %d", 1)
+	p.Println(" b")
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+	if got := sb.String(); got != "a 1 b\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestPrinterLatchesFirstError(t *testing.T) {
+	w := &failWriter{n: 1}
+	p := NewPrinter(w)
+	p.Printf("ok\n")
+	p.Printf("fails\n")
+	p.Println("suppressed: must not write after the latch")
+	if !errors.Is(p.Err(), errSink) {
+		t.Fatalf("Err() = %v, want %v", p.Err(), errSink)
+	}
+	if w.n != 0 {
+		t.Fatalf("writer consumed %d writes, want all pre-error writes", w.n)
+	}
+}

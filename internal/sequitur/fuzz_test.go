@@ -25,7 +25,7 @@ func FuzzExpandIdentity(f *testing.F) {
 		}
 		g := New()
 		g.AppendAll(in)
-		if err := g.CheckInvariants(); err != nil {
+		if err := CheckInvariants(g); err != nil {
 			t.Fatalf("invariants: %v", err)
 		}
 		if !reflect.DeepEqual(g.Expand(), in) {
@@ -60,9 +60,15 @@ func FuzzBinaryCodec(f *testing.F) {
 		if _, err := NewDAG(g, 100).WriteBinary(&buf); err != nil {
 			t.Fatalf("write: %v", err)
 		}
+		if err := CheckInvariants(g); err != nil {
+			t.Fatalf("invariants after DAG construction: %v", err)
+		}
 		g2, err := ReadBinary(&buf)
 		if err != nil {
 			t.Fatalf("read back: %v", err)
+		}
+		if err := CheckInvariants(g2); err != nil {
+			t.Fatalf("invariants of decoded grammar: %v", err)
 		}
 		if !reflect.DeepEqual(g2.Expand(), in) {
 			t.Fatal("round-trip mismatch")

@@ -1,0 +1,212 @@
+package sequitur
+
+import "fmt"
+
+// Under the repro_sanitize build tag, Append runs the full invariant sweep
+// after every terminal while the grammar holds at most sanitizeDense
+// terminals (the regime fuzz inputs live in), then at every
+// sanitizeStride-th append, keeping tagged test runs near the untagged
+// asymptotics.
+const (
+	sanitizeDense  = 512
+	sanitizeStride = 512
+)
+
+// CheckInvariants verifies the structural health of a grammar, returning a
+// descriptive error for the first violation found. It is the dynamic
+// sanitizer counterpart of the static checks in internal/lint: tests and
+// fuzz targets call it directly, and builds with the repro_sanitize tag run
+// it after every Append (see sanitize_on.go).
+//
+// The checks, in order:
+//
+//   - root registration: the root rule is present in the rule table;
+//   - guard coherence: every rule's guard node is marked and points back at
+//     its rule;
+//   - link coherence: every right-hand side is a properly doubly-linked
+//     circle back to its own guard, with a step cap so a broken guard link
+//     is reported rather than looped on;
+//   - terminal range: no terminal value uses the reserved nonterminal bit;
+//   - dangling references: nonterminals reference live rules, and the exact
+//     *Rule registered in the table (not a stale copy);
+//   - digram uniqueness: no digram occurs twice (overlapping runs like
+//     "aaa" excepted), skipped for SEQUITUR(k) grammars with pending
+//     digrams, where uniqueness is intentionally relaxed;
+//   - digram table validity and completeness (non-frozen grammars only):
+//     every table entry points at a linked, correctly-keyed symbol, and —
+//     when no digrams are pending — every digram in the grammar has a table
+//     entry;
+//   - rule utility: every rule but the root is referenced at least twice
+//     (again skipped while digrams are pending);
+//   - use counts: each rule's tracked reference count matches the actual
+//     number of nonterminals referencing it, and the root is never
+//     referenced;
+//   - expLen coherence: every non-zero expansion-length cache (populated by
+//     the DAG layer) matches a bottom-up recount, cycles in the rule
+//     reference graph are reported, and the root's expansion length matches
+//     the number of appended terminals.
+//
+// It runs in O(total symbols) plus O(rules) for the expansion recount.
+func CheckInvariants(g *Grammar) error {
+	if g == nil || g.root == nil {
+		return fmt.Errorf("sequitur: nil grammar or missing root")
+	}
+	if g.rules[g.root.id] != g.root {
+		return fmt.Errorf("sequitur: root rule %d not registered in rule table", g.root.id)
+	}
+
+	// A sane RHS never exceeds the input length; the cap turns a broken
+	// guard loop into an error instead of a hang.
+	maxRHS := int(g.input) + 2*len(g.rules) + 16
+
+	seen := make(map[digram]uint64)  // digram -> rule holding it
+	uses := make(map[uint64]int)     // rule id -> actual reference count
+	linked := make(map[*symbol]bool) // symbols reachable from live rules
+
+	for id, r := range g.rules {
+		if r == nil {
+			return fmt.Errorf("sequitur: rule table entry %d is nil", id)
+		}
+		if r.id != id {
+			return fmt.Errorf("sequitur: rule table key %d holds rule with id %d", id, r.id)
+		}
+		if r.guard == nil || !r.guard.guard || r.guard.r != r {
+			return fmt.Errorf("sequitur: rule %d guard node corrupt", id)
+		}
+		n := 0
+		s := r.guard.next
+		for {
+			if s == nil {
+				return fmt.Errorf("sequitur: rule %d: nil symbol after %d right-hand-side positions", id, n)
+			}
+			if s.guard {
+				if s != r.guard {
+					return fmt.Errorf("sequitur: rule %d right-hand side reaches rule %d's guard", id, s.r.id)
+				}
+				break
+			}
+			if s.next == nil || s.prev == nil {
+				return fmt.Errorf("sequitur: rule %d: symbol at position %d has a nil link", id, n)
+			}
+			if s.next.prev != s || s.prev.next != s {
+				return fmt.Errorf("sequitur: rule %d: broken doubly-linked list at position %d", id, n)
+			}
+			if s.r != nil {
+				uses[s.r.id]++
+				if live, ok := g.rules[s.r.id]; !ok {
+					return fmt.Errorf("sequitur: rule %d references deleted rule %d", id, s.r.id)
+				} else if live != s.r {
+					return fmt.Errorf("sequitur: rule %d references a stale copy of rule %d", id, s.r.id)
+				}
+			} else if s.value&ntBit != 0 {
+				return fmt.Errorf("sequitur: rule %d: terminal %#x uses the reserved nonterminal bit", id, s.value)
+			}
+			linked[s] = true
+			if !s.next.guard && g.pending == nil {
+				d := digram{s.key(), s.next.key()}
+				if prev, dup := seen[d]; dup {
+					// Overlapping same-symbol digrams within a run are
+					// permitted (aaa holds aa twice, overlapping).
+					if !(d.a == d.b && prev == id) {
+						return fmt.Errorf("sequitur: digram (%x,%x) duplicated in rules %d and %d", d.a, d.b, prev, id)
+					}
+				}
+				seen[d] = id
+			}
+			n++
+			if n > maxRHS {
+				return fmt.Errorf("sequitur: rule %d right-hand side exceeds %d symbols: guard loop broken", id, maxRHS)
+			}
+			s = s.next
+		}
+		if id != g.root.id && n < 2 {
+			return fmt.Errorf("sequitur: rule %d has %d symbols, want >= 2", id, n)
+		}
+	}
+
+	// Digram table checks apply only to appendable grammars; ReadBinary
+	// leaves the table nil.
+	if g.digrams != nil {
+		for d, s := range g.digrams {
+			if s == nil || s.guard {
+				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at a guard or nil symbol", d.a, d.b)
+			}
+			if !linked[s] {
+				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at an unlinked symbol", d.a, d.b)
+			}
+			if s.next == nil || s.next.guard {
+				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at a rule's last symbol", d.a, d.b)
+			}
+			if s.key() != d.a || s.next.key() != d.b {
+				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at digram (%x,%x)",
+					d.a, d.b, s.key(), s.next.key())
+			}
+		}
+		if g.pending == nil {
+			for d, rid := range seen {
+				if _, ok := g.digrams[d]; !ok {
+					return fmt.Errorf("sequitur: digram (%x,%x) in rule %d missing from the digram table", d.a, d.b, rid)
+				}
+			}
+		}
+	}
+
+	for id, r := range g.rules {
+		if id == g.root.id {
+			continue
+		}
+		if g.pending == nil && uses[id] < 2 {
+			return fmt.Errorf("sequitur: rule %d used %d times, want >= 2 (rule utility)", id, uses[id])
+		}
+		if uses[id] != r.uses {
+			return fmt.Errorf("sequitur: rule %d tracked uses %d != actual %d", id, r.uses, uses[id])
+		}
+	}
+	if uses[g.root.id] != 0 {
+		return fmt.Errorf("sequitur: root rule referenced by %d nonterminals", uses[g.root.id])
+	}
+
+	// Expansion-length cache coherence: recount bottom-up with memoization
+	// and compare against every non-zero cache (zero means "not yet
+	// computed by the DAG layer").
+	memo := make(map[uint64]uint64, len(g.rules))
+	state := make(map[uint64]int, len(g.rules)) // 1 = in progress, 2 = done
+	var lenOf func(r *Rule) (uint64, error)
+	lenOf = func(r *Rule) (uint64, error) {
+		switch state[r.id] {
+		case 1:
+			return 0, fmt.Errorf("sequitur: rule %d participates in a reference cycle", r.id)
+		case 2:
+			return memo[r.id], nil
+		}
+		state[r.id] = 1
+		var total uint64
+		for s := r.guard.next; !s.guard; s = s.next {
+			if s.r != nil {
+				n, err := lenOf(s.r)
+				if err != nil {
+					return 0, err
+				}
+				total += n
+			} else {
+				total++
+			}
+		}
+		state[r.id] = 2
+		memo[r.id] = total
+		return total, nil
+	}
+	for id, r := range g.rules {
+		want, err := lenOf(r)
+		if err != nil {
+			return err
+		}
+		if r.expLen != 0 && r.expLen != want {
+			return fmt.Errorf("sequitur: rule %d expansion-length cache %d != actual %d", id, r.expLen, want)
+		}
+	}
+	if rootLen := memo[g.root.id]; rootLen != g.input {
+		return fmt.Errorf("sequitur: root expands to %d terminals but %d were appended", rootLen, g.input)
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !repro_sanitize
+
+package sequitur
+
+// sanitizeHot is false in normal builds; the compiler removes the
+// per-Append invariant sweep entirely.
+const sanitizeHot = false

@@ -1,0 +1,8 @@
+//go:build repro_sanitize
+
+package sequitur
+
+// sanitizeHot enables the full invariant sweep after every Append. It turns
+// grammar construction from O(n) into O(n²), so it is reserved for debug
+// builds: go test -tags repro_sanitize ./internal/sequitur/...
+const sanitizeHot = true

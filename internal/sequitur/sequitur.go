@@ -14,6 +14,12 @@
 //
 // The grammar doubles as a DAG (see dag.go) whose nodes are rules, which is
 // the Whole Program Stream representation analyzed without decompression.
+//
+// A dynamic sanitizer guards these invariants: CheckInvariants (sanitize.go)
+// sweeps a grammar for digram-table, link, use-count and cache corruption,
+// tests and fuzz targets call it directly, and building with the
+// repro_sanitize tag runs it after every Append in the hot construction
+// path.
 package sequitur
 
 import "fmt"
@@ -150,6 +156,11 @@ func (g *Grammar) Append(v uint64) {
 	s := &symbol{value: v}
 	g.insertAfter(g.root.last(), s)
 	g.check(s.prev)
+	if sanitizeHot && (g.input <= sanitizeDense || g.input%sanitizeStride == 0) {
+		if err := CheckInvariants(g); err != nil {
+			panic(fmt.Sprintf("sequitur: invariant violated after appending input[%d]=%d: %v", g.input-1, v, err))
+		}
+	}
 }
 
 // AppendAll feeds each value in order.
@@ -388,48 +399,8 @@ func (g *Grammar) Walk(yield func(v uint64) bool) {
 	}
 }
 
-// CheckInvariants verifies digram uniqueness and rule utility, returning a
-// descriptive error on the first violation. It exists for tests; it is
-// O(total symbols).
-func (g *Grammar) CheckInvariants() error {
-	seen := make(map[digram]uint64)
-	uses := make(map[uint64]int)
-	for id, r := range g.rules {
-		n := 0
-		for s := r.first(); !s.guard; s = s.next {
-			n++
-			if s.r != nil {
-				uses[s.r.id]++
-				if _, ok := g.rules[s.r.id]; !ok {
-					return fmt.Errorf("rule %d references deleted rule %d", id, s.r.id)
-				}
-			}
-			if !s.next.guard && g.pending == nil {
-				d := digram{s.key(), s.next.key()}
-				if prev, dup := seen[d]; dup {
-					// Overlapping same-symbol digrams within a run are
-					// permitted (aaa holds aa twice, overlapping).
-					if !(d.a == d.b && prev == id) {
-						return fmt.Errorf("digram (%x,%x) duplicated in rules %d and %d", d.a, d.b, prev, id)
-					}
-				}
-				seen[d] = id
-			}
-		}
-		if id != g.root.id && n < 2 {
-			return fmt.Errorf("rule %d has %d symbols, want >= 2", id, n)
-		}
-	}
-	for id, r := range g.rules {
-		if id == g.root.id {
-			continue
-		}
-		if g.pending == nil && uses[id] < 2 {
-			return fmt.Errorf("rule %d used %d times, want >= 2 (rule utility)", id, uses[id])
-		}
-		if uses[id] != r.uses {
-			return fmt.Errorf("rule %d tracked uses %d != actual %d", id, r.uses, uses[id])
-		}
-	}
-	return nil
-}
+// CheckInvariants verifies the grammar's structural invariants — digram
+// uniqueness, rule utility, link and cache coherence — returning a
+// descriptive error on the first violation. It delegates to the
+// package-level CheckInvariants; see sanitize.go for the full check list.
+func (g *Grammar) CheckInvariants() error { return CheckInvariants(g) }

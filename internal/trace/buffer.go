@@ -117,6 +117,8 @@ func (b *Buffer) Stats() Stats {
 				s.HeapRefs++
 			case RegionGlobal:
 				s.GlobalRefs++
+			case RegionStack, RegionOther:
+				// Counted in Refs but attributed to no tracked region.
 			}
 			addrs[e.Addr] = struct{}{}
 			pcs[e.PC] = struct{}{}
