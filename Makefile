@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench repro csv lint race sanitize fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke repro csv lint race sanitize fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -16,6 +16,12 @@ test:
 # One benchmark per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# CI-sized benchmark pass: one iteration of every bench at a reduced
+# scale, so the harness itself (including the parallel worker sweeps)
+# stays runnable.
+bench-smoke:
+	BENCH_SCALE=20000 $(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # Regenerate the paper's evaluation (tables + figures + extensions).
 repro:

@@ -14,8 +14,11 @@
 package repro
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -324,4 +327,75 @@ func BenchmarkAblationClusteringPolicy(b *testing.B) {
 	}
 	b.ReportMetric(hottest, "hottest-first-missrate")
 	b.ReportMetric(strawman, "coldest-first-missrate")
+}
+
+// ---- Parallel analysis engine benches. ----
+
+// BenchmarkPotentialWorkers runs the Figure-9 potential evaluation (the
+// four cache simulations: base, prefetch, cluster, combined) sequentially
+// and with one worker per CPU. On a multi-core host the parallel variant
+// approaches a 4x speedup (four independent simulations); results are
+// bit-identical at any worker count.
+func BenchmarkPotentialWorkers(b *testing.B) {
+	buf := benchTrace(b, "boxsim")
+	a := core.Analyze(buf, core.Options{SkipPotential: true})
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				optim.EvaluatePotentialParallel(a.Abstraction.Names, a.Abstraction.Addrs,
+					a.Abstraction.Objects, a.Streams(), cache.FullyAssociative8K, workers)
+			}
+			b.ReportMetric(float64(len(a.Abstraction.Addrs)), "refs/op")
+		})
+	}
+}
+
+// BenchmarkAnalyzeWorkers measures the full pipeline at workers=1 vs one
+// worker per CPU (skew curves, summary/CDF figures, and the four
+// Figure-9 simulations all fan out; WPS construction stays sequential).
+func BenchmarkAnalyzeWorkers(b *testing.B) {
+	buf := benchTrace(b, "boxsim")
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Analyze(buf, core.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeStream compares the streaming entry point against
+// decode-then-analyze on an encoded trace. The interesting number is
+// B/op: AnalyzeStream never materializes the event slice (24 bytes per
+// event at these scales), only the abstracted arrays.
+func BenchmarkAnalyzeStream(b *testing.B) {
+	buf := benchTrace(b, "197.parser")
+	var enc bytes.Buffer
+	w := trace.NewWriter(&enc)
+	if err := w.WriteAll(buf); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := enc.Bytes()
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeStream(trace.NewReader(bytes.NewReader(data)),
+				core.Options{SkipPotential: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-then-analyze", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			decoded, err := trace.ReadAll(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.Analyze(decoded, core.Options{SkipPotential: true})
+		}
+	})
 }

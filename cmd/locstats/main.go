@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/report"
@@ -27,19 +28,29 @@ func main() {
 	refs := flag.Int("refs", 200_000, "target references when generating")
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	workers := flag.Int("workers", 0, "goroutines for cache simulations and figure data (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
 	flag.Parse()
 
+	opts := core.Options{Workers: *workers}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	var (
-		b   *trace.Buffer
+		a   *core.Analysis
 		err error
 	)
 	switch {
 	case *bench != "":
-		b, err = workload.Generate(*bench, *refs, *seed)
+		var b *trace.Buffer
+		if b, err = workload.Generate(*bench, *refs, *seed); err == nil {
+			a = core.Analyze(b, opts)
+		}
 	case *traceFile != "":
+		// Trace files stream straight into the analysis: the raw event
+		// buffer is never materialized, so files larger than memory work.
 		var f *os.File
 		if f, err = os.Open(*traceFile); err == nil {
-			b, err = trace.ReadAll(f)
+			a, err = core.AnalyzeStream(trace.NewReader(f), opts)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -51,8 +62,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "locstats:", err)
 		os.Exit(1)
 	}
-
-	a := core.Analyze(b, core.Options{})
 	out := bufio.NewWriter(os.Stdout)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "locstats:", err)

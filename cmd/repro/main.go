@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -29,10 +30,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig1 table1 fig5 table2 fig6 table3 fig7 fig8 fig9 coverage times all")
 	skipPotential := flag.Bool("skip-potential", false, "skip the Figure 8/9 cache simulations")
 	parallel := flag.Int("parallel", 4, "benchmarks analyzed concurrently (1 = sequential)")
+	workers := flag.Int("workers", 0, "goroutines per analysis for cache simulations and figure data (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files to this directory")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, SkipPotential: *skipPotential}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, SkipPotential: *skipPotential, Workers: *workers}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	if *bench != "" {
 		cfg.Benchmarks = []string{*bench}
 	}

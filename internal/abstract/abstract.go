@@ -146,18 +146,39 @@ func (a *Abstractor) Abstract(b *trace.Buffer) *Result {
 // end of stream and returns any decode error alongside the (partial)
 // result.
 func (a *Abstractor) AbstractStream(r *trace.Reader) (*Result, error) {
-	st := a.newState(1 << 16)
+	st := a.Streamer(1 << 16)
 	for {
 		e, err := r.Read()
 		if err == io.EOF {
-			return st.res, nil
+			return st.Result(), nil
 		}
 		if err != nil {
-			return st.res, err
+			return st.Result(), err
 		}
-		st.process(e)
+		st.Process(e)
 	}
 }
+
+// Streamer exposes the online abstraction machinery one event at a
+// time, for pipelines that fan a single decode pass out to several
+// consumers (core.AnalyzeStream feeds trace statistics and abstraction
+// from the same pass). hint sizes the result arrays. A Streamer is not
+// safe for concurrent use.
+type Streamer struct {
+	st *state
+}
+
+// Streamer returns a fresh per-event abstraction pass.
+func (a *Abstractor) Streamer(hint int) *Streamer {
+	return &Streamer{st: a.newState(hint)}
+}
+
+// Process consumes one event in trace order.
+func (s *Streamer) Process(e trace.Event) { s.st.process(e) }
+
+// Result returns the abstraction built so far. The result shares state
+// with the Streamer: callers must not call Process afterwards.
+func (s *Streamer) Result() *Result { return s.st.res }
 
 // state carries the online abstraction machinery over one event stream.
 type state struct {

@@ -55,6 +55,13 @@ func (c Config) Validate() error {
 	if c.Size%c.BlockSize != 0 {
 		return fmt.Errorf("cache: size %d not a multiple of block %d", c.Size, c.BlockSize)
 	}
+	if blocks := c.Blocks(); c.Assoc > 0 && c.Assoc < blocks && blocks%c.Assoc != 0 {
+		// E.g. Size=8K, BlockSize=64, Assoc=96: 128 blocks / 96 ways
+		// would truncate to 1 set of 96 ways, silently dropping 32
+		// blocks of capacity.
+		return fmt.Errorf("cache: associativity %d does not divide %d blocks; %d blocks of capacity would be lost",
+			c.Assoc, blocks, blocks%c.Assoc)
+	}
 	sets := c.Sets()
 	if sets == 0 || sets&(sets-1) != 0 {
 		return fmt.Errorf("cache: set count %d must be a positive power of two", sets)

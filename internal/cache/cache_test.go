@@ -32,6 +32,33 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsNonDivisibleAssoc is the regression test for
+// geometries whose associativity does not divide the block count:
+// Size=8K, BlockSize=64, Assoc=96 used to validate as 1 set x 96 ways,
+// silently dropping 32 of the 128 blocks of capacity.
+func TestValidateRejectsNonDivisibleAssoc(t *testing.T) {
+	c := Config{Size: 8192, BlockSize: 64, Assoc: 96}
+	err := c.Validate()
+	if err == nil {
+		t.Fatalf("%v: expected error for 128 blocks at 96 ways", c)
+	}
+	if !strings.Contains(err.Error(), "does not divide") {
+		t.Errorf("error %q does not explain the divisibility failure", err)
+	}
+	// Power-of-two set counts can still hide dropped capacity: 24 ways
+	// over 128 blocks would give 5 sets truncated to 5... 128/24 = 5,
+	// not a power of two, already rejected; 48 ways -> 2 sets (power of
+	// two) but 32 blocks lost, so divisibility must reject it.
+	if err := (Config{Size: 8192, BlockSize: 64, Assoc: 48}).Validate(); err == nil {
+		t.Error("48-way/128-block geometry validated despite dropping 32 blocks")
+	}
+	// Assoc >= Blocks still normalizes to fully associative and stays
+	// valid regardless of divisibility.
+	if err := (Config{Size: 8192, BlockSize: 64, Assoc: 1000}).Validate(); err != nil {
+		t.Errorf("oversized associativity should mean fully associative, got %v", err)
+	}
+}
+
 func TestConfigString(t *testing.T) {
 	if got := FullyAssociative8K.String(); !strings.Contains(got, "full") {
 		t.Errorf("String() = %q", got)

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/abstract"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/hotstream"
 	"repro/internal/locality"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 	"repro/internal/reduce"
 	"repro/internal/sequitur"
 	"repro/internal/trace"
@@ -51,6 +53,12 @@ type Options struct {
 	// (they dominate runtime for large traces when only representation
 	// results are wanted).
 	SkipPotential bool
+	// Workers bounds the analysis-internal parallelism: the four
+	// Figure-9 cache simulations, the skew/CDF/summary figure
+	// computations, and per-thread analyses fan out over at most this
+	// many goroutines. 1 (or less) runs fully sequentially; results are
+	// bit-identical at any value — only wall-clock changes.
+	Workers int
 }
 
 func (o *Options) normalize() {
@@ -76,6 +84,9 @@ func (o *Options) normalize() {
 	}
 	if o.SequiturMinRuleOccurrences < 2 {
 		o.SequiturMinRuleOccurrences = 2
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 }
 
@@ -139,12 +150,44 @@ func (a *Analysis) HotMembers() map[uint64]struct{} {
 // Analyze runs the full pipeline.
 func Analyze(b *trace.Buffer, opts Options) *Analysis {
 	opts.normalize()
-	a := &Analysis{opts: opts}
-	a.TraceStats = b.Stats()
-	a.Abstraction = abstract.New(opts.HeapNaming).Abstract(b)
+	return analyzeAbstracted(b.Stats(), abstract.New(opts.HeapNaming).Abstract(b), opts)
+}
 
-	a.AddressSkew = locality.AddressSkew(a.Abstraction.Addrs)
-	a.PCSkew = locality.PCSkew(a.Abstraction.PCs)
+// AnalyzeStream runs the full pipeline over an encoded trace stream
+// without ever materializing the event buffer: Table-1 statistics and
+// the address abstraction are computed in one pass as records decode,
+// so peak memory excludes the raw event slice entirely (only the
+// abstracted name/PC/address arrays the analysis needs remain). The
+// result is identical to Analyze over the same records.
+func AnalyzeStream(r *trace.Reader, opts Options) (*Analysis, error) {
+	opts.normalize()
+	acc := trace.NewStatsAccum()
+	st := abstract.New(opts.HeapNaming).Streamer(1 << 16)
+	if err := r.ForEach(func(e trace.Event) error {
+		acc.Add(e)
+		st.Process(e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return analyzeAbstracted(acc.Stats(), st.Result(), opts), nil
+}
+
+// analyzeAbstracted is the shared pipeline tail: everything after trace statistics
+// and abstraction. opts must already be normalized. Independent,
+// order-free computations (the two skew curves; the summary and the two
+// CDFs; the four Figure-9 simulations) fan out over opts.Workers; each
+// task fills a distinct result field from shared read-only inputs, so
+// the Analysis is bit-identical at any worker count.
+func analyzeAbstracted(stats trace.Stats, res *abstract.Result, opts Options) *Analysis {
+	a := &Analysis{opts: opts}
+	a.TraceStats = stats
+	a.Abstraction = res
+
+	_ = parallel.Do(opts.Workers,
+		func() error { a.AddressSkew = locality.AddressSkew(a.Abstraction.Addrs); return nil },
+		func() error { a.PCSkew = locality.PCSkew(a.Abstraction.PCs); return nil },
+	)
 
 	//lint:ignore determinism wall-clock feeds AnalysisTime, a reporting-only field; no analysis result depends on it
 	start := time.Now()
@@ -159,14 +202,22 @@ func Analyze(b *trace.Buffer, opts Options) *Analysis {
 	a.AnalysisTime = time.Since(start)
 
 	streams := a.Streams()
-	a.Summary = locality.Summarize(streams, a.Abstraction.Objects, opts.BlockSize)
-	a.SizeCDF = locality.SizeCDF(streams)
-	a.PackingCDF = locality.PackingCDF(streams, a.Abstraction.Objects, opts.BlockSize)
+	_ = parallel.Do(opts.Workers,
+		func() error {
+			a.Summary = locality.Summarize(streams, a.Abstraction.Objects, opts.BlockSize)
+			return nil
+		},
+		func() error { a.SizeCDF = locality.SizeCDF(streams); return nil },
+		func() error {
+			a.PackingCDF = locality.PackingCDF(streams, a.Abstraction.Objects, opts.BlockSize)
+			return nil
+		},
+	)
 
 	if !opts.SkipPotential {
-		a.Potential = optim.EvaluatePotential(
+		a.Potential = optim.EvaluatePotentialParallel(
 			a.Abstraction.Names, a.Abstraction.Addrs, a.Abstraction.Objects,
-			streams, opts.Cache)
+			streams, opts.Cache, opts.Workers)
 	}
 	return a
 }
@@ -177,15 +228,31 @@ func Analyze(b *trace.Buffer, opts Options) *Analysis {
 // threads and constructs a separate WPS for each one"). Allocation
 // records are shared, so every per-thread analysis sees the full heap
 // map.
+//
+// Thread analyses are independent, so they fan out over opts.Workers
+// goroutines (each also using opts.Workers internally); the per-thread
+// results are keyed by thread ID and therefore identical at any worker
+// count.
 func AnalyzePerThread(b *trace.Buffer, opts Options) map[uint8]*Analysis {
-	out := make(map[uint8]*Analysis)
-	for thread, sub := range trace.SplitByThread(b) {
-		out[thread] = Analyze(sub, opts)
+	opts.normalize()
+	parts := trace.SplitByThread(b)
+	threads := make([]uint8, 0, len(parts))
+	for t := range parts {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+	analyses, _ := parallel.Map(opts.Workers, len(threads), func(i int) (*Analysis, error) {
+		return Analyze(parts[threads[i]], opts), nil
+	})
+	out := make(map[uint8]*Analysis, len(threads))
+	for i, t := range threads {
+		out[t] = analyses[i]
 	}
 	return out
 }
 
-// Attribution computes Figure 8's sweep for this analysis.
+// Attribution computes Figure 8's sweep for this analysis, fanning the
+// per-geometry simulations out over the analysis's worker budget.
 func (a *Analysis) Attribution(cfgs []cache.Config) []optim.AttributionPoint {
-	return optim.AttributionSweep(a.Abstraction.Names, a.Abstraction.Addrs, a.HotMembers(), cfgs)
+	return optim.AttributionSweepParallel(a.Abstraction.Names, a.Abstraction.Addrs, a.HotMembers(), cfgs, a.opts.Workers)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/abstract"
@@ -176,5 +178,109 @@ func TestEmptyTrace(t *testing.T) {
 	a := Analyze(trace.NewBuffer(0), Options{})
 	if len(a.Streams()) != 0 || a.Coverage() != 0 {
 		t.Error("empty trace must produce empty analysis")
+	}
+}
+
+// comparable captures every analysis output the parallel engine touches;
+// pointer-free so reflect.DeepEqual compares values.
+type comparableAnalysis struct {
+	Stats      trace.Stats
+	AddrSkew   float64
+	PCSkew     float64
+	Summary    interface{}
+	SizeCDF    interface{}
+	PackingCDF interface{}
+	Potential  interface{}
+	Threshold  uint64
+	Streams    int
+	Coverage   float64
+	Names      []uint64
+}
+
+func comparableOf(a *Analysis) comparableAnalysis {
+	return comparableAnalysis{
+		Stats:      a.TraceStats,
+		AddrSkew:   a.AddressSkew.Locality90,
+		PCSkew:     a.PCSkew.Locality90,
+		Summary:    a.Summary,
+		SizeCDF:    a.SizeCDF,
+		PackingCDF: a.PackingCDF,
+		Potential:  a.Potential,
+		Threshold:  a.Threshold().Multiple,
+		Streams:    len(a.Streams()),
+		Coverage:   a.Coverage(),
+		Names:      a.Abstraction.Names,
+	}
+}
+
+// TestAnalyzeWorkersDeterministic is the engine's core guarantee: the
+// analysis is bit-identical at any worker count.
+func TestAnalyzeWorkersDeterministic(t *testing.T) {
+	b, err := workload.Generate("boxsim", 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := comparableOf(Analyze(b, Options{Workers: 1}))
+	for _, workers := range []int{2, 4, 13} {
+		got := comparableOf(Analyze(b, Options{Workers: workers}))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: analysis differs from sequential", workers)
+		}
+	}
+}
+
+// TestAnalyzeStreamMatchesAnalyze asserts the streaming entry point —
+// stats and abstraction folded into one decode pass, no event buffer —
+// produces the identical analysis to the in-memory path.
+func TestAnalyzeStreamMatchesAnalyze(t *testing.T) {
+	b, err := workload.Generate("boxsim", 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	w := trace.NewWriter(&enc)
+	if err := w.WriteAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := comparableOf(Analyze(b, Options{Workers: 1}))
+	got, err := AnalyzeStream(trace.NewReader(&enc), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(comparableOf(got), want) {
+		t.Error("streaming analysis differs from in-memory analysis")
+	}
+}
+
+func TestAnalyzeStreamCorrupt(t *testing.T) {
+	enc := []byte{0xFF, 1, 2} // unknown kind
+	if _, err := AnalyzeStream(trace.NewReader(bytes.NewReader(enc)), Options{}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// TestAnalyzePerThreadWorkersDeterministic asserts concurrent per-thread
+// analyses match the sequential split exactly, thread by thread.
+func TestAnalyzePerThreadWorkersDeterministic(t *testing.T) {
+	b, err := workload.Generate("sqlserver", 30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := AnalyzePerThread(b, Options{SkipPotential: true, Workers: 1})
+	par := AnalyzePerThread(b, Options{SkipPotential: true, Workers: 4})
+	if len(par) != len(seq) {
+		t.Fatalf("threads: %d parallel vs %d sequential", len(par), len(seq))
+	}
+	for th, a := range seq {
+		pa, ok := par[th]
+		if !ok {
+			t.Fatalf("thread %d missing from parallel result", th)
+		}
+		if !reflect.DeepEqual(comparableOf(pa), comparableOf(a)) {
+			t.Errorf("thread %d: parallel analysis differs", th)
+		}
 	}
 }

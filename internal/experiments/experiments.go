@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/locality"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -36,6 +37,10 @@ type Config struct {
 	Benchmarks []string
 	// SkipPotential disables the Figure 8/9 cache simulations.
 	SkipPotential bool
+	// Workers bounds each analysis's internal parallelism (the Figure-9
+	// simulations, figure computations, and per-thread analyses); <= 1
+	// is fully sequential. Results are identical at any value.
+	Workers int
 }
 
 func (c *Config) normalize() {
@@ -86,7 +91,7 @@ func (r *Runner) Analysis(name string) (*core.Analysis, error) {
 	}
 	//lint:ignore determinism generation wall-clock is reporting-only (AnalysisTimes); results never depend on it
 	start := time.Now()
-	a := core.Analyze(b, core.Options{SkipPotential: r.cfg.SkipPotential})
+	a := core.Analyze(b, core.Options{SkipPotential: r.cfg.SkipPotential, Workers: r.cfg.Workers})
 	elapsed := time.Since(start)
 	r.mu.Lock()
 	r.genTime[name] = elapsed
@@ -97,29 +102,19 @@ func (r *Runner) Analysis(name string) (*core.Analysis, error) {
 
 // Prewarm builds every benchmark's analysis concurrently (bounded by
 // workers; <=0 means one per benchmark). Experiments afterwards serve
-// from the cache. It returns the first error encountered.
+// from the cache. The worker pool never spawns more than workers
+// goroutines (its predecessor launched one per benchmark before
+// acquiring a slot) and the returned error joins every failed
+// benchmark's error via errors.Join, not just an arbitrary one.
 func (r *Runner) Prewarm(workers int) error {
 	names := r.cfg.Benchmarks
 	if workers <= 0 || workers > len(names) {
 		workers = len(names)
 	}
-	sem := make(chan struct{}, workers)
-	errs := make(chan error, len(names))
-	var wg sync.WaitGroup
-	for _, name := range names {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := r.Analysis(name); err != nil {
-				errs <- err
-			}
-		}(name)
-	}
-	wg.Wait()
-	close(errs)
-	return <-errs
+	return parallel.ForEach(workers, len(names), func(i int) error {
+		_, err := r.Analysis(names[i])
+		return err
+	})
 }
 
 // each runs fn over every configured benchmark, stopping on error.

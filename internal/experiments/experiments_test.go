@@ -319,3 +319,52 @@ func TestPotentialsAccessor(t *testing.T) {
 		t.Errorf("potentials = %d", len(pots))
 	}
 }
+
+// TestPrewarmJoinsAllErrors is the regression test for the old Prewarm,
+// which spawned one goroutine per benchmark before acquiring a pool slot
+// and reported a single arbitrary failure: every failing benchmark must
+// now appear in the joined error.
+func TestPrewarmJoinsAllErrors(t *testing.T) {
+	r := NewRunner(Config{Scale: 4_000, SkipPotential: true,
+		Benchmarks: []string{"no-such-bench-a", "252.eon", "no-such-bench-b"}})
+	err := r.Prewarm(2)
+	if err == nil {
+		t.Fatal("expected error for unknown benchmarks")
+	}
+	for _, want := range []string{"no-such-bench-a", "no-such-bench-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %s", err, want)
+		}
+	}
+	// The valid sibling must still have been analyzed despite the failures.
+	if _, err := r.Analysis("252.eon"); err != nil {
+		t.Errorf("valid benchmark not analyzed: %v", err)
+	}
+}
+
+// TestExperimentsOutputDeterministicAcrossWorkers renders a full
+// experiment run at workers=1 and workers=4 and requires byte-identical
+// output (modulo the wall-clock AnalysisTimes report, which is excluded):
+// the engine's determinism guarantee, observed end to end.
+func TestExperimentsOutputDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		r := NewRunner(Config{Scale: 12_000, Workers: workers,
+			Benchmarks: []string{"boxsim", "197.parser"}})
+		var sb strings.Builder
+		steps := []func(io.Writer) error{
+			r.Figure1, r.Table1, r.Figure5, r.Table2, r.Figure6,
+			r.Table3, r.Figure7, r.Figure8, r.Figure9, r.Coverage,
+		}
+		for _, step := range steps {
+			if err := step(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Errorf("rendered experiments differ between workers=1 and workers=4:\n--- workers=1\n%s\n--- workers=4\n%s", seq, par)
+	}
+}

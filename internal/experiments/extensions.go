@@ -35,7 +35,7 @@ func (r *Runner) analysisSeed(name string, seed int64) (*core.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := core.Analyze(b, core.Options{SkipPotential: true})
+	a := core.Analyze(b, core.Options{SkipPotential: true, Workers: r.cfg.Workers})
 	r.mu.Lock()
 	r.analyses[key] = a
 	r.mu.Unlock()
@@ -149,7 +149,7 @@ func (r *Runner) Sampling(w io.Writer) error {
 			}
 			i++
 		}
-		sa := core.Analyze(sampled, core.Options{SkipPotential: true})
+		sa := core.Analyze(sampled, core.Options{SkipPotential: true, Workers: r.cfg.Workers})
 		p.Printf("%-14s %14d %13.0f%% %14d %13.0f%%\n",
 			name, len(a.Streams()), a.Coverage()*100, len(sa.Streams()), sa.Coverage()*100)
 		return p.Err()
@@ -168,7 +168,7 @@ func (r *Runner) Threads(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	per := core.AnalyzePerThread(b, core.Options{SkipPotential: true})
+	per := core.AnalyzePerThread(b, core.Options{SkipPotential: true, Workers: r.cfg.Workers})
 	for thread := 0; thread < trace.MaxThreads; thread++ {
 		a, ok := per[uint8(thread)]
 		if !ok {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/abstract"
 	"repro/internal/cache"
 	"repro/internal/hotstream"
+	"repro/internal/parallel"
 )
 
 // AttributionPoint is one point of Figure 8: for a given cache geometry,
@@ -49,10 +50,17 @@ func Attribute(names []uint64, addrs []uint32, hotMembers map[uint64]struct{}, c
 // AttributionSweep runs Attribute across a ladder of geometries, producing
 // Figure 8's (miss rate, hot-miss fraction) series sorted by miss rate.
 func AttributionSweep(names []uint64, addrs []uint32, hotMembers map[uint64]struct{}, cfgs []cache.Config) []AttributionPoint {
-	out := make([]AttributionPoint, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		out = append(out, Attribute(names, addrs, hotMembers, cfg))
-	}
+	return AttributionSweepParallel(names, addrs, hotMembers, cfgs, 1)
+}
+
+// AttributionSweepParallel runs the sweep's independent simulations on at
+// most workers goroutines. Points are collected in geometry order before
+// the final sort, so the series is identical at any worker count.
+func AttributionSweepParallel(names []uint64, addrs []uint32, hotMembers map[uint64]struct{},
+	cfgs []cache.Config, workers int) []AttributionPoint {
+	out, _ := parallel.Map(workers, len(cfgs), func(i int) (AttributionPoint, error) {
+		return Attribute(names, addrs, hotMembers, cfgs[i]), nil
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].MissRate < out[j].MissRate })
 	return out
 }
@@ -179,6 +187,18 @@ func (p Potential) Normalized() (prefetch, cluster, combined float64) {
 //   - combined: prefetching over the remap.
 func EvaluatePotential(names []uint64, addrs []uint32, objects map[uint64]*abstract.Object,
 	streams []*hotstream.Stream, cfg cache.Config) Potential {
+	return EvaluatePotentialParallel(names, addrs, objects, streams, cfg, 1)
+}
+
+// EvaluatePotentialParallel is EvaluatePotential with the four cache
+// simulations fanned out over at most workers goroutines. Each
+// simulation owns a private cache and writes a distinct result slot
+// while sharing only read-only inputs (the trace arrays, the occurrence
+// index, the clustered addresses), so the result is bit-identical to
+// the sequential path at any worker count. workers <= 1 is exactly the
+// sequential evaluation.
+func EvaluatePotentialParallel(names []uint64, addrs []uint32, objects map[uint64]*abstract.Object,
+	streams []*hotstream.Stream, cfg cache.Config, workers int) Potential {
 
 	// Annotate each position with its occurrence extent (start position
 	// -> length) once; all prefetching runs reuse it.
@@ -193,10 +213,13 @@ func EvaluatePotential(names []uint64, addrs []uint32, objects map[uint64]*abstr
 		clusteredAddrs[i] = remap.Addr(names[i], a)
 	}
 
-	base := simulate(addrs, nil, cfg)
-	pref := simulate(addrs, heads, cfg)
-	clus := simulate(clusteredAddrs, nil, cfg)
-	comb := simulate(clusteredAddrs, heads, cfg)
+	var base, pref, clus, comb cache.Stats
+	_ = parallel.Do(workers,
+		func() error { base = simulate(addrs, nil, cfg); return nil },
+		func() error { pref = simulate(addrs, heads, cfg); return nil },
+		func() error { clus = simulate(clusteredAddrs, nil, cfg); return nil },
+		func() error { comb = simulate(clusteredAddrs, heads, cfg); return nil },
+	)
 
 	return Potential{
 		Base:      base.MissRate() * 100,

@@ -226,3 +226,41 @@ func TestPrefetchCoversStreamTail(t *testing.T) {
 		t.Errorf("prefetch %v vs base %v: expected visible improvement", p.Prefetch, p.Base)
 	}
 }
+
+// TestEvaluatePotentialParallelDeterministic asserts the four-way
+// concurrent evaluation is bit-identical to the sequential path at
+// several worker counts.
+func TestEvaluatePotentialParallelDeterministic(t *testing.T) {
+	names, addrs, objects, stream := scatteredWorkload(32, 60, 250)
+	streams := []*hotstream.Stream{stream}
+	want := EvaluatePotentialParallel(names, addrs, objects, streams, cache.FullyAssociative8K, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := EvaluatePotentialParallel(names, addrs, objects, streams, cache.FullyAssociative8K, workers)
+		if got != want {
+			t.Errorf("workers=%d: potential %+v != sequential %+v", workers, got, want)
+		}
+	}
+	if seq := EvaluatePotential(names, addrs, objects, streams, cache.FullyAssociative8K); seq != want {
+		t.Errorf("EvaluatePotential %+v != workers=1 %+v", seq, want)
+	}
+}
+
+// TestAttributionSweepParallelDeterministic asserts the concurrent sweep
+// produces the identical point series at any worker count.
+func TestAttributionSweepParallelDeterministic(t *testing.T) {
+	names, addrs, _, stream := scatteredWorkload(16, 20, 100)
+	hot := locality.StreamMembers([]*hotstream.Stream{stream})
+	cfgs := cache.SweepConfigs()
+	want := AttributionSweepParallel(names, addrs, hot, cfgs, 1)
+	for _, workers := range []int{3, 16} {
+		got := AttributionSweepParallel(names, addrs, hot, cfgs, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package parallel is the bounded worker pool behind the analysis
+// engine's intra-benchmark concurrency: the four Figure-9 cache
+// simulations, per-thread WPS construction after trace.SplitByThread,
+// and the order-independent figure computations all fan out through it.
+//
+// The package is stdlib-only and built for determinism: results are
+// collected in index order, every task runs even after another fails,
+// and the joined error aggregates failures in index order — so callers
+// produce bit-identical output at any worker count. Only scheduling
+// (which goroutine runs which index, and when) varies.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select one worker
+// per available CPU (runtime.GOMAXPROCS), anything else passes through.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines. All n tasks run regardless of individual failures (a
+// failed task never cancels its siblings: partial fan-outs would make
+// results depend on scheduling). The returned error joins every task
+// failure in index order via errors.Join; it is nil when every task
+// succeeded.
+//
+// workers <= 1 runs the tasks inline on the calling goroutine, in index
+// order, with identical error semantics — the reference behaviour the
+// parallel path must match bit for bit.
+//
+// A panicking task does not crash its worker goroutine silently: the
+// panic is captured and re-raised on the calling goroutine (the
+// lowest-index panic wins when several tasks panic, keeping even
+// failure behaviour deterministic).
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = protect(i, fn)
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = protect(i, fn)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		var pv *panicError
+		if errors.As(err, &pv) {
+			panic(pv.value)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// panicError carries a captured task panic from a worker goroutine back
+// to the ForEach caller.
+type panicError struct {
+	index int
+	value any
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", p.index, p.value)
+}
+
+// protect runs fn(i), converting a panic into a panicError so the pool
+// can re-raise it deterministically after all tasks finish.
+func protect(i int, fn func(int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{index: i, value: v}
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn over [0, n) with ForEach's semantics and returns the
+// results in index order: the deterministic-collection primitive the
+// figure computations use.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}
+
+// Do runs a fixed set of heterogeneous tasks (e.g. the four Figure-9
+// cache simulations) concurrently with ForEach's bounded, deterministic
+// semantics.
+func Do(workers int, tasks ...func() error) error {
+	return ForEach(workers, len(tasks), func(i int) error { return tasks[i]() })
+}

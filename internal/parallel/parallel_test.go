@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalize(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(-3) < 1 {
+		t.Errorf("Workers(-3) = %d, want >= 1", Workers(-3))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 57
+		var ran [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var cur, peak atomic.Int32
+	gate := make(chan struct{}, n)
+	err := ForEach(workers, n, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		gate <- struct{}{}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestForEachJoinsAllErrors(t *testing.T) {
+	e3 := errors.New("task three")
+	e9 := errors.New("task nine")
+	var ran atomic.Int32
+	for _, workers := range []int{1, 4} {
+		ran.Store(0)
+		err := ForEach(workers, 12, func(i int) error {
+			ran.Add(1)
+			switch i {
+			case 3:
+				return e3
+			case 9:
+				return e9
+			}
+			return nil
+		})
+		if !errors.Is(err, e3) || !errors.Is(err, e9) {
+			t.Fatalf("workers=%d: joined error %v missing a task failure", workers, err)
+		}
+		// A failure must not cancel siblings: every task still runs.
+		if got := ran.Load(); got != 12 {
+			t.Errorf("workers=%d: ran %d of 12 tasks", workers, got)
+		}
+		// Index order keeps the joined message deterministic.
+		if msg := err.Error(); strings.Index(msg, "three") > strings.Index(msg, "nine") {
+			t.Errorf("workers=%d: errors joined out of index order: %q", workers, msg)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v != "boom-2" {
+					t.Errorf("workers=%d: recovered %v, want boom-2", workers, v)
+				}
+			}()
+			_ = ForEach(workers, 8, func(i int) error {
+				if i == 2 || i == 6 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+				return nil
+			})
+			t.Errorf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestMapCollectsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out, err := Map(workers, 40, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	errC := errors.New("c failed")
+	err := Do(2,
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+		func() error { return errC },
+	)
+	if !errors.Is(err, errC) {
+		t.Fatalf("err = %v", err)
+	}
+	if !a.Load() || !b.Load() {
+		t.Error("sibling tasks did not run")
+	}
+}

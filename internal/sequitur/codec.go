@@ -81,30 +81,18 @@ func (d *DAG) BinarySize() uint64 {
 	for _, r := range d.Order {
 		rhs := d.RHS[r.ID()]
 		n += uvarintLen(uint64(rhs.Len()))
-		index := uint64(0)
-		_ = index
 		for i, ref := range rhs.Refs {
 			if ref != nil {
 				// Postorder index <= len(Order); bounded by rule count.
-				n += uvarintLen(uint64(orderIndexBound(d, ref))<<1 | 1)
+				// The reverse index is built eagerly by NewDAG so this
+				// read is safe under concurrent BinarySize calls.
+				n += uvarintLen(uint64(d.orderIdx[ref.ID()])<<1 | 1)
 			} else {
 				n += uvarintLen(rhs.Terminals[i] << 1)
 			}
 		}
 	}
 	return n
-}
-
-// orderIndexBound returns the rule's postorder index for size accounting.
-func orderIndexBound(d *DAG, r *Rule) int {
-	// The DAG caches no reverse index; build it lazily once.
-	if d.orderIdx == nil {
-		d.orderIdx = make(map[uint64]int, len(d.Order))
-		for i, rr := range d.Order {
-			d.orderIdx[rr.ID()] = i
-		}
-	}
-	return d.orderIdx[r.ID()]
 }
 
 func uvarintLen(v uint64) uint64 {

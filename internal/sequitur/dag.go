@@ -17,6 +17,14 @@ import (
 //
 // which the hot-data-stream analysis needs to weight boundary-crossing
 // subsequences.
+//
+// A DAG is immutable after NewDAG: every memoization (occurrence
+// counts, expansion lengths, prefix/suffix affixes, the postorder
+// index) is computed eagerly at construction, so any number of
+// goroutines may read one DAG concurrently — the parallel analysis
+// engine relies on this for concurrent detection and sizing passes.
+// The underlying Grammar must not be appended to while the DAG is in
+// use.
 type DAG struct {
 	G *Grammar
 	// Order lists rules in reverse topological order: every rule appears
@@ -32,7 +40,7 @@ type DAG struct {
 	prefixes map[uint64][]uint64 // rule id -> first <=maxAffix terminals
 	suffixes map[uint64][]uint64 // rule id -> last <=maxAffix terminals
 	maxAffix int
-	orderIdx map[uint64]int // lazy rule id -> postorder index (codec)
+	orderIdx map[uint64]int // rule id -> postorder index (codec); eager for concurrent readers
 }
 
 // NewDAG freezes the grammar into its DAG view. maxAffix bounds the length
@@ -56,6 +64,10 @@ func NewDAG(g *Grammar, maxAffix int) *DAG {
 	d.computeOcc()
 	d.computeLens()
 	d.computeAffixes()
+	d.orderIdx = make(map[uint64]int, len(d.Order))
+	for i, r := range d.Order {
+		d.orderIdx[r.ID()] = i
+	}
 	return d
 }
 

@@ -1,5 +1,7 @@
 package trace
 
+import "fmt"
+
 // Buffer is an in-memory trace: the unit of work the analysis pipeline
 // consumes. The paper wrote traces to files "for experimentation purposes";
 // Buffer supports both in-memory generation and file round-trips (see
@@ -44,11 +46,19 @@ func (b *Buffer) Path(id uint32) { b.Append(Event{Kind: Path, PC: id}) }
 // SetThread tags events[from:to] with a thread identifier. Producers that
 // interleave logical sessions (the database workload interleaves
 // transactions) tag each unit's event range after emitting it.
+//
+// The range follows slice-expression semantics: SetThread panics if it
+// is reversed or out of bounds (0 <= from <= to <= Len()), rather than
+// silently clamping — a bad range is a producer bug that used to go
+// unnoticed as partially-tagged traces.
 func (b *Buffer) SetThread(from, to int, thread uint8) {
 	if thread >= MaxThreads {
-		panic("trace: thread id out of range")
+		panic(fmt.Sprintf("trace: thread id %d out of range [0, %d)", thread, MaxThreads))
 	}
-	for i := from; i < to && i < len(b.events); i++ {
+	if from < 0 || to > len(b.events) || from > to {
+		panic(fmt.Sprintf("trace: SetThread range [%d:%d] out of bounds for %d events", from, to, len(b.events)))
+	}
+	for i := from; i < to; i++ {
 		b.events[i].Thread = thread
 	}
 }
@@ -98,43 +108,13 @@ func (b *Buffer) Len() int { return len(b.events) }
 // Events returns the underlying event slice. Callers must not modify it.
 func (b *Buffer) Events() []Event { return b.events }
 
-// Stats computes Table 1-style summary statistics in a single pass.
+// Stats computes Table 1-style summary statistics in a single pass. It
+// shares its accumulation with the streaming StatsAccum, so in-memory
+// and streaming consumers report identical numbers.
 func (b *Buffer) Stats() Stats {
-	var s Stats
-	addrs := make(map[uint32]struct{}, 1<<16)
-	pcs := make(map[uint32]struct{}, 1<<12)
+	acc := NewStatsAccum()
 	for _, e := range b.events {
-		switch e.Kind {
-		case Load, Store:
-			s.Refs++
-			if e.Kind == Load {
-				s.Loads++
-			} else {
-				s.Stores++
-			}
-			switch RegionOf(e.Addr) {
-			case RegionHeap:
-				s.HeapRefs++
-			case RegionGlobal:
-				s.GlobalRefs++
-			case RegionStack, RegionOther:
-				// Counted in Refs but attributed to no tracked region.
-			}
-			addrs[e.Addr] = struct{}{}
-			pcs[e.PC] = struct{}{}
-			s.TraceBytes += refRecordSize
-		case Alloc:
-			s.Allocs++
-			s.AllocBytes += uint64(e.Size)
-			s.TraceBytes += allocRecordSize
-		case Free:
-			s.Frees++
-			s.TraceBytes += freeRecordSize
-		case Call, Return, Path:
-			s.TraceBytes += refRecordSize
-		}
+		acc.Add(e)
 	}
-	s.Addresses = uint64(len(addrs))
-	s.PCs = uint64(len(pcs))
-	return s
+	return acc.Stats()
 }

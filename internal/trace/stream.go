@@ -1,0 +1,117 @@
+package trace
+
+import "io"
+
+// This file is the streaming side of the trace codec: chunked and
+// per-event iteration over encoded streams, and incremental statistics,
+// so analyses can consume traces larger than memory without first
+// materializing a Buffer (DINAMITE-style decoupling of trace production
+// from analysis).
+
+// StatsAccum computes Table-1 statistics incrementally over an event
+// stream: the streaming counterpart of Buffer.Stats. The zero value is
+// not ready for use; call NewStatsAccum.
+type StatsAccum struct {
+	s     Stats
+	addrs map[uint32]struct{}
+	pcs   map[uint32]struct{}
+}
+
+// NewStatsAccum returns an empty accumulator.
+func NewStatsAccum() *StatsAccum {
+	return &StatsAccum{
+		addrs: make(map[uint32]struct{}, 1<<16),
+		pcs:   make(map[uint32]struct{}, 1<<12),
+	}
+}
+
+// Add accumulates one event.
+func (a *StatsAccum) Add(e Event) {
+	switch e.Kind {
+	case Load, Store:
+		a.s.Refs++
+		if e.Kind == Load {
+			a.s.Loads++
+		} else {
+			a.s.Stores++
+		}
+		switch RegionOf(e.Addr) {
+		case RegionHeap:
+			a.s.HeapRefs++
+		case RegionGlobal:
+			a.s.GlobalRefs++
+		case RegionStack, RegionOther:
+			// Counted in Refs but attributed to no tracked region.
+		}
+		a.addrs[e.Addr] = struct{}{}
+		a.pcs[e.PC] = struct{}{}
+		a.s.TraceBytes += refRecordSize
+	case Alloc:
+		a.s.Allocs++
+		a.s.AllocBytes += uint64(e.Size)
+		a.s.TraceBytes += allocRecordSize
+	case Free:
+		a.s.Frees++
+		a.s.TraceBytes += freeRecordSize
+	case Call, Return, Path:
+		a.s.TraceBytes += refRecordSize
+	}
+}
+
+// Stats returns the statistics accumulated so far.
+func (a *StatsAccum) Stats() Stats {
+	s := a.s
+	s.Addresses = uint64(len(a.addrs))
+	s.PCs = uint64(len(a.pcs))
+	return s
+}
+
+// ForEach decodes the remainder of the stream, invoking fn for every
+// event in order. It stops at a clean end of stream (returning nil), on
+// the first decode error, or on the first error from fn (returned
+// as-is).
+func (tr *Reader) ForEach(fn func(Event) error) error {
+	for {
+		e, err := tr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadChunk decodes up to len(dst) events into dst, returning the number
+// decoded. It follows io.Reader conventions: a short (or zero-length)
+// chunk with nil error is valid mid-stream, io.EOF is returned (with
+// n == 0) once the stream is cleanly exhausted, and a decode error is
+// returned alongside the events decoded before it.
+func (tr *Reader) ReadChunk(dst []Event) (int, error) {
+	for n := range dst {
+		e, err := tr.Read()
+		if err != nil {
+			if err == io.EOF && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = e
+	}
+	return len(dst), nil
+}
+
+// StreamStats computes Table-1 statistics directly from an encoded
+// stream in one pass, holding no events: the streaming counterpart of
+// ReadAll followed by Buffer.Stats.
+func StreamStats(r io.Reader) (Stats, error) {
+	acc := NewStatsAccum()
+	err := NewReader(r).ForEach(func(e Event) error {
+		acc.Add(e)
+		return nil
+	})
+	return acc.Stats(), err
+}

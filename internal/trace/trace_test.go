@@ -232,19 +232,31 @@ func TestSplitByThread(t *testing.T) {
 	}
 }
 
-func TestSetThreadRangeClamps(t *testing.T) {
+func TestSetThreadValidatesRange(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
 	b := NewBuffer(0)
 	b.Load(1, 2)
-	b.SetThread(0, 100, 3) // beyond len: must not panic
-	if b.Events()[0].Thread != 3 {
-		t.Error("thread not set")
+	b.Load(3, 4)
+	b.SetThread(0, 2, 3) // full, valid range
+	if b.Events()[0].Thread != 3 || b.Events()[1].Thread != 3 {
+		t.Error("thread not set on valid range")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for thread >= MaxThreads")
-		}
-	}()
-	b.SetThread(0, 1, MaxThreads)
+	b.SetThread(1, 1, 5) // empty range is valid and a no-op
+	if b.Events()[1].Thread != 3 {
+		t.Error("empty range modified events")
+	}
+	mustPanic("beyond len", func() { b.SetThread(0, 100, 3) })
+	mustPanic("negative from", func() { b.SetThread(-1, 1, 3) })
+	mustPanic("reversed", func() { b.SetThread(2, 1, 3) })
+	mustPanic("thread out of range", func() { b.SetThread(0, 1, MaxThreads) })
 }
 
 func TestReaderTruncated(t *testing.T) {
