@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke repro csv lint race sanitize fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke repro csv lint race sanitize serve-smoke fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -44,6 +44,12 @@ race:
 # Sequitur grammar construction with the per-Append invariant sweep.
 sanitize:
 	$(GO) test -tags repro_sanitize ./internal/sequitur/
+
+# End-to-end smoke of the online locality service: start locserve,
+# stream a trace into it with tracegen, and diff the served snapshot
+# against the batch pipeline's output.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Short fuzz sessions over the parsers and the grammar invariant.
 fuzz:

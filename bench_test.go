@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hotstream"
+	"repro/internal/online"
 	"repro/internal/optim"
 	"repro/internal/sequitur"
 	"repro/internal/trace"
@@ -398,4 +399,52 @@ func BenchmarkAnalyzeStream(b *testing.B) {
 			core.Analyze(decoded, core.Options{SkipPotential: true})
 		}
 	})
+}
+
+// BenchmarkOnlineIngest measures the online engine's steady-state ingest
+// rate (statistics + abstraction + incremental SEQUITUR per event) —
+// the throughput bound on locserve's streaming endpoint — in exact mode
+// and with the rule table capped (bounded memory plus eviction work).
+// records/op is the per-iteration event count: records/op divided by
+// ns/op gives records per nanosecond of sustained ingest.
+func BenchmarkOnlineIngest(b *testing.B) {
+	buf := benchTrace(b, "boxsim")
+	events := buf.Events()
+	for _, cfg := range []struct {
+		name string
+		opts online.Options
+	}{
+		{"exact", online.Options{}},
+		{"maxrules=4096", online.Options{MaxRules: 4096}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := online.NewEngine(cfg.opts)
+				for off := 0; off < len(events); off += 4096 {
+					end := off + 4096
+					if end > len(events) {
+						end = len(events)
+					}
+					e.Ingest(events[off:end])
+				}
+			}
+			b.ReportMetric(float64(len(events)), "records/op")
+		})
+	}
+}
+
+// BenchmarkOnlineSnapshot measures one live detection pass (DAG build,
+// threshold search, detection, exact measurement, locality summary) over
+// a fully ingested trace: the cost of answering a /v1/snapshot query.
+func BenchmarkOnlineSnapshot(b *testing.B) {
+	buf := benchTrace(b, "boxsim")
+	e := online.NewEngine(online.Options{})
+	e.Ingest(buf.Events())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Snapshot(); s.Trace.Refs == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
 }

@@ -1,0 +1,106 @@
+// Command locserve is the online locality service: a streaming ingest
+// server that builds each session's SEQUITUR grammar incrementally as
+// 9-byte trace records arrive and answers live hot-data-stream queries —
+// the deployment §6 sketches, where a runtime optimizer consumes hot
+// data streams instead of a post-mortem trace file.
+//
+// Clients POST encoded records to /v1/ingest?session=NAME (one session
+// per thread, matching §5.1's per-thread WPS construction; any number of
+// chunked POSTs append in order) and read analysis from:
+//
+//	/v1/sessions              session list with live counters
+//	/v1/snapshot?session=S    full analysis snapshot (Table 1, grammar,
+//	                          threshold, hot streams, locality metrics)
+//	/v1/snapshot              all sessions, detections run in parallel
+//	/v1/stats?session=S       Table-1 statistics only
+//	/v1/hotstreams?session=S  threshold + hot streams only
+//	/v1/locality?session=S    inherent/realized locality metrics only
+//	/debug/vars               expvar counters (sessions, records,
+//	                          evictions, snapshots, live grammar rules)
+//	/debug/pprof/             CPU/heap profiles of the live service
+//
+// With eviction off (-max-rules 0) a snapshot of a fully uploaded trace
+// is byte-identical to `locserve -batch trace` over the same file; the
+// CI smoke test diffs the two. -max-rules bounds grammar memory for
+// unbounded streams at the cost of that exactness.
+//
+// Usage:
+//
+//	locserve -addr :8080
+//	locserve -addr :8080 -max-rules 4096
+//	locserve -batch app.trace        # batch reference snapshot to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/online"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	batch := flag.String("batch", "", "batch mode: analyze a trace file and print the snapshot JSON, no server")
+	maxRules := flag.Int("max-rules", 0, "bound the live grammar's rule table per session (0 = exact, unbounded)")
+	fixedMultiple := flag.Uint64("fixed-multiple", 0, "pin the heat threshold to this unit-uniform-access multiple instead of searching (cheaper snapshots)")
+	minLen := flag.Int("min-len", 2, "minimum hot-stream length")
+	maxLen := flag.Int("max-len", 100, "maximum hot-stream length")
+	coverage := flag.Float64("coverage", 0.90, "hot-stream coverage target for the threshold search")
+	blockSize := flag.Int("block", 64, "cache block size for packing-efficiency metrics")
+	workers := flag.Int("workers", 0, "goroutines for all-session snapshots (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opts := online.Options{
+		MinStreamLen:      *minLen,
+		MaxStreamLen:      *maxLen,
+		CoverageTarget:    *coverage,
+		FixedHeatMultiple: *fixedMultiple,
+		BlockSize:         *blockSize,
+		MaxRules:          *maxRules,
+	}
+
+	if *batch != "" {
+		if err := runBatch(*batch, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "locserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := newServer(opts, *workers)
+	fmt.Fprintf(os.Stderr, "locserve: listening on %s (max-rules %d)\n", *addr, *maxRules)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "locserve:", err)
+		os.Exit(1)
+	}
+}
+
+// runBatch prints the batch pipeline's snapshot for a trace file in the
+// exact bytes the server's /v1/snapshot endpoint produces for the same
+// records with eviction off — the reference side of the equivalence
+// guarantee, and the oracle the CI smoke test diffs against.
+func runBatch(path string, opts online.Options) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	a, err := core.AnalyzeStream(trace.NewReader(f), core.Options{
+		MinStreamLen:      opts.MinStreamLen,
+		MaxStreamLen:      opts.MaxStreamLen,
+		CoverageTarget:    opts.CoverageTarget,
+		FixedHeatMultiple: opts.FixedHeatMultiple,
+		BlockSize:         opts.BlockSize,
+		SkipPotential:     true,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return online.SnapshotFromAnalysis(a).WriteJSON(os.Stdout)
+}

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+
+	"repro/internal/online"
+	"repro/internal/parallel"
+)
+
+// Instrumentation counters, published once at package level so multiple
+// server instances (tests spin up several) share them without
+// re-registering; expvar panics on duplicate Publish.
+var (
+	mSessions  = expvar.NewInt("locserve.sessions")
+	mRecords   = expvar.NewInt("locserve.records")
+	mEvictions = expvar.NewInt("locserve.evictions")
+	mSnapshots = expvar.NewInt("locserve.snapshots")
+)
+
+// registry tracks live servers so the "locserve.rules" gauge can sum
+// grammar rules across every session of every server.
+var registry struct {
+	mu      sync.Mutex
+	servers []*server
+}
+
+func init() {
+	expvar.Publish("locserve.rules", expvar.Func(func() any {
+		registry.mu.Lock()
+		servers := append([]*server(nil), registry.servers...)
+		registry.mu.Unlock()
+		var total int64
+		for _, s := range servers {
+			total += s.totalRules()
+		}
+		return total
+	}))
+}
+
+// session is one ingest stream's analysis state. Engines are
+// single-threaded by design; the mutex serializes requests targeting the
+// same session while distinct sessions proceed in parallel on the HTTP
+// server's own goroutines.
+type session struct {
+	mu     sync.Mutex
+	name   string
+	engine *online.Engine
+	// lastEvictions tracks the engine's cumulative eviction count at the
+	// end of the previous ingest, so the global counter sees deltas.
+	lastEvictions uint64
+}
+
+// server is the locality service: a registry of per-session online
+// analysis engines behind JSON endpoints.
+type server struct {
+	opts    online.Options
+	workers int
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newServer(opts online.Options, workers int) *server {
+	s := &server{
+		opts:     opts,
+		workers:  parallel.Workers(workers),
+		sessions: make(map[string]*session),
+	}
+	registry.mu.Lock()
+	registry.servers = append(registry.servers, s)
+	registry.mu.Unlock()
+	return s
+}
+
+// handler builds the service mux: the v1 API plus expvar and pprof
+// diagnostics.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/stats", s.sectionHandler(func(sn *online.Snapshot) any { return sn.Trace }))
+	mux.HandleFunc("/v1/hotstreams", s.sectionHandler(func(sn *online.Snapshot) any {
+		return struct {
+			Threshold  any `json:"threshold"`
+			HotStreams any `json:"hotStreams"`
+		}{sn.Threshold, sn.HotStreams}
+	}))
+	mux.HandleFunc("/v1/locality", s.sectionHandler(func(sn *online.Snapshot) any { return sn.Locality }))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// getSession returns the named session, creating it if create is set.
+func (s *server) getSession(name string, create bool) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[name]
+	if sess == nil && create {
+		sess = &session{name: name, engine: online.NewEngine(s.opts)}
+		s.sessions[name] = sess
+		mSessions.Add(1)
+	}
+	return sess
+}
+
+// sessionNames returns the session names in sorted order.
+func (s *server) sessionNames() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	for n := range s.sessions {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+func (s *server) totalRules() int64 {
+	var total int64
+	for _, name := range s.sessionNames() {
+		if sess := s.getSession(name, false); sess != nil {
+			sess.mu.Lock()
+			total += int64(sess.engine.Rules())
+			sess.mu.Unlock()
+		}
+	}
+	return total
+}
+
+// sessionStatus is one row of the /v1/sessions listing (and the ingest
+// response body).
+type sessionStatus struct {
+	Session   string `json:"session"`
+	Events    uint64 `json:"events"`
+	Refs      uint64 `json:"refs"`
+	Rules     int    `json:"rules"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (sess *session) statusLocked() sessionStatus {
+	return sessionStatus{
+		Session:   sess.name,
+		Events:    sess.engine.Events(),
+		Refs:      sess.engine.Refs(),
+		Rules:     sess.engine.Rules(),
+		Evictions: sess.engine.Evictions(),
+	}
+}
+
+// handleIngest consumes a chunked upload of encoded trace records into
+// the named session: POST /v1/ingest?session=NAME. A client streams one
+// session per thread (§5.1's per-thread WPS construction maps to one
+// session per thread) and may POST any number of times; records append
+// in arrival order.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	name := r.URL.Query().Get("session")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "session query parameter required")
+		return
+	}
+	sess := s.getSession(name, true)
+
+	sess.mu.Lock()
+	n, err := sess.engine.IngestReader(r.Body)
+	mRecords.Add(int64(n))
+	ev := sess.engine.Evictions()
+	mEvictions.Add(int64(ev - sess.lastEvictions))
+	sess.lastEvictions = ev
+	status := sess.statusLocked()
+	sess.mu.Unlock()
+
+	if err != nil {
+		// Records decoded before the error are already ingested; report
+		// both the partial progress and the failure.
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("after %d events: %v", n, err))
+		return
+	}
+	writeJSON(w, struct {
+		Ingested uint64 `json:"ingested"`
+		sessionStatus
+	}{n, status})
+}
+
+// handleSessions lists every session: GET /v1/sessions.
+func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	names := s.sessionNames()
+	out := make([]sessionStatus, 0, len(names))
+	for _, name := range names {
+		if sess := s.getSession(name, false); sess != nil {
+			sess.mu.Lock()
+			out = append(out, sess.statusLocked())
+			sess.mu.Unlock()
+		}
+	}
+	writeJSON(w, struct {
+		Sessions []sessionStatus `json:"sessions"`
+	}{out})
+}
+
+// snapshotSession runs online detection for one session. The session
+// lock covers the whole snapshot: the engine is single-threaded.
+func (s *server) snapshotSession(name string) (*online.Snapshot, bool) {
+	sess := s.getSession(name, false)
+	if sess == nil {
+		return nil, false
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	mSnapshots.Add(1)
+	return sess.engine.Snapshot(), true
+}
+
+// handleSnapshot serves the full analysis snapshot: GET
+// /v1/snapshot?session=NAME for one session (canonical bytes: identical
+// to locserve -batch over the same records when eviction is off), or GET
+// /v1/snapshot for every session keyed by name, the per-session
+// detections fanned out across the worker pool.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if name := r.URL.Query().Get("session"); name != "" {
+		snap, ok := s.snapshotSession(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown session "+name)
+			return
+		}
+		b, err := snap.MarshalIndent()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+		return
+	}
+	names := s.sessionNames()
+	snaps, _ := parallel.Map(s.workers, len(names), func(i int) (*online.Snapshot, error) {
+		snap, _ := s.snapshotSession(names[i])
+		return snap, nil
+	})
+	out := make(map[string]*online.Snapshot, len(names))
+	for i, name := range names {
+		if snaps[i] != nil {
+			out[name] = snaps[i]
+		}
+	}
+	writeJSON(w, out)
+}
+
+// sectionHandler serves one snapshot section for a required session.
+func (s *server) sectionHandler(section func(*online.Snapshot) any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		name := r.URL.Query().Get("session")
+		if name == "" {
+			httpError(w, http.StatusBadRequest, "session query parameter required")
+			return
+		}
+		snap, ok := s.snapshotSession(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown session "+name)
+			return
+		}
+		writeJSON(w, section(snap))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A write failure here means the client went away; there is no
+	// useful recovery from a handler.
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

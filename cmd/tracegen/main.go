@@ -3,16 +3,29 @@
 // allocation records) and writes it to a file — the role Vulcan
 // instrumentation plays in §5.1.
 //
+// With -stream it acts as an instrumented process instead: records are
+// emitted as a live stream — to stdout for piping, or POSTed to a
+// locserve ingest endpoint — optionally throttled to a target rate, and
+// either freshly generated or replayed from an existing trace file.
+//
 // Usage:
 //
 //	tracegen -bench 176.gcc -refs 1000000 -o gcc.trace
+//	tracegen -bench boxsim -stream | locstats -trace /dev/stdin
+//	tracegen -bench boxsim -stream -url http://localhost:8080/v1/ingest?session=box
+//	tracegen -stream -in gcc.trace -rate 50000 -url http://localhost:8080/v1/ingest?session=gcc
 //	tracegen -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -24,11 +37,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output file (default <bench>.trace)")
 	list := flag.Bool("list", false, "list available benchmarks")
+	stream := flag.Bool("stream", false, "stream records to stdout (or -url) instead of writing a file")
+	rate := flag.Int("rate", 0, "records per second in -stream mode (0 = unthrottled)")
+	url := flag.String("url", "", "in -stream mode, POST the records to this locserve ingest URL")
+	in := flag.String("in", "", "in -stream mode, replay this trace file instead of generating")
 	flag.Parse()
 
 	if *list {
 		for _, w := range workload.All() {
 			fmt.Printf("%-14s %s\n", w.Name(), w.Description())
+		}
+		return
+	}
+	if *stream {
+		if err := runStream(*bench, *refs, *seed, *in, *url, *rate); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -65,4 +89,114 @@ func main() {
 	st := b.Stats()
 	fmt.Printf("%s: %d events (%d refs, %d allocs), %d bytes -> %s\n",
 		*bench, b.Len(), st.Refs, st.Allocs, st.TraceBytes, path)
+}
+
+// runStream emits records as a live stream: generated from a benchmark
+// or replayed from a trace file, throttled to rate records/s, to stdout
+// or an HTTP ingest endpoint.
+func runStream(bench string, refs int, seed int64, in, url string, rate int) error {
+	if bench == "" && in == "" {
+		return errors.New("-stream needs -bench or -in")
+	}
+	start := time.Now()
+	var count uint64
+	emit := func(w io.Writer) error {
+		tw := trace.NewWriter(w)
+		// Pacing flushes and sleeps every `chunk` records so the schedule
+		// is tracked at ~20ms granularity and the receiver sees a live
+		// stream, not one buffered burst.
+		chunk := uint64(rate / 50)
+		if chunk == 0 {
+			chunk = 1
+		}
+		write := func(e trace.Event) error {
+			if err := tw.Write(e); err != nil {
+				return err
+			}
+			if rate > 0 && tw.Count()%chunk == 0 {
+				if err := tw.Flush(); err != nil {
+					return err
+				}
+				target := start.Add(time.Duration(float64(tw.Count()) / float64(rate) * float64(time.Second)))
+				time.Sleep(time.Until(target))
+			}
+			return nil
+		}
+		var err error
+		if in != "" {
+			var f *os.File
+			if f, err = os.Open(in); err != nil {
+				return err
+			}
+			err = trace.Decode(f, write)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		} else {
+			var b *trace.Buffer
+			if b, err = workload.Generate(bench, refs, seed); err != nil {
+				return err
+			}
+			for _, e := range b.Events() {
+				if err = write(e); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		count = tw.Count()
+		return tw.Flush()
+	}
+
+	if url == "" {
+		if err := emit(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := streamHTTP(url, emit); err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+	perSec := float64(count)
+	if elapsed > 0 {
+		perSec = float64(count) / elapsed
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: streamed %d records in %.2fs (%.0f records/s)\n",
+		count, elapsed, perSec)
+	return nil
+}
+
+// streamHTTP pipes the emitted records into a single chunked POST, so
+// the server ingests while the client is still generating.
+func streamHTTP(url string, emit func(io.Writer) error) error {
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := emit(pw)
+		// Propagate an emit failure to the POST body so the request
+		// aborts instead of looking like a clean (truncated) upload.
+		_ = pw.CloseWithError(err)
+		done <- err
+	}()
+	resp, err := http.Post(url, "application/octet-stream", pr)
+	if err != nil {
+		return errors.Join(<-done, err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	// Echo the server's ingest summary (events, rules, evictions).
+	fmt.Print(string(body))
+	return nil
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// captureServer decodes uploads like locserve's ingest endpoint and
+// retains the events for inspection.
+type captureServer struct {
+	events []trace.Event
+}
+
+func (c *captureServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	err := trace.Decode(r.Body, func(e trace.Event) error {
+		c.events = append(c.events, e)
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write([]byte("{}\n")); err != nil {
+		return
+	}
+}
+
+func TestRunStreamHTTP(t *testing.T) {
+	cs := &captureServer{}
+	ts := httptest.NewServer(cs)
+	defer ts.Close()
+
+	if err := runStream("boxsim", 5_000, 1, "", ts.URL, 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.Generate("boxsim", 5_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.events) != want.Len() {
+		t.Fatalf("server received %d events, want %d", len(cs.events), want.Len())
+	}
+	for i, e := range want.Events() {
+		if cs.events[i] != e {
+			t.Fatalf("event %d = %+v, want %+v", i, cs.events[i], e)
+		}
+	}
+}
+
+func TestRunStreamReplay(t *testing.T) {
+	b, err := workload.Generate("boxsim", 4_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "replay.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	if err := w.WriteAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := &captureServer{}
+	ts := httptest.NewServer(cs)
+	defer ts.Close()
+	// A nonzero rate exercises the pacing path; high enough to finish
+	// promptly, and throttling must never drop or reorder records.
+	if err := runStream("", 0, 0, path, ts.URL, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.events) != b.Len() {
+		t.Fatalf("server received %d events, want %d", len(cs.events), b.Len())
+	}
+	for i, e := range b.Events() {
+		if cs.events[i] != e {
+			t.Fatalf("event %d = %+v, want %+v", i, cs.events[i], e)
+		}
+	}
+}
+
+func TestRunStreamRejectsEmptySource(t *testing.T) {
+	if err := runStream("", 0, 0, "", "", 0); err == nil {
+		t.Fatal("runStream without -bench or -in returned nil error")
+	}
+}
+
+func TestRunStreamServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	if err := runStream("boxsim", 1_000, 1, "", ts.URL, 0); err == nil {
+		t.Fatal("runStream against an erroring server returned nil error")
+	}
+}

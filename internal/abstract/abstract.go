@@ -173,6 +173,18 @@ func (a *Abstractor) Streamer(hint int) *Streamer {
 	return &Streamer{st: a.newState(hint)}
 }
 
+// SinkStreamer returns a per-event abstraction pass that forwards each
+// abstracted reference to emit instead of retaining the Names/PCs/Addrs
+// arrays: the unbounded-stream mode the online analysis engine uses,
+// where per-reference state must not grow with trace length. The heap
+// map (Objects) and the excluded-reference counters are still
+// maintained; Result().Names stays empty.
+func (a *Abstractor) SinkStreamer(emit func(name uint64, pc, addr uint32)) *Streamer {
+	st := a.newState(0)
+	st.emit = emit
+	return &Streamer{st: st}
+}
+
 // Process consumes one event in trace order.
 func (s *Streamer) Process(e trace.Event) { s.st.process(e) }
 
@@ -180,10 +192,22 @@ func (s *Streamer) Process(e trace.Event) { s.st.process(e) }
 // with the Streamer: callers must not call Process afterwards.
 func (s *Streamer) Result() *Result { return s.st.res }
 
+// Objects returns the heap map built so far. Unlike Result, it may be
+// consulted between Process calls (the online engine snapshots it);
+// callers must not mutate it.
+func (s *Streamer) Objects() map[uint64]*Object { return s.st.res.Objects }
+
+// Excluded returns the running counts of stack references (excluded by
+// the paper's methodology) and references that hit no live object.
+func (s *Streamer) Excluded() (stackRefs, unknownRefs uint64) {
+	return s.st.res.StackRefs, s.st.res.UnknownRefs
+}
+
 // state carries the online abstraction machinery over one event stream.
 type state struct {
 	a       *Abstractor
 	res     *Result
+	emit    func(name uint64, pc, addr uint32)
 	process func(e trace.Event)
 }
 
@@ -329,6 +353,10 @@ func (a *Abstractor) newState(hint int) *state {
 			} else {
 				res.UnknownRefs++
 				name = nameForAddr(e.Addr)
+			}
+			if st.emit != nil {
+				st.emit(name, e.PC, e.Addr)
+				return
 			}
 			res.Names = append(res.Names, name)
 			res.PCs = append(res.PCs, e.PC)

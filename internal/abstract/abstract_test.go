@@ -325,3 +325,46 @@ func TestQuickAbstractionTotality(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSinkStreamerMatchesAbstract(t *testing.T) {
+	b := trace.NewBuffer(0)
+	b.Alloc(0x10, trace.HeapBase, 64)
+	b.Alloc(0x20, trace.HeapBase+64, 32)
+	for i := 0; i < 200; i++ {
+		b.Load(uint32(0x100+i%3), trace.HeapBase+uint32(i%96))
+		b.Store(0x200, trace.GlobalBase+4)
+	}
+	b.Free(trace.HeapBase)
+	b.Load(0x300, trace.HeapBase+8) // unknown after free
+	b.Load(0x400, trace.StackBase+16)
+
+	want := New(BirthID).Abstract(b)
+
+	var names []uint64
+	var pcs, addrs []uint32
+	st := New(BirthID).SinkStreamer(func(name uint64, pc, addr uint32) {
+		names = append(names, name)
+		pcs = append(pcs, pc)
+		addrs = append(addrs, addr)
+	})
+	for _, e := range b.Events() {
+		st.Process(e)
+	}
+
+	if !reflect.DeepEqual(names, want.Names) {
+		t.Error("sink names diverge from Abstract")
+	}
+	if !reflect.DeepEqual(pcs, want.PCs) || !reflect.DeepEqual(addrs, want.Addrs) {
+		t.Error("sink PCs/Addrs diverge from Abstract")
+	}
+	if len(st.Objects()) != len(want.Objects) {
+		t.Errorf("sink objects = %d, want %d", len(st.Objects()), len(want.Objects))
+	}
+	stack, unknown := st.Excluded()
+	if stack != want.StackRefs || unknown != want.UnknownRefs {
+		t.Errorf("sink excluded = (%d, %d), want (%d, %d)", stack, unknown, want.StackRefs, want.UnknownRefs)
+	}
+	if got := st.Result().Names; len(got) != 0 {
+		t.Errorf("sink retained %d names; retention must be off", len(got))
+	}
+}

@@ -1,0 +1,244 @@
+// Package online is the live counterpart of the batch analysis pipeline:
+// an incremental SEQUITUR builder plus online hot-data-stream detection,
+// consuming a trace as it arrives (chunked network uploads, pipes) and
+// answering "what are the hot data streams right now" at any point — the
+// role §6 sketches for a runtime optimizer consuming hot data streams as
+// its optimization abstraction, rather than a post-mortem file pass.
+//
+// An Engine folds three incremental passes over each ingested chunk:
+// Table-1 statistics (trace.StatsAccum), address abstraction
+// (abstract.SinkStreamer, which retains only the heap map, not the
+// per-reference arrays), and SEQUITUR grammar growth (sequitur's Append
+// is online by construction). Snapshot then freezes the grammar into its
+// DAG view and runs the same threshold search, detection, and exact
+// measurement passes the batch pipeline runs.
+//
+// Equivalence guarantee: with eviction disabled (Options.MaxRules == 0),
+// a Snapshot taken after the trace is fully consumed is bit-identical to
+// the level-0 results of batch core.Analyze/core.AnalyzeStream over the
+// same records — same grammar, same threshold, same hot streams, same
+// locality metrics — regardless of how the stream was chunked. Every
+// stage is deterministic and chunking only changes call boundaries, not
+// the event order any stage observes; TestOnlineMatchesBatch enforces
+// the guarantee byte-for-byte on the marshalled snapshots.
+//
+// With eviction enabled (MaxRules > 0), the grammar's rule table is
+// bounded: whenever a chunk leaves more than MaxRules live rules, the
+// coldest rules are inlined away (sequitur.EvictColdRules). Eviction
+// preserves the represented sequence exactly — measurement stays exact —
+// but discards compression structure, so detection sees fewer candidate
+// sites and the hot-stream set becomes an approximation biased toward
+// still-hot structure. The root rule's spine still grows with the
+// compressed residue of the input; MaxRules bounds the rule hierarchy,
+// which dominates for the highly regular streams hot-stream analysis
+// targets.
+package online
+
+import (
+	"io"
+
+	"repro/internal/abstract"
+	"repro/internal/hotstream"
+	"repro/internal/locality"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// Options configures an Engine. The zero value uses the paper's
+// parameters with eviction disabled (exact mode).
+type Options struct {
+	// HeapNaming selects the address abstraction (default: birth IDs).
+	HeapNaming abstract.Mode
+	// MinStreamLen/MaxStreamLen bound hot data streams (paper: 2, 100).
+	MinStreamLen, MaxStreamLen int
+	// CoverageTarget is the hot-stream coverage constraint driving the
+	// threshold search (paper: 0.90).
+	CoverageTarget float64
+	// FixedHeatMultiple pins the locality threshold to an explicit
+	// unit-uniform-access multiple, bypassing the coverage-driven search
+	// (recommended for high-rate serving: a snapshot then runs one
+	// detection pass instead of a search). Zero means search.
+	FixedHeatMultiple uint64
+	// BlockSize is the cache block size for packing-efficiency metrics
+	// (paper: 64).
+	BlockSize int
+	// Sequitur forwards compressor options (SEQUITUR(k) ablation).
+	Sequitur sequitur.Options
+	// MaxRules bounds the live grammar's rule table: after any chunk
+	// that leaves more rules live, the coldest are evicted. 0 disables
+	// eviction and makes snapshots bit-identical to the batch pipeline.
+	MaxRules int
+}
+
+func (o *Options) normalize() {
+	if o.MinStreamLen < 2 {
+		o.MinStreamLen = 2
+	}
+	if o.MaxStreamLen < o.MinStreamLen {
+		o.MaxStreamLen = 100
+	}
+	if o.CoverageTarget <= 0 || o.CoverageTarget > 1 {
+		o.CoverageTarget = 0.90
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 64
+	}
+	if o.Sequitur.MinRuleOccurrences < 2 {
+		o.Sequitur.MinRuleOccurrences = 2
+	}
+	if o.MaxRules < 0 {
+		o.MaxRules = 0
+	}
+}
+
+// ingestChunk is the decode granularity of IngestReader: small enough to
+// keep eviction responsive, large enough to amortize per-chunk costs.
+const ingestChunk = 4096
+
+// Engine is one session's incremental analysis state. An Engine is not
+// safe for concurrent use; callers (cmd/locserve) serialize access per
+// session and run distinct sessions in parallel.
+type Engine struct {
+	opts Options
+	acc  *trace.StatsAccum
+	abs  *abstract.Streamer
+	g    *sequitur.Grammar
+
+	events    uint64
+	chunks    uint64
+	evictions uint64
+	dagFresh  bool // grammar unchanged since the last Snapshot's DAG
+}
+
+// NewEngine returns an empty engine.
+func NewEngine(opts Options) *Engine {
+	opts.normalize()
+	e := &Engine{
+		opts: opts,
+		acc:  trace.NewStatsAccum(),
+		g:    sequitur.NewWithOptions(opts.Sequitur),
+	}
+	e.abs = abstract.New(opts.HeapNaming).SinkStreamer(func(name uint64, pc, addr uint32) {
+		e.g.Append(name)
+	})
+	return e
+}
+
+// Ingest consumes one chunk of trace events in order, then applies the
+// eviction policy.
+func (e *Engine) Ingest(events []trace.Event) {
+	if len(events) == 0 {
+		return
+	}
+	e.beginAppend()
+	for _, ev := range events {
+		e.acc.Add(ev)
+		e.abs.Process(ev)
+	}
+	e.events += uint64(len(events))
+	e.chunks++
+	e.maybeEvict()
+}
+
+// IngestReader decodes an encoded record stream (a network upload, a
+// pipe) chunk by chunk into the engine, returning the number of events
+// consumed and the first decode error, if any. Events decoded before an
+// error are already ingested.
+func (e *Engine) IngestReader(r io.Reader) (uint64, error) {
+	tr := trace.NewReader(r)
+	buf := make([]trace.Event, ingestChunk)
+	var total uint64
+	for {
+		n, err := tr.ReadChunk(buf)
+		if n > 0 {
+			e.Ingest(buf[:n])
+			total += uint64(n)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// beginAppend invalidates the grammar's DAG-layer caches before new
+// terminals arrive: snapshots alternate with appends, and a stale
+// expansion-length cache would otherwise be reported as corruption by
+// the sanitizer (and trusted by the next DAG build).
+func (e *Engine) beginAppend() {
+	if e.dagFresh {
+		e.g.ResetAnalysisCaches()
+		e.dagFresh = false
+	}
+}
+
+// maybeEvict applies the MaxRules bound after a chunk.
+func (e *Engine) maybeEvict() {
+	if e.opts.MaxRules > 0 && e.g.NumRules() > e.opts.MaxRules {
+		e.evictions += uint64(e.g.EvictColdRules(e.opts.MaxRules))
+	}
+}
+
+// Events returns the number of trace events ingested (references plus
+// bookkeeping records).
+func (e *Engine) Events() uint64 { return e.events }
+
+// Refs returns the number of abstracted references fed to the grammar.
+func (e *Engine) Refs() uint64 { return e.g.InputLen() }
+
+// Rules returns the live grammar's rule count (including the root).
+func (e *Engine) Rules() int { return e.g.NumRules() }
+
+// Evictions returns the cumulative number of rules evicted.
+func (e *Engine) Evictions() uint64 { return e.evictions }
+
+// Stats returns the Table-1 statistics accumulated so far.
+func (e *Engine) Stats() trace.Stats { return e.acc.Stats() }
+
+// Snapshot runs online hot-data-stream detection over everything
+// ingested so far: the grammar is frozen into its DAG view, the heat
+// threshold is recomputed (searched, or fixed via FixedHeatMultiple),
+// streams are detected on the DAG and measured exactly against the
+// regenerated reference sequence, and the locality metrics are
+// summarized. The engine remains appendable afterwards.
+func (e *Engine) Snapshot() *Snapshot {
+	stats := e.acc.Stats()
+	dag := sequitur.NewDAG(e.g, e.opts.MaxStreamLen)
+	e.dagFresh = true
+	dsrc := hotstream.NewDAGSource(dag)
+
+	refs := e.g.InputLen()
+	var th hotstream.Threshold
+	var meas *hotstream.Measurement
+	if e.opts.FixedHeatMultiple > 0 {
+		th = hotstream.FixedThreshold(e.opts.FixedHeatMultiple, refs, stats.Addresses)
+	} else {
+		th, _ = hotstream.FindThreshold(dsrc, e.g, refs, stats.Addresses, hotstream.SearchConfig{
+			MinLen:         e.opts.MinStreamLen,
+			MaxLen:         e.opts.MaxStreamLen,
+			CoverageTarget: e.opts.CoverageTarget,
+		})
+	}
+	cfg := hotstream.Config{MinLen: e.opts.MinStreamLen, MaxLen: e.opts.MaxStreamLen, Heat: th.Heat}
+	streams := hotstream.Detect(dsrc, cfg)
+	meas = hotstream.Measure(e.g, streams, cfg, 0, false)
+	th.Coverage = meas.Coverage()
+
+	sum := locality.Summarize(meas.Streams, e.abs.Objects(), e.opts.BlockSize)
+	stackRefs, unknownRefs := e.abs.Excluded()
+	return buildSnapshot(snapshotInputs{
+		Stats:       stats,
+		Names:       refs,
+		StackRefs:   stackRefs,
+		UnknownRefs: unknownRefs,
+		Objects:     len(e.abs.Objects()),
+		Grammar:     dag.ComputeStats(),
+		Evictions:   e.evictions,
+		Threshold:   th,
+		Streams:     meas.Streams,
+		Coverage:    meas.Coverage(),
+		Summary:     sum,
+	})
+}

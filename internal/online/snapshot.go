@@ -1,0 +1,194 @@
+package online
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/hotstream"
+	"repro/internal/locality"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// Snapshot is the serializable result of online analysis at one point in
+// the stream: Table-1 statistics, grammar size, the exploitable-locality
+// threshold, the current hot data streams, and the inherent/realized
+// locality metrics. It is the payload of locserve's JSON endpoints.
+//
+// The struct deliberately contains no wall-clock or otherwise
+// nondeterministic fields: with eviction disabled, its JSON encoding is
+// byte-identical between the online engine and the batch pipeline
+// (SnapshotFromAnalysis) over the same records.
+type Snapshot struct {
+	Trace struct {
+		Refs           uint64  `json:"refs"`
+		HeapRefs       uint64  `json:"heapRefs"`
+		GlobalRefs     uint64  `json:"globalRefs"`
+		Loads          uint64  `json:"loads"`
+		Stores         uint64  `json:"stores"`
+		Addresses      uint64  `json:"addresses"`
+		PCs            uint64  `json:"pcs"`
+		Allocs         uint64  `json:"allocs"`
+		AllocBytes     uint64  `json:"allocBytes"`
+		TraceBytes     uint64  `json:"traceBytes"`
+		RefsPerAddress float64 `json:"refsPerAddress"`
+	} `json:"trace"`
+	Abstraction struct {
+		Names       uint64 `json:"names"`
+		StackRefs   uint64 `json:"stackRefs"`
+		UnknownRefs uint64 `json:"unknownRefs"`
+		Objects     int    `json:"objects"`
+	} `json:"abstraction"`
+	Grammar struct {
+		Rules            int     `json:"rules"`
+		Symbols          int     `json:"symbols"`
+		InputLen         uint64  `json:"inputLen"`
+		CompressionRatio float64 `json:"compressionRatio"`
+		Evictions        uint64  `json:"evictions"`
+	} `json:"grammar"`
+	Threshold struct {
+		Multiple uint64  `json:"multiple"`
+		Unit     float64 `json:"unit"`
+		Heat     uint64  `json:"heat"`
+	} `json:"threshold"`
+	HotStreams struct {
+		Count             int          `json:"count"`
+		Coverage          float64      `json:"coverage"`
+		DistinctAddresses int          `json:"distinctAddresses"`
+		Streams           []StreamStat `json:"streams"`
+	} `json:"hotStreams"`
+	Locality struct {
+		// Inherent exploitable locality (§2.4.1): what the reference
+		// stream itself offers an optimizer.
+		WtAvgStreamSize         float64 `json:"wtAvgStreamSize"`
+		WtAvgRepetitionInterval float64 `json:"wtAvgRepetitionInterval"`
+		// Realized locality (§2.4.2): how well the current data layout
+		// exploits it.
+		WtAvgPackingEfficiencyPct float64 `json:"wtAvgPackingEfficiencyPct"`
+	} `json:"locality"`
+}
+
+// StreamStat is one hot data stream in a Snapshot.
+type StreamStat struct {
+	ID int `json:"id"`
+	// Length is the stream's spatial regularity (§2.2): the number of
+	// references in one occurrence.
+	Length int `json:"length"`
+	// Freq is the exact non-overlapping occurrence count.
+	Freq uint64 `json:"freq"`
+	// Heat is length x freq, the regularity magnitude.
+	Heat uint64 `json:"heat"`
+	// RepetitionInterval is the stream's temporal regularity (§2.2).
+	RepetitionInterval float64 `json:"repetitionInterval"`
+	// Seq is the abstracted reference subsequence.
+	Seq []uint64 `json:"seq"`
+}
+
+// snapshotInputs funnels both the online engine and the batch pipeline
+// into one Snapshot constructor, so equivalence is structural: the two
+// paths cannot drift in how they render the same quantities.
+type snapshotInputs struct {
+	Stats       trace.Stats
+	Names       uint64
+	StackRefs   uint64
+	UnknownRefs uint64
+	Objects     int
+	Grammar     sequitur.Stats
+	Evictions   uint64
+	Threshold   hotstream.Threshold
+	Streams     []*hotstream.Stream
+	Coverage    float64
+	Summary     locality.Summary
+}
+
+func buildSnapshot(in snapshotInputs) *Snapshot {
+	s := &Snapshot{}
+	st := in.Stats
+	s.Trace.Refs = st.Refs
+	s.Trace.HeapRefs = st.HeapRefs
+	s.Trace.GlobalRefs = st.GlobalRefs
+	s.Trace.Loads = st.Loads
+	s.Trace.Stores = st.Stores
+	s.Trace.Addresses = st.Addresses
+	s.Trace.PCs = st.PCs
+	s.Trace.Allocs = st.Allocs
+	s.Trace.AllocBytes = st.AllocBytes
+	s.Trace.TraceBytes = st.TraceBytes
+	s.Trace.RefsPerAddress = st.RefsPerAddress()
+
+	s.Abstraction.Names = in.Names
+	s.Abstraction.StackRefs = in.StackRefs
+	s.Abstraction.UnknownRefs = in.UnknownRefs
+	s.Abstraction.Objects = in.Objects
+
+	s.Grammar.Rules = in.Grammar.Rules
+	s.Grammar.Symbols = in.Grammar.Symbols
+	s.Grammar.InputLen = in.Grammar.InputLen
+	s.Grammar.CompressionRatio = in.Grammar.CompressionRatio()
+	s.Grammar.Evictions = in.Evictions
+
+	s.Threshold.Multiple = in.Threshold.Multiple
+	s.Threshold.Unit = in.Threshold.Unit
+	s.Threshold.Heat = in.Threshold.Heat
+
+	s.HotStreams.Count = len(in.Streams)
+	s.HotStreams.Coverage = in.Coverage
+	s.HotStreams.DistinctAddresses = in.Summary.DistinctAddresses
+	s.HotStreams.Streams = make([]StreamStat, len(in.Streams))
+	for i, hs := range in.Streams {
+		s.HotStreams.Streams[i] = StreamStat{
+			ID:                 hs.ID,
+			Length:             hs.SpatialRegularity(),
+			Freq:               hs.Freq,
+			Heat:               hs.Magnitude(),
+			RepetitionInterval: hs.TemporalRegularity(),
+			Seq:                hs.Seq,
+		}
+	}
+
+	s.Locality.WtAvgStreamSize = in.Summary.WtAvgStreamSize
+	s.Locality.WtAvgRepetitionInterval = in.Summary.WtAvgRepetitionInterval
+	s.Locality.WtAvgPackingEfficiencyPct = in.Summary.WtAvgPackingEfficiency
+	return s
+}
+
+// SnapshotFromAnalysis renders a batch analysis's level-0 results in the
+// online snapshot shape: the reference the equivalence guarantee (and
+// locserve's -batch mode) compares against.
+func SnapshotFromAnalysis(a *core.Analysis) *Snapshot {
+	return buildSnapshot(snapshotInputs{
+		Stats:       a.TraceStats,
+		Names:       uint64(len(a.Abstraction.Names)),
+		StackRefs:   a.Abstraction.StackRefs,
+		UnknownRefs: a.Abstraction.UnknownRefs,
+		Objects:     len(a.Abstraction.Objects),
+		Grammar:     a.Pipeline.Levels[0].WPS.Size(),
+		Evictions:   0,
+		Threshold:   a.Threshold(),
+		Streams:     a.Streams(),
+		Coverage:    a.Coverage(),
+		Summary:     a.Summary,
+	})
+}
+
+// MarshalIndent encodes the snapshot as indented JSON with a trailing
+// newline: the canonical form served by locserve and diffed by the
+// equivalence test and the CI smoke step.
+func (s *Snapshot) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the canonical indented encoding to w.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := s.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

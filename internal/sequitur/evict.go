@@ -1,0 +1,181 @@
+package sequitur
+
+import "sort"
+
+// This file implements cold-rule eviction: the bounded-memory mode the
+// online analysis engine (internal/online) uses to keep an incrementally
+// grown grammar's rule table at a configurable size while the input
+// stream is unbounded.
+//
+// Evicting a rule inlines a copy of its right-hand side at every use
+// site and deletes the rule. The expansion of every surviving rule — in
+// particular the root, i.e. the represented input sequence — is exactly
+// preserved, so Walk/Expand and every measurement pass over the
+// regenerated sequence remain exact. What is given up is compression
+// state: the inlined copies duplicate digrams, so the grammar leaves the
+// strict SEQUITUR invariant regime ("relaxed" mode). The digram table
+// stays *valid* (every entry points at a live, correctly-keyed symbol;
+// Append keeps working and keeps compressing new input) but is no longer
+// *complete*: duplicated digrams are simply never re-merged. The
+// sanitizer (CheckInvariants) skips the digram-uniqueness and
+// table-completeness checks for relaxed grammars and enforces everything
+// else.
+
+// EvictColdRules evicts rules until at most maxRules remain (the root
+// always survives), returning the number of rules evicted. Candidates
+// are ordered coldest first: fewest uses, then shortest right-hand side,
+// then lowest ID (oldest). The order is deterministic, so two grammars
+// built and evicted identically stay identical.
+//
+// It panics with ErrFrozen on grammars loaded with ReadBinary.
+func (g *Grammar) EvictColdRules(maxRules int) int {
+	if g.frozen {
+		panic(ErrFrozen)
+	}
+	if maxRules < 1 {
+		maxRules = 1
+	}
+	evicted := 0
+	for len(g.rules) > maxRules {
+		r := g.coldestRule()
+		if r == nil {
+			break
+		}
+		g.evictRule(r)
+		evicted++
+	}
+	if evicted > 0 {
+		g.relaxed = true
+	}
+	return evicted
+}
+
+// Relaxed reports whether cold-rule eviction has relaxed the grammar's
+// digram-uniqueness invariant.
+func (g *Grammar) Relaxed() bool { return g.relaxed }
+
+// coldestRule picks the eviction victim: the non-root rule with the
+// fewest uses, breaking ties by shorter right-hand side, then lower ID.
+func (g *Grammar) coldestRule() *Rule {
+	var best *Rule
+	bestLen := 0
+	for _, r := range g.rules {
+		if r == g.root {
+			continue
+		}
+		n := 0
+		for s := r.first(); !s.guard; s = s.next {
+			n++
+		}
+		if best == nil ||
+			r.uses < best.uses ||
+			(r.uses == best.uses && (n < bestLen || (n == bestLen && r.id < best.id))) {
+			best, bestLen = r, n
+		}
+	}
+	return best
+}
+
+// evictRule removes r from the grammar by inlining a copy of its RHS at
+// every use site.
+func (g *Grammar) evictRule(r *Rule) {
+	// Drop the digram-table entries that point into r's RHS first, so
+	// the first inlined copy re-registers those digrams at a surviving
+	// location.
+	for s := r.first(); !s.guard; s = s.next {
+		g.deleteDigram(s)
+	}
+
+	// Collect use sites in deterministic order: rules by ascending ID,
+	// symbols in RHS order. (Use sites cannot be inside r itself — the
+	// grammar is acyclic.)
+	ids := make([]uint64, 0, len(g.rules))
+	for id := range g.rules {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var uses []*symbol
+	for _, id := range ids {
+		for s := g.rules[id].first(); !s.guard; s = s.next {
+			if s.r == r {
+				uses = append(uses, s)
+			}
+		}
+	}
+	for _, s := range uses {
+		g.inlineCopy(s, r)
+	}
+
+	// Dismantle r's RHS, releasing its references to other rules. The
+	// inlined copies hold their own references, so every rule r referred
+	// to nets uses + (r.uses at entry) - 1 >= +1.
+	for s := r.first(); !s.guard; {
+		next := s.next
+		if s.r != nil {
+			s.r.uses--
+		}
+		s.next, s.prev, s.r = nil, nil, nil
+		s = next
+	}
+	g.deleteRule(r)
+}
+
+// inlineCopy replaces the nonterminal s (a use of rule r) with a fresh
+// copy of r's right-hand side, keeping the digram table valid: entries
+// for the two digrams destroyed at the splice point are dropped, and the
+// chain's digrams are registered only where their key is absent —
+// duplicated digrams relax uniqueness instead of corrupting the table.
+func (g *Grammar) inlineCopy(s *symbol, r *Rule) {
+	left, right := s.prev, s.next
+	g.deleteDigram(left) // (left, s); no-op when left is the guard
+	g.deleteDigram(s)    // (s, right); no-op when right is the guard
+
+	var first, last *symbol
+	for t := r.first(); !t.guard; t = t.next {
+		c := g.copySymbol(t)
+		if c.r != nil {
+			c.r.uses++
+		}
+		if first == nil {
+			first = c
+		} else {
+			last.next = c
+			c.prev = last
+		}
+		last = c
+	}
+	r.uses--
+	s.next, s.prev, s.r = nil, nil, nil
+
+	left.next, first.prev = first, left
+	last.next, right.prev = right, last
+
+	for t := left; t != last; t = t.next {
+		g.registerIfAbsent(t)
+	}
+	g.registerIfAbsent(last)
+}
+
+// registerIfAbsent records the digram starting at s in the table unless
+// the key is already present (pointing elsewhere): the relaxed-mode
+// counterpart of the strict index maintained by check.
+func (g *Grammar) registerIfAbsent(s *symbol) {
+	if s.guard || s.next == nil || s.next.guard {
+		return
+	}
+	d := digram{s.key(), s.next.key()}
+	if _, ok := g.digrams[d]; !ok {
+		g.digrams[d] = s
+	}
+}
+
+// ResetAnalysisCaches clears the per-rule expansion-length caches the
+// DAG layer populates. Callers that alternate DAG snapshots with further
+// Appends (the online engine) must reset before appending so stale
+// caches are neither trusted nor reported as corruption by the
+// sanitizer.
+func (g *Grammar) ResetAnalysisCaches() {
+	for _, r := range g.rules {
+		r.expLen = 0
+	}
+}

@@ -31,11 +31,12 @@ const (
 //     *Rule registered in the table (not a stale copy);
 //   - digram uniqueness: no digram occurs twice (overlapping runs like
 //     "aaa" excepted), skipped for SEQUITUR(k) grammars with pending
-//     digrams, where uniqueness is intentionally relaxed;
+//     digrams and for grammars relaxed by cold-rule eviction (evict.go),
+//     where uniqueness is intentionally given up;
 //   - digram table validity and completeness (non-frozen grammars only):
 //     every table entry points at a linked, correctly-keyed symbol, and —
-//     when no digrams are pending — every digram in the grammar has a table
-//     entry;
+//     when no digrams are pending and the grammar is not relaxed — every
+//     digram in the grammar has a table entry;
 //   - rule utility: every rule but the root is referenced at least twice
 //     (again skipped while digrams are pending);
 //   - use counts: each rule's tracked reference count matches the actual
@@ -102,7 +103,7 @@ func CheckInvariants(g *Grammar) error {
 				return fmt.Errorf("sequitur: rule %d: terminal %#x uses the reserved nonterminal bit", id, s.value)
 			}
 			linked[s] = true
-			if !s.next.guard && g.pending == nil {
+			if !s.next.guard && g.pending == nil && !g.relaxed {
 				d := digram{s.key(), s.next.key()}
 				if prev, dup := seen[d]; dup {
 					// Overlapping same-symbol digrams within a run are
@@ -142,7 +143,7 @@ func CheckInvariants(g *Grammar) error {
 					d.a, d.b, s.key(), s.next.key())
 			}
 		}
-		if g.pending == nil {
+		if g.pending == nil && !g.relaxed {
 			for d, rid := range seen {
 				if _, ok := g.digrams[d]; !ok {
 					return fmt.Errorf("sequitur: digram (%x,%x) in rule %d missing from the digram table", d.a, d.b, rid)

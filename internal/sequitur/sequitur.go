@@ -96,6 +96,10 @@ type Grammar struct {
 	// frozen marks grammars loaded from the binary form: analyzable but
 	// not appendable (the digram index is not reconstructed).
 	frozen bool
+	// relaxed marks grammars that have undergone cold-rule eviction
+	// (evict.go): still appendable and exact, but digram uniqueness and
+	// digram-table completeness no longer hold.
+	relaxed bool
 	// pending counts sightings of digrams not yet promoted to rules when
 	// MinRuleOccurrences > 2.
 	pending map[digram]int

@@ -1,6 +1,14 @@
 package trace
 
-import "io"
+import (
+	"errors"
+	"io"
+)
+
+// ErrStop is the sentinel a ForEach/Decode callback returns to stop
+// iteration early without error: the iteration reports success (nil).
+// Any other callback error aborts iteration and is returned as-is.
+var ErrStop = errors.New("trace: stop iteration")
 
 // This file is the streaming side of the trace codec: chunked and
 // per-event iteration over encoded streams, and incremental statistics,
@@ -69,7 +77,9 @@ func (a *StatsAccum) Stats() Stats {
 // ForEach decodes the remainder of the stream, invoking fn for every
 // event in order. It stops at a clean end of stream (returning nil), on
 // the first decode error, or on the first error from fn (returned
-// as-is).
+// as-is). A callback returning ErrStop stops iteration early and
+// reports success: the early-stop path network consumers use to cap an
+// upload without draining it.
 func (tr *Reader) ForEach(fn func(Event) error) error {
 	for {
 		e, err := tr.Read()
@@ -80,9 +90,21 @@ func (tr *Reader) ForEach(fn func(Event) error) error {
 			return err
 		}
 		if err := fn(e); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
 			return err
 		}
 	}
+}
+
+// Decode is the io.Reader-based decode path: it streams records straight
+// off r (a network connection, an HTTP request body, a pipe) into fn,
+// one event at a time, without buffering the whole upload. Error
+// semantics are ForEach's: nil at clean end of stream or ErrStop,
+// decode errors (including ErrCorrupt) and callback errors otherwise.
+func Decode(r io.Reader, fn func(Event) error) error {
+	return NewReader(r).ForEach(fn)
 }
 
 // ReadChunk decodes up to len(dst) events into dst, returning the number

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -170,4 +171,85 @@ func TestThreadRoundTripExhaustive(t *testing.T) {
 			i++
 		}
 	}
+}
+
+func TestForEachErrStop(t *testing.T) {
+	b := streamFixture()
+	enc := encode(t, b)
+	var n int
+	err := NewReader(bytes.NewReader(enc)).ForEach(func(Event) error {
+		n++
+		if n == 5 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach with ErrStop = %v, want nil", err)
+	}
+	if n != 5 {
+		t.Fatalf("callback ran %d times after ErrStop at 5", n)
+	}
+}
+
+func TestForEachCallbackError(t *testing.T) {
+	b := streamFixture()
+	enc := encode(t, b)
+	sentinel := errors.New("boom")
+	var n int
+	err := NewReader(bytes.NewReader(enc)).ForEach(func(Event) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ForEach = %v, want the callback's error", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after erroring at 3", n)
+	}
+}
+
+func TestDecodeStreamsWithoutBuffering(t *testing.T) {
+	b := streamFixture()
+	enc := encode(t, b)
+	// iotest-style one-byte reader: Decode must work on arbitrarily
+	// fragmented network reads.
+	var got []Event
+	err := Decode(oneByteReader{bytes.NewReader(enc)}, func(e Event) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != b.Len() {
+		t.Fatalf("decoded %d events, want %d", len(got), b.Len())
+	}
+	for i, e := range b.Events() {
+		if got[i] != e {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], e)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	b := streamFixture()
+	enc := encode(t, b)
+	err := Decode(bytes.NewReader(enc[:len(enc)-3]), func(Event) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode of a truncated stream = %v, want ErrCorrupt", err)
+	}
+}
+
+// oneByteReader delivers one byte per Read call.
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
 }
