@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke repro csv lint race sanitize serve-smoke fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke repro csv lint race sanitize serve-smoke locdiff-smoke fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -50,6 +50,12 @@ sanitize:
 # against the batch pipeline's output.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end smoke of the regression gate: locdiff over identical runs
+# must pass -strict with zero drift (and hit the store memo on rerun);
+# a perturbed workload seed must trip the gates with a non-zero exit.
+locdiff-smoke:
+	./scripts/locdiff-smoke.sh
 
 # Short fuzz sessions over the parsers and the grammar invariant.
 fuzz:

@@ -1,0 +1,171 @@
+// Command locdiff compares the data-reference locality of two runs and
+// gates on regressions: the CI front door of the persistence subsystem.
+// Each input may be a raw trace file (analyzed on the fly, memoized
+// through the artifact store when -store is given), a stored artifact
+// name or blob digest, a snapshot JSON file, or a live locserve URL. The
+// two snapshots are diffed — hot-stream set overlap by abstracted
+// sequence, added/dropped/coverage-shifted streams, and deltas on every
+// inherent and realized locality metric — and configurable gates decide
+// the exit status, so a build whose locality drifted fails the pipeline.
+//
+// Usage:
+//
+//	locdiff old.trace new.trace
+//	locdiff -store ./artifacts -strict base.trace candidate.trace
+//	locdiff -store ./artifacts snapshot/<hex>/<params> new.trace
+//	locdiff -json -max-coverage-drop 0.05 -min-heat-overlap 0.8 a.trace b.trace
+//	locdiff http://localhost:8080/v1/snapshot?session=prod old-snapshot.json
+//
+// Exit status: 0 when every gate passes, 1 when a gate fails, 2 on
+// usage or input errors. Gates are disabled by default (pure reporting);
+// -strict fails on any drift, and each -max-*/-min-* flag arms one gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/regress"
+	"repro/internal/store"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("locdiff", flag.ExitOnError)
+	storeDir := fs.String("store", "", "artifact store directory: memoize trace analyses and resolve artifact names")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report + verdict instead of the human diff")
+	top := fs.Int("top", 10, "max streams listed per diff section in human output (0 = all)")
+	strict := fs.Bool("strict", false, "fail on any locality drift (zero-tolerance gates)")
+	gc := fs.Bool("gc", false, "after the diff, garbage-collect unreferenced store blobs")
+
+	// Analysis parameters for inputs that are raw traces.
+	minLen := fs.Int("min-len", 2, "minimum hot-stream length")
+	maxLen := fs.Int("max-len", 100, "maximum hot-stream length")
+	coverage := fs.Float64("coverage", 0.90, "hot-stream coverage target for the threshold search")
+	fixedMultiple := fs.Uint64("fixed-multiple", 0, "pin the heat threshold to this unit-uniform-access multiple instead of searching")
+	block := fs.Int("block", 64, "cache block size for packing-efficiency metrics")
+
+	// Gates: negative disables.
+	maxCoverageDrop := fs.Float64("max-coverage-drop", -1, "max absolute hot-stream coverage drop, fraction points (e.g. 0.05)")
+	minStreamOverlap := fs.Float64("min-stream-overlap", -1, "min fraction of old hot streams still hot (by count)")
+	minHeatOverlap := fs.Float64("min-heat-overlap", -1, "min fraction of old hot-stream heat still hot")
+	maxPackingDrop := fs.Float64("max-packing-drop", -1, "max drop in weighted packing efficiency, percentage points")
+	maxSizeDrop := fs.Float64("max-size-drop", -1, "max relative drop in weighted stream size (e.g. 0.2)")
+	maxRepGrowth := fs.Float64("max-repetition-growth", -1, "max relative growth in weighted repetition interval (e.g. 0.2)")
+	maxCompressionDrop := fs.Float64("max-compression-drop", -1, "max relative drop in grammar compression ratio (e.g. 0.25)")
+
+	_ = fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "locdiff: need exactly two inputs (old new); see -h")
+		return 2
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "locdiff:", err)
+			return 2
+		}
+	}
+
+	opts := core.Options{
+		MinStreamLen:      *minLen,
+		MaxStreamLen:      *maxLen,
+		CoverageTarget:    *coverage,
+		FixedHeatMultiple: *fixedMultiple,
+		BlockSize:         *block,
+		SkipPotential:     true,
+	}
+
+	oldIn, err := resolveInput(fs.Arg(0), st, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locdiff: old input %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	newIn, err := resolveInput(fs.Arg(1), st, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locdiff: new input %s: %v\n", fs.Arg(1), err)
+		return 2
+	}
+
+	gates := regress.Disabled()
+	if *strict {
+		gates = regress.Strict()
+	}
+	for _, g := range []struct {
+		dst  *float64
+		flag float64
+	}{
+		{&gates.MaxCoverageDrop, *maxCoverageDrop},
+		{&gates.MinStreamOverlap, *minStreamOverlap},
+		{&gates.MinHeatOverlap, *minHeatOverlap},
+		{&gates.MaxPackingDrop, *maxPackingDrop},
+		{&gates.MaxStreamSizeDrop, *maxSizeDrop},
+		{&gates.MaxRepetitionGrowth, *maxRepGrowth},
+		{&gates.MaxCompressionDrop, *maxCompressionDrop},
+	} {
+		if g.flag >= 0 {
+			*g.dst = g.flag
+		}
+	}
+
+	report := regress.Diff(oldIn.snapshot, newIn.snapshot)
+	verdict := gates.Evaluate(report)
+
+	if *jsonOut {
+		out := struct {
+			Old     inputInfo       `json:"old"`
+			New     inputInfo       `json:"new"`
+			Report  *regress.Report `json:"report"`
+			Gates   regress.Gates   `json:"gates"`
+			Verdict regress.Verdict `json:"verdict"`
+		}{oldIn.info, newIn.info, report, gates, verdict}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locdiff:", err)
+			return 2
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("old: %s\nnew: %s\n\n", oldIn.info, newIn.info)
+		if err := report.Format(os.Stdout, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "locdiff:", err)
+			return 2
+		}
+		fmt.Println()
+		if verdict.Pass {
+			if report.Identical() {
+				fmt.Println("verdict: PASS (no locality drift)")
+			} else {
+				fmt.Println("verdict: PASS")
+			}
+		} else {
+			fmt.Printf("verdict: FAIL (%d gates tripped)\n", len(verdict.Failures))
+			for _, f := range verdict.Failures {
+				fmt.Printf("  [%s] %s\n", f.Gate, f.Detail)
+			}
+		}
+	}
+
+	if st != nil && *gc {
+		gcs, err := st.GC()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locdiff: gc:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "locdiff: gc removed %d blobs (%d bytes), %d staging files\n",
+			gcs.Blobs, gcs.BlobBytes, gcs.TmpFiles)
+	}
+
+	if !verdict.Pass {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/online"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func writeTrace(t *testing.T, dir, name string, refs int, seed int64) string {
+	t.Helper()
+	b, err := workload.Generate("boxsim", refs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	if err := w.WriteAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runArgs(t *testing.T, args ...string) int {
+	t.Helper()
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = append([]string{"locdiff"}, args...)
+	return run()
+}
+
+// TestSameTracePassesStrict is the CI contract: two runs over identical
+// records report zero regressions and exit 0, even under the strictest
+// gates, and the second resolution of each trace hits the store memo.
+func TestSameTracePassesStrict(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.trace", 12000, 1)
+	b := writeTrace(t, dir, "b.trace", 12000, 1) // identical content
+	st := filepath.Join(dir, "store")
+	if code := runArgs(t, "-strict", "-store", st, a, b); code != 0 {
+		t.Fatalf("identical traces exited %d, want 0", code)
+	}
+	// Identical content deduplicated to one trace blob + one memo entry.
+	s, err := store.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Names("trace/")); n != 1 {
+		t.Errorf("%d trace artifacts for identical content, want 1", n)
+	}
+	if n := len(s.Names("snapshot/")); n != 1 {
+		t.Errorf("%d snapshot artifacts, want 1 (memo shared)", n)
+	}
+}
+
+// TestPerturbedTraceTripsGate: a different workload seed must trip at
+// least one strict gate and exit non-zero.
+func TestPerturbedTraceTripsGate(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTrace(t, dir, "a.trace", 12000, 1)
+	c := writeTrace(t, dir, "c.trace", 12000, 7)
+	if code := runArgs(t, "-strict", "-store", filepath.Join(dir, "store"), a, c); code != 1 {
+		t.Fatalf("perturbed trace exited %d, want 1", code)
+	}
+	// With gates disabled the same pair reports and exits 0.
+	if code := runArgs(t, a, c); code != 0 {
+		t.Fatalf("report-only run exited %d, want 0", code)
+	}
+}
+
+func TestResolveSnapshotFileAndURL(t *testing.T) {
+	dir := t.TempDir()
+	b, err := workload.Generate("boxsim", 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapJSON, err := online.SnapshotFromAnalysis(core.Analyze(b, core.Options{SkipPotential: true})).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(path, snapJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(snapJSON)
+	}))
+	defer ts.Close()
+
+	fromFile, err := resolveInput(path, nil, core.Options{})
+	if err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	fromURL, err := resolveInput(ts.URL, nil, core.Options{})
+	if err != nil {
+		t.Fatalf("url: %v", err)
+	}
+	if fromFile.snapshot.Trace.Refs != fromURL.snapshot.Trace.Refs ||
+		fromFile.snapshot.Trace.Refs == 0 {
+		t.Errorf("refs: file %d, url %d", fromFile.snapshot.Trace.Refs, fromURL.snapshot.Trace.Refs)
+	}
+	if fromFile.info.Kind != "snapshot" || fromURL.info.Kind != "url" {
+		t.Errorf("kinds = %q, %q", fromFile.info.Kind, fromURL.info.Kind)
+	}
+
+	// A diff of the file against the URL copy of itself is empty.
+	if code := runArgs(t, "-strict", path, ts.URL); code != 0 {
+		t.Errorf("snapshot vs same snapshot over HTTP exited %d", code)
+	}
+}
+
+func TestResolveStoreArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "a.trace", 8000, 1)
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.AnalyzeTraceFile(path, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// By snapshot artifact name.
+	byName, err := resolveInput(res.SnapshotName, st, core.Options{})
+	if err != nil {
+		t.Fatalf("artifact name: %v", err)
+	}
+	// By trace blob digest (memo hit: analysis already stored).
+	byDigest, err := resolveInput(string(res.TraceDigest), st, core.Options{})
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	if !byDigest.info.MemoHit {
+		t.Error("digest resolution missed the memo")
+	}
+	if byName.snapshot.Trace.Refs != byDigest.snapshot.Trace.Refs {
+		t.Error("artifact and digest resolutions disagree")
+	}
+	// Grammar artifacts are explicitly not diffable.
+	if _, err := resolveInput(res.GrammarName, st, core.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "grammar") {
+		t.Errorf("grammar artifact resolution = %v, want kind error", err)
+	}
+}
+
+func TestResolveRejectsUnknown(t *testing.T) {
+	if _, err := resolveInput("no/such/input", nil, core.Options{}); err == nil {
+		t.Error("unknown input resolved without -store")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveInput("no/such/input", st, core.Options{}); err == nil {
+		t.Error("unknown input resolved with empty store")
+	}
+	// A JSON file that is not a snapshot is rejected, not diffed as zeros.
+	path := filepath.Join(t.TempDir(), "other.json")
+	if err := os.WriteFile(path, []byte(`{"totally": "unrelated"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveInput(path, nil, core.Options{}); err == nil {
+		t.Error("non-snapshot JSON accepted")
+	}
+}

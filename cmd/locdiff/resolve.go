@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/online"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// inputInfo describes where a snapshot came from, for the diff header.
+type inputInfo struct {
+	Source string       `json:"source"`
+	Kind   string       `json:"kind"` // "trace" | "snapshot" | "url" | "artifact"
+	Digest store.Digest `json:"digest,omitempty"`
+	// MemoHit reports that a stored snapshot was reused instead of
+	// re-running the analysis pipeline.
+	MemoHit bool `json:"memoHit,omitempty"`
+}
+
+func (i inputInfo) String() string {
+	s := fmt.Sprintf("%s (%s", i.Source, i.Kind)
+	if i.MemoHit {
+		s += ", memoized"
+	}
+	if i.Digest != "" {
+		s += ", " + string(i.Digest)[:19]
+	}
+	return s + ")"
+}
+
+// input is one resolved side of the diff.
+type input struct {
+	snapshot *online.Snapshot
+	info     inputInfo
+}
+
+// parseSnapshot decodes canonical snapshot JSON, rejecting documents
+// that are not a snapshot (unknown fields) so a mistyped URL or file
+// fails loudly instead of diffing zeros.
+func parseSnapshot(b []byte) (*online.Snapshot, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s online.Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("not a snapshot document: %w", err)
+	}
+	return &s, nil
+}
+
+// resolveInput turns one command-line argument into a snapshot:
+//
+//   - http(s):// URLs are fetched (a locserve /v1/snapshot?session=S or
+//     /v1/history?name=... endpoint)
+//   - existing files are sniffed: JSON documents parse as snapshots, and
+//     anything else decodes as a raw trace and is analyzed — through the
+//     store's memo when one is attached, directly otherwise
+//   - with -store, remaining arguments resolve as artifact names
+//     (snapshot artifacts load, trace artifacts analyze memoized) or as
+//     a bare sha256: blob digest of a stored trace
+func resolveInput(arg string, st *store.Store, opts core.Options) (*input, error) {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		return fetchURL(arg)
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return resolveFile(arg, st, opts)
+	}
+	if st == nil {
+		return nil, errors.New("no such file (pass -store to resolve artifact names)")
+	}
+	if a, ok := st.Get(arg); ok {
+		switch a.Kind {
+		case store.KindSnapshot:
+			b, err := st.ReadBlob(a.Digest)
+			if err != nil {
+				return nil, err
+			}
+			snap, err := parseSnapshot(b)
+			if err != nil {
+				return nil, err
+			}
+			return &input{snap, inputInfo{Source: arg, Kind: "artifact", Digest: a.Digest}}, nil
+		case store.KindTrace:
+			return analyzeStored(arg, a.Digest, st, opts)
+		default:
+			return nil, fmt.Errorf("artifact kind %q holds no snapshot (grammar artifacts carry only the frozen WPS)", a.Kind)
+		}
+	}
+	if d := store.Digest(arg); d.Valid() && st.HasBlob(d) {
+		return analyzeStored(arg, d, st, opts)
+	}
+	return nil, errors.New("not a file, URL, or known store artifact")
+}
+
+func analyzeStored(src string, d store.Digest, st *store.Store, opts core.Options) (*input, error) {
+	res, err := st.AnalyzeStored(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := parseSnapshot(res.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &input{snap, inputInfo{Source: src, Kind: "trace", Digest: d, MemoHit: res.Hit}}, nil
+}
+
+func resolveFile(path string, st *store.Store, opts core.Options) (*input, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// Sniff: canonical snapshot JSON always opens with '{'; the trace
+	// record format's first byte is a kind/thread tag that never
+	// collides with it ('{' = 0x7b would need thread 15, kind 3 — but
+	// kinds only go to 6 and the first record of an encoded trace is
+	// produced by Writer, which a JSON document is not; the subsequent
+	// full parse rejects any ambiguity loudly).
+	var first [1]byte
+	_, serr := io.ReadFull(f, first[:])
+	if cerr := f.Close(); cerr != nil {
+		return nil, cerr
+	}
+	if serr == nil && first[0] == '{' {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := parseSnapshot(b)
+		if err != nil {
+			return nil, err
+		}
+		return &input{snapshot: snap, info: inputInfo{Source: path, Kind: "snapshot"}}, nil
+	}
+
+	if st != nil {
+		res, err := st.AnalyzeTraceFile(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := parseSnapshot(res.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+		return &input{snap, inputInfo{Source: path, Kind: "trace", Digest: res.TraceDigest, MemoHit: res.Hit}}, nil
+	}
+
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.AnalyzeStream(trace.NewReader(f), opts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &input{online.SnapshotFromAnalysis(a), inputInfo{Source: path, Kind: "trace"}}, nil
+}
+
+func fetchURL(url string) (*input, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	snap, err := parseSnapshot(b)
+	if err != nil {
+		return nil, err
+	}
+	return &input{snapshot: snap, info: inputInfo{Source: url, Kind: "url"}}, nil
+}

@@ -28,7 +28,15 @@
 //
 //	locserve -addr :8080
 //	locserve -addr :8080 -max-rules 4096
+//	locserve -addr :8080 -store ./artifacts   # persist session snapshots
 //	locserve -batch app.trace        # batch reference snapshot to stdout
+//
+// With -store DIR, sessions become durable: POST /v1/close?session=S
+// takes a final snapshot, writes it into the content-addressed artifact
+// store at DIR as history/S/NNNN, and retires the session; GET
+// /v1/history lists persisted snapshots and GET /v1/history?name=...
+// serves one byte-for-byte (a ready-made input for locdiff). On SIGINT/
+// SIGTERM every live session is closed and persisted before exit.
 package main
 
 import (
@@ -36,15 +44,19 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/online"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	batch := flag.String("batch", "", "batch mode: analyze a trace file and print the snapshot JSON, no server")
+	storeDir := flag.String("store", "", "artifact store directory: persist per-session snapshots on close (empty = ephemeral sessions)")
 	maxRules := flag.Int("max-rules", 0, "bound the live grammar's rule table per session (0 = exact, unbounded)")
 	fixedMultiple := flag.Uint64("fixed-multiple", 0, "pin the heat threshold to this unit-uniform-access multiple instead of searching (cheaper snapshots)")
 	minLen := flag.Int("min-len", 2, "minimum hot-stream length")
@@ -71,7 +83,33 @@ func main() {
 		return
 	}
 
-	srv := newServer(opts, *workers)
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "locserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := newServer(opts, *workers, st)
+
+	// Graceful shutdown: close (and, with -store, persist) every live
+	// session before exiting.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		closed := srv.closeAll()
+		fmt.Fprintf(os.Stderr, "locserve: shutting down, closed %d sessions\n", len(closed))
+		for _, c := range closed {
+			if c.Artifact != "" {
+				fmt.Fprintf(os.Stderr, "locserve:   %s -> %s\n", c.Session, c.Artifact)
+			}
+		}
+		os.Exit(0)
+	}()
+
 	fmt.Fprintf(os.Stderr, "locserve: listening on %s (max-rules %d)\n", *addr, *maxRules)
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "locserve:", err)

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/online"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
 // Instrumentation counters, published once at package level so multiple
@@ -57,19 +60,22 @@ type session struct {
 }
 
 // server is the locality service: a registry of per-session online
-// analysis engines behind JSON endpoints.
+// analysis engines behind JSON endpoints. With a store attached, closed
+// sessions persist their final snapshot as a history artifact.
 type server struct {
 	opts    online.Options
 	workers int
+	st      *store.Store // nil: sessions are ephemeral
 
 	mu       sync.Mutex
 	sessions map[string]*session
 }
 
-func newServer(opts online.Options, workers int) *server {
+func newServer(opts online.Options, workers int, st *store.Store) *server {
 	s := &server{
 		opts:     opts,
 		workers:  parallel.Workers(workers),
+		st:       st,
 		sessions: make(map[string]*session),
 	}
 	registry.mu.Lock()
@@ -83,6 +89,8 @@ func newServer(opts online.Options, workers int) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/close", s.handleClose)
+	mux.HandleFunc("/v1/history", s.handleHistory)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/stats", s.sectionHandler(func(sn *online.Snapshot) any { return sn.Trace }))
@@ -288,6 +296,157 @@ func (s *server) sectionHandler(section func(*online.Snapshot) any) http.Handler
 		}
 		writeJSON(w, section(snap))
 	}
+}
+
+// closeResult is the /v1/close response body (and one row of the
+// close-all summary at shutdown).
+type closeResult struct {
+	Session string `json:"session"`
+	Events  uint64 `json:"events"`
+	Refs    uint64 `json:"refs"`
+	// Artifact and Digest identify the persisted snapshot; empty when
+	// the server runs without a store.
+	Artifact string       `json:"artifact,omitempty"`
+	Digest   store.Digest `json:"digest,omitempty"`
+}
+
+// closeSession snapshots and removes one session, persisting the final
+// snapshot when a store is attached. The session is removed from the
+// registry first, so concurrent requests see a consistent "gone" state.
+func (s *server) closeSession(name string) (closeResult, bool, error) {
+	s.mu.Lock()
+	sess := s.sessions[name]
+	delete(s.sessions, name)
+	s.mu.Unlock()
+	if sess == nil {
+		return closeResult{}, false, nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	mSnapshots.Add(1)
+	snap := sess.engine.Snapshot()
+	res := closeResult{Session: name, Events: sess.engine.Events(), Refs: sess.engine.Refs()}
+	if s.st == nil {
+		return res, true, nil
+	}
+	b, err := snap.MarshalIndent()
+	if err != nil {
+		return res, true, err
+	}
+	d, n, err := s.st.PutBytes(b)
+	if err != nil {
+		return res, true, err
+	}
+	// History entries are numbered per session in arrival order; the
+	// store lists names sorted, so zero-padding keeps history ordered.
+	seq := len(s.st.Names("history/"+name+"/")) + 1
+	res.Artifact = fmt.Sprintf("history/%s/%04d", name, seq)
+	res.Digest = d
+	err = s.st.Put(res.Artifact, store.Artifact{
+		Kind: store.KindSnapshot, Digest: d, Size: n,
+		Meta: map[string]string{
+			"session": name,
+			"events":  strconv.FormatUint(res.Events, 10),
+		},
+	})
+	return res, true, err
+}
+
+// closeAll closes every live session (used at graceful shutdown so a
+// store-backed server persists everything it learned).
+func (s *server) closeAll() []closeResult {
+	var out []closeResult
+	for _, name := range s.sessionNames() {
+		if res, ok, err := s.closeSession(name); ok {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "locserve: persisting %s: %v\n", name, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// handleClose finalizes a session: POST /v1/close?session=NAME runs one
+// last snapshot, persists it to the store (when configured), and removes
+// the session's engine. The response reports the history artifact so a
+// client (or CI job) can hand the ref straight to locdiff.
+func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	name := r.URL.Query().Get("session")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "session query parameter required")
+		return
+	}
+	res, ok, err := s.closeSession(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session "+name)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("persisting snapshot: %v", err))
+		return
+	}
+	writeJSON(w, res)
+}
+
+// historyEntry is one row of the /v1/history listing.
+type historyEntry struct {
+	Name    string       `json:"name"`
+	Session string       `json:"session"`
+	Events  string       `json:"events,omitempty"`
+	Digest  store.Digest `json:"digest"`
+	Size    int64        `json:"size"`
+}
+
+// handleHistory serves persisted snapshots: GET /v1/history lists every
+// history artifact; GET /v1/history?name=history/S/0001 returns the
+// stored snapshot JSON byte-for-byte.
+func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, "no store configured (start locserve with -store)")
+		return
+	}
+	if name := r.URL.Query().Get("name"); name != "" {
+		a, ok := s.st.Get(name)
+		if !ok || a.Kind != store.KindSnapshot {
+			httpError(w, http.StatusNotFound, "unknown history artifact "+name)
+			return
+		}
+		b, err := s.st.ReadBlob(a.Digest)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+		return
+	}
+	names := s.st.Names("history/")
+	out := make([]historyEntry, 0, len(names))
+	for _, n := range names {
+		a, ok := s.st.Get(n)
+		if !ok {
+			continue
+		}
+		out = append(out, historyEntry{
+			Name:    n,
+			Session: a.Meta["session"],
+			Events:  a.Meta["events"],
+			Digest:  a.Digest,
+			Size:    a.Size,
+		})
+	}
+	writeJSON(w, struct {
+		History []historyEntry `json:"history"`
+	}{out})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

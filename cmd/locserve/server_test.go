@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/online"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -122,7 +123,7 @@ func batchSnapshot(t testing.TB, b *trace.Buffer) []byte {
 // shell).
 func TestServedSnapshotMatchesBatch(t *testing.T) {
 	b := genTrace(t, "boxsim", 20_000, 1)
-	ts := httptest.NewServer(newServer(online.Options{}, 2).handler())
+	ts := httptest.NewServer(newServer(online.Options{}, 2, nil).handler())
 	defer ts.Close()
 
 	for _, part := range chunkEvents(b.Events(), 3) {
@@ -148,7 +149,7 @@ func TestServedSnapshotMatchesBatch(t *testing.T) {
 // reference — concurrency must not leak records across sessions.
 func TestConcurrentIngestHammer(t *testing.T) {
 	const sessions = 8
-	ts := httptest.NewServer(newServer(online.Options{}, 0).handler())
+	ts := httptest.NewServer(newServer(online.Options{}, 0, nil).handler())
 	defer ts.Close()
 
 	recordsBefore := counter(t, "locserve.records")
@@ -245,7 +246,7 @@ func TestConcurrentIngestHammer(t *testing.T) {
 // TestAllSessionsSnapshot checks the aggregate endpoint fans detection
 // across sessions and keys results by name.
 func TestAllSessionsSnapshot(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 2).handler())
+	ts := httptest.NewServer(newServer(online.Options{}, 2, nil).handler())
 	defer ts.Close()
 	for i := 0; i < 3; i++ {
 		b := genTrace(t, "boxsim", 4_000, int64(i+1))
@@ -273,7 +274,7 @@ func TestAllSessionsSnapshot(t *testing.T) {
 }
 
 func TestSectionEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1).handler())
+	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
 	defer ts.Close()
 	b := genTrace(t, "boxsim", 5_000, 1)
 	if code, body := post(t, ts.URL+"/v1/ingest?session=s", encodeEvents(t, b.Events())); code != http.StatusOK {
@@ -304,7 +305,7 @@ func TestSectionEndpoints(t *testing.T) {
 }
 
 func TestEndpointErrors(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1).handler())
+	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
 	defer ts.Close()
 	if code, _ := get(t, ts.URL+"/v1/ingest?session=x"); code != http.StatusMethodNotAllowed {
 		t.Errorf("GET ingest: status %d, want 405", code)
@@ -341,7 +342,7 @@ func TestEndpointErrors(t *testing.T) {
 // gauge respects the cap and the eviction counter advances.
 func TestEvictionBoundsServer(t *testing.T) {
 	const cap = 64
-	ts := httptest.NewServer(newServer(online.Options{MaxRules: cap}, 1).handler())
+	ts := httptest.NewServer(newServer(online.Options{MaxRules: cap}, 1, nil).handler())
 	defer ts.Close()
 	evBefore := counter(t, "locserve.evictions")
 	b := genTrace(t, "176.gcc", 20_000, 1)
@@ -374,5 +375,128 @@ func TestEvictionBoundsServer(t *testing.T) {
 	}
 	if code, _ := get(t, ts.URL+"/v1/snapshot?session=ev"); code != http.StatusOK {
 		t.Errorf("snapshot under eviction: status %d", code)
+	}
+}
+
+// TestCloseAndHistory closes a store-backed session and replays the
+// persisted snapshot through /v1/history: the served bytes must be the
+// exact batch-equivalent snapshot the session would have answered live.
+func TestCloseAndHistory(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(online.Options{}, 1, st).handler())
+	defer ts.Close()
+	b := genTrace(t, "boxsim", 6000, 3)
+	if code, body := post(t, ts.URL+"/v1/ingest?session=run", encodeEvents(t, b.Events())); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	want := batchSnapshot(t, b)
+
+	code, body := post(t, ts.URL+"/v1/close?session=run", nil)
+	if code != http.StatusOK {
+		t.Fatalf("close: status %d: %s", code, body)
+	}
+	var res closeResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifact != "history/run/0001" {
+		t.Errorf("artifact = %q, want history/run/0001", res.Artifact)
+	}
+	if res.Refs == 0 || !res.Digest.Valid() {
+		t.Errorf("close result missing refs/digest: %+v", res)
+	}
+
+	// The session is retired: further queries and closes 404.
+	if code, _ := get(t, ts.URL+"/v1/snapshot?session=run"); code != http.StatusNotFound {
+		t.Errorf("snapshot after close: status %d, want 404", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/close?session=run", nil); code != http.StatusNotFound {
+		t.Errorf("second close: status %d, want 404", code)
+	}
+
+	// History lists the artifact and serves its bytes verbatim.
+	code, body = get(t, ts.URL+"/v1/history")
+	if code != http.StatusOK {
+		t.Fatalf("history list: status %d: %s", code, body)
+	}
+	var listing struct {
+		History []historyEntry `json:"history"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	entries := listing.History
+	if len(entries) != 1 || entries[0].Name != res.Artifact || entries[0].Session != "run" {
+		t.Fatalf("history listing = %+v", entries)
+	}
+	code, body = get(t, ts.URL+"/v1/history?name="+res.Artifact)
+	if code != http.StatusOK {
+		t.Fatalf("history fetch: status %d", code)
+	}
+	if !bytes.Equal(body, want) {
+		t.Error("persisted snapshot differs from the batch reference")
+	}
+	if code, _ := get(t, ts.URL+"/v1/history?name=history/run/9999"); code != http.StatusNotFound {
+		t.Errorf("unknown history artifact: status %d, want 404", code)
+	}
+}
+
+// TestCloseSequenceNumbers: repeated sessions under one name accumulate
+// ordered history entries.
+func TestCloseSequenceNumbers(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(online.Options{}, 1, st).handler())
+	defer ts.Close()
+	for i, seed := range []int64{1, 9} {
+		b := genTrace(t, "boxsim", 3000, seed)
+		if code, body := post(t, ts.URL+"/v1/ingest?session=nightly", encodeEvents(t, b.Events())); code != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, code, body)
+		}
+		var res closeResult
+		_, body := post(t, ts.URL+"/v1/close?session=nightly", nil)
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("history/nightly/%04d", i+1)
+		if res.Artifact != want {
+			t.Errorf("close %d artifact = %q, want %q", i, res.Artifact, want)
+		}
+	}
+	if got := len(st.Names("history/nightly/")); got != 2 {
+		t.Errorf("%d history entries, want 2", got)
+	}
+}
+
+// TestCloseWithoutStore: ephemeral servers still close sessions; history
+// is explicitly unavailable.
+func TestCloseWithoutStore(t *testing.T) {
+	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	defer ts.Close()
+	b := genTrace(t, "boxsim", 2000, 1)
+	if code, body := post(t, ts.URL+"/v1/ingest?session=tmp", encodeEvents(t, b.Events())); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	code, body := post(t, ts.URL+"/v1/close?session=tmp", nil)
+	if code != http.StatusOK {
+		t.Fatalf("close: status %d: %s", code, body)
+	}
+	var res closeResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifact != "" || res.Digest != "" {
+		t.Errorf("storeless close reported an artifact: %+v", res)
+	}
+	if code, _ := get(t, ts.URL+"/v1/history"); code != http.StatusNotFound {
+		t.Errorf("history without store: status %d, want 404", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/close", nil); code != http.StatusBadRequest {
+		t.Errorf("close without session: status %d, want 400", code)
 	}
 }

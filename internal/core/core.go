@@ -61,6 +61,15 @@ type Options struct {
 	Workers int
 }
 
+// Normalized returns the options with every zero/out-of-range field
+// replaced by its default, exactly as Analyze applies them. Callers that
+// fingerprint an analysis configuration (internal/store's memoization)
+// use this so equivalent configurations key identically.
+func (o Options) Normalized() Options {
+	o.normalize()
+	return o
+}
+
 func (o *Options) normalize() {
 	if o.MinStreamLen < 2 {
 		o.MinStreamLen = 2

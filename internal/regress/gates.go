@@ -1,0 +1,142 @@
+package regress
+
+import "fmt"
+
+// Gates is the regression policy: each field is one tolerance, and a
+// negative value disables that gate. "Drop" gates compare old minus new;
+// "overlap" gates are floors on the cross-version stream overlap. The
+// snapshot carries the paper's inherent and realized locality metrics
+// (not simulated miss rates), so gates are expressed on those: a
+// packing-efficiency or coverage gate plays the role a miss-rate gate
+// would in a cache-simulating pipeline.
+type Gates struct {
+	// MaxCoverageDrop bounds the absolute drop in hot-stream coverage,
+	// in fraction points (0.05 allows 90% -> 85%).
+	MaxCoverageDrop float64 `json:"maxCoverageDrop"`
+	// MinStreamOverlap / MinHeatOverlap are floors on the fraction of
+	// old hot streams (by count / by heat) still hot in the new run.
+	MinStreamOverlap float64 `json:"minStreamOverlap"`
+	MinHeatOverlap   float64 `json:"minHeatOverlap"`
+	// MaxPackingDrop bounds the drop in weighted-average packing
+	// efficiency, in percentage points (realized locality, §2.4.2).
+	MaxPackingDrop float64 `json:"maxPackingDrop"`
+	// MaxStreamSizeDrop bounds the relative drop in weighted-average
+	// stream size (inherent spatial locality): 0.2 allows a 20% shrink.
+	MaxStreamSizeDrop float64 `json:"maxStreamSizeDrop"`
+	// MaxRepetitionGrowth bounds the relative growth in the weighted
+	// average repetition interval (inherent temporal locality; larger
+	// intervals are worse): 0.2 allows a 20% stretch.
+	MaxRepetitionGrowth float64 `json:"maxRepetitionGrowth"`
+	// MaxCompressionDrop bounds the relative drop in the grammar's
+	// compression ratio (a proxy for lost reference regularity).
+	MaxCompressionDrop float64 `json:"maxCompressionDrop"`
+	// FailOnAnyDrift fails whenever the diff is non-empty in any
+	// direction (Report.Identical is false) — the zero-noise assertion
+	// that two runs are analysis-equivalent.
+	FailOnAnyDrift bool `json:"failOnAnyDrift"`
+}
+
+// Disabled returns gates that never fire: pure reporting mode.
+func Disabled() Gates {
+	return Gates{
+		MaxCoverageDrop:     -1,
+		MinStreamOverlap:    -1,
+		MinHeatOverlap:      -1,
+		MaxPackingDrop:      -1,
+		MaxStreamSizeDrop:   -1,
+		MaxRepetitionGrowth: -1,
+		MaxCompressionDrop:  -1,
+	}
+}
+
+// Strict returns zero-tolerance gates: any coverage/packing/stream-size
+// decline, repetition growth, compression loss, or stream-set change
+// fails. Two analyses of identical traces pass Strict; use it to assert
+// "no locality drift at all".
+func Strict() Gates {
+	return Gates{
+		MinStreamOverlap: 1,
+		MinHeatOverlap:   1,
+		FailOnAnyDrift:   true,
+	}
+}
+
+// GateFailure is one tripped gate.
+type GateFailure struct {
+	Gate   string  `json:"gate"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	Detail string  `json:"detail"`
+}
+
+// Verdict is the machine-readable gate outcome.
+type Verdict struct {
+	Pass     bool          `json:"pass"`
+	Failures []GateFailure `json:"failures,omitempty"`
+}
+
+// Evaluate applies the gates to a diff report.
+func (g Gates) Evaluate(r *Report) Verdict {
+	var v Verdict
+	fail := func(gate string, limit, actual float64, format string, args ...any) {
+		v.Failures = append(v.Failures, GateFailure{
+			Gate: gate, Limit: limit, Actual: actual,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if g.FailOnAnyDrift && !r.Identical() {
+		fail("drift", 0, 1,
+			"snapshots are not analysis-identical: %d added, %d dropped, %d matched streams; see metric deltas",
+			len(r.Streams.Added), len(r.Streams.Dropped), r.Streams.Matched)
+	}
+	if drop := r.Old.Coverage - r.New.Coverage; g.MaxCoverageDrop >= 0 && drop > g.MaxCoverageDrop {
+		fail("coverage-drop", g.MaxCoverageDrop, drop,
+			"hot-stream coverage fell %.2f%% -> %.2f%% (drop %.2fpp > %.2fpp allowed)",
+			r.Old.Coverage*100, r.New.Coverage*100, drop*100, g.MaxCoverageDrop*100)
+	}
+	if g.MinStreamOverlap >= 0 && r.Streams.StreamOverlap < g.MinStreamOverlap {
+		fail("stream-overlap", g.MinStreamOverlap, r.Streams.StreamOverlap,
+			"only %.1f%% of old hot streams recur (%d dropped, %d added); floor %.1f%%",
+			r.Streams.StreamOverlap*100, len(r.Streams.Dropped), len(r.Streams.Added),
+			g.MinStreamOverlap*100)
+	}
+	if g.MinHeatOverlap >= 0 && r.Streams.HeatOverlap < g.MinHeatOverlap {
+		fail("heat-overlap", g.MinHeatOverlap, r.Streams.HeatOverlap,
+			"recurring streams carry only %.1f%% of old hot-stream heat; floor %.1f%%",
+			r.Streams.HeatOverlap*100, g.MinHeatOverlap*100)
+	}
+
+	relDrop := func(name string) (MetricDelta, float64) {
+		m, _ := r.Metric(name)
+		if m.Old == 0 {
+			return m, 0
+		}
+		return m, (m.Old - m.New) / m.Old
+	}
+	if m, ok := r.Metric("locality.wtAvgPackingEfficiencyPct"); ok && g.MaxPackingDrop >= 0 && m.Old-m.New > g.MaxPackingDrop {
+		fail("packing-drop", g.MaxPackingDrop, m.Old-m.New,
+			"packing efficiency fell %.2f%% -> %.2f%% (drop %.2fpp > %.2fpp allowed)",
+			m.Old, m.New, m.Old-m.New, g.MaxPackingDrop)
+	}
+	if m, drop := relDrop("locality.wtAvgStreamSize"); g.MaxStreamSizeDrop >= 0 && drop > g.MaxStreamSizeDrop {
+		fail("stream-size-drop", g.MaxStreamSizeDrop, drop,
+			"weighted stream size fell %.2f -> %.2f (%.1f%% > %.1f%% allowed)",
+			m.Old, m.New, drop*100, g.MaxStreamSizeDrop*100)
+	}
+	if m, ok := r.Metric("locality.wtAvgRepetitionInterval"); ok && g.MaxRepetitionGrowth >= 0 && m.Old > 0 {
+		if growth := (m.New - m.Old) / m.Old; growth > g.MaxRepetitionGrowth {
+			fail("repetition-growth", g.MaxRepetitionGrowth, growth,
+				"repetition interval grew %.1f -> %.1f (%.1f%% > %.1f%% allowed)",
+				m.Old, m.New, growth*100, g.MaxRepetitionGrowth*100)
+		}
+	}
+	if m, drop := relDrop("grammar.compressionRatio"); g.MaxCompressionDrop >= 0 && drop > g.MaxCompressionDrop {
+		fail("compression-drop", g.MaxCompressionDrop, drop,
+			"compression ratio fell %.1f -> %.1f (%.1f%% > %.1f%% allowed)",
+			m.Old, m.New, drop*100, g.MaxCompressionDrop*100)
+	}
+
+	v.Pass = len(v.Failures) == 0
+	return v
+}

@@ -1,0 +1,314 @@
+// Package regress compares two analysis snapshots — two runs of a
+// program, two versions of a program, or the same workload before and
+// after a change — and decides whether locality regressed. It is the
+// cross-run half of the persistence story: internal/store makes
+// snapshots durable; this package makes them comparable, generalizing
+// internal/stability's train/test stream overlap to a full diff of the
+// hot-stream set (matched by abstracted sequence, with added, dropped,
+// and coverage-shifted streams reported) plus deltas on every inherent
+// and realized locality metric and the Table-1 statistics. Configurable
+// gates turn a diff into a machine-readable verdict, so cmd/locdiff can
+// sit in CI and fail a build whose data-reference locality drifted —
+// the "profiles go stale" workflow profile-guided optimization pipelines
+// need.
+package regress
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/online"
+	"repro/internal/report"
+)
+
+// streamKey renders an abstracted reference sequence for set comparison
+// (8 bytes per symbol, same technique as internal/stability).
+func streamKey(seq []uint64) string {
+	b := make([]byte, 0, len(seq)*8)
+	for _, v := range seq {
+		b = append(b,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// Side summarizes one snapshot's headline numbers.
+type Side struct {
+	Refs      uint64  `json:"refs"`
+	Addresses uint64  `json:"addresses"`
+	Streams   int     `json:"streams"`
+	Coverage  float64 `json:"coverage"`
+	TotalHeat uint64  `json:"totalHeat"`
+}
+
+func side(s *online.Snapshot) Side {
+	out := Side{
+		Refs:      s.Trace.Refs,
+		Addresses: s.Trace.Addresses,
+		Streams:   s.HotStreams.Count,
+		Coverage:  s.HotStreams.Coverage,
+	}
+	for _, st := range s.HotStreams.Streams {
+		out.TotalHeat += st.Heat
+	}
+	return out
+}
+
+// StreamRef is one hot data stream on one side of the diff.
+type StreamRef struct {
+	Seq    []uint64 `json:"seq"`
+	Length int      `json:"length"`
+	Freq   uint64   `json:"freq"`
+	Heat   uint64   `json:"heat"`
+	// HeatShare is Heat over its side's total hot-stream heat: the
+	// stream's share of exploitable locality.
+	HeatShare float64 `json:"heatShare"`
+}
+
+// StreamShift is a stream present on both sides whose contribution
+// moved.
+type StreamShift struct {
+	Seq     []uint64 `json:"seq"`
+	OldFreq uint64   `json:"oldFreq"`
+	NewFreq uint64   `json:"newFreq"`
+	OldHeat uint64   `json:"oldHeat"`
+	NewHeat uint64   `json:"newHeat"`
+	// OldShare/NewShare are heat shares per side; ShareDelta is
+	// NewShare - OldShare.
+	OldShare   float64 `json:"oldShare"`
+	NewShare   float64 `json:"newShare"`
+	ShareDelta float64 `json:"shareDelta"`
+}
+
+// StreamDiff is the hot-stream set comparison: streams are matched
+// across runs by abstracted sequence.
+type StreamDiff struct {
+	// Matched counts streams present on both sides.
+	Matched int `json:"matched"`
+	// Added/Dropped are streams present only in the new/old snapshot,
+	// hottest first.
+	Added   []StreamRef `json:"added,omitempty"`
+	Dropped []StreamRef `json:"dropped,omitempty"`
+	// Shifted lists matched streams whose heat share changed, largest
+	// absolute shift first.
+	Shifted []StreamShift `json:"shifted,omitempty"`
+	// StreamOverlap is Matched over old stream count; HeatOverlap is the
+	// fraction of old hot-stream heat carried by matched streams
+	// (stability.Report's two overlap measures, applied across versions
+	// instead of across inputs).
+	StreamOverlap float64 `json:"streamOverlap"`
+	HeatOverlap   float64 `json:"heatOverlap"`
+}
+
+// MetricDelta is one scalar metric compared across the two snapshots.
+type MetricDelta struct {
+	Name  string  `json:"name"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Delta float64 `json:"delta"`
+	// Pct is Delta relative to Old in percent (0 when Old is 0).
+	Pct float64 `json:"pct"`
+}
+
+// Report is a full snapshot-vs-snapshot locality diff.
+type Report struct {
+	Old     Side          `json:"old"`
+	New     Side          `json:"new"`
+	Streams StreamDiff    `json:"streams"`
+	Metrics []MetricDelta `json:"metrics"`
+}
+
+// metric builds one delta row.
+func metric(name string, old, new float64) MetricDelta {
+	d := MetricDelta{Name: name, Old: old, New: new, Delta: new - old}
+	if old != 0 {
+		d.Pct = d.Delta / old * 100
+	}
+	return d
+}
+
+// Metric returns the named delta row, if present.
+func (r *Report) Metric(name string) (MetricDelta, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricDelta{}, false
+}
+
+// Identical reports whether the diff is empty: same stream set and no
+// metric moved. Two analyses of byte-identical traces are Identical.
+func (r *Report) Identical() bool {
+	if len(r.Streams.Added) != 0 || len(r.Streams.Dropped) != 0 {
+		return false
+	}
+	for _, s := range r.Streams.Shifted {
+		if s.OldHeat != s.NewHeat || s.OldFreq != s.NewFreq {
+			return false
+		}
+	}
+	for _, m := range r.Metrics {
+		if m.Delta != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff compares two snapshots, old → new. Both inputs are read-only.
+func Diff(old, new *online.Snapshot) *Report {
+	r := &Report{Old: side(old), New: side(new)}
+
+	oldSet := make(map[string]online.StreamStat, len(old.HotStreams.Streams))
+	for _, s := range old.HotStreams.Streams {
+		oldSet[streamKey(s.Seq)] = s
+	}
+	newSet := make(map[string]online.StreamStat, len(new.HotStreams.Streams))
+	for _, s := range new.HotStreams.Streams {
+		newSet[streamKey(s.Seq)] = s
+	}
+
+	share := func(heat uint64, s Side) float64 {
+		if s.TotalHeat == 0 {
+			return 0
+		}
+		return float64(heat) / float64(s.TotalHeat)
+	}
+
+	var matchedOldHeat uint64
+	for _, s := range old.HotStreams.Streams {
+		ns, ok := newSet[streamKey(s.Seq)]
+		if !ok {
+			r.Streams.Dropped = append(r.Streams.Dropped, StreamRef{
+				Seq: s.Seq, Length: s.Length, Freq: s.Freq, Heat: s.Heat,
+				HeatShare: share(s.Heat, r.Old),
+			})
+			continue
+		}
+		r.Streams.Matched++
+		matchedOldHeat += s.Heat
+		os, nsh := share(s.Heat, r.Old), share(ns.Heat, r.New)
+		r.Streams.Shifted = append(r.Streams.Shifted, StreamShift{
+			Seq:     s.Seq,
+			OldFreq: s.Freq, NewFreq: ns.Freq,
+			OldHeat: s.Heat, NewHeat: ns.Heat,
+			OldShare: os, NewShare: nsh, ShareDelta: nsh - os,
+		})
+	}
+	for _, s := range new.HotStreams.Streams {
+		if _, ok := oldSet[streamKey(s.Seq)]; !ok {
+			r.Streams.Added = append(r.Streams.Added, StreamRef{
+				Seq: s.Seq, Length: s.Length, Freq: s.Freq, Heat: s.Heat,
+				HeatShare: share(s.Heat, r.New),
+			})
+		}
+	}
+	// An empty old side has no streams to lose: both overlaps are
+	// vacuously complete, so overlap floors don't fire on empty baselines.
+	r.Streams.StreamOverlap = 1
+	if r.Old.Streams > 0 {
+		r.Streams.StreamOverlap = float64(r.Streams.Matched) / float64(r.Old.Streams)
+	}
+	r.Streams.HeatOverlap = 1
+	if r.Old.TotalHeat > 0 {
+		r.Streams.HeatOverlap = float64(matchedOldHeat) / float64(r.Old.TotalHeat)
+	}
+
+	// Deterministic presentation order: hottest first for added/dropped,
+	// largest share shift first for matched; sequence order breaks ties.
+	byHeat := func(list []StreamRef) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Heat != list[j].Heat {
+				return list[i].Heat > list[j].Heat
+			}
+			return streamKey(list[i].Seq) < streamKey(list[j].Seq)
+		})
+	}
+	byHeat(r.Streams.Added)
+	byHeat(r.Streams.Dropped)
+	sort.Slice(r.Streams.Shifted, func(i, j int) bool {
+		di, dj := abs(r.Streams.Shifted[i].ShareDelta), abs(r.Streams.Shifted[j].ShareDelta)
+		if di != dj {
+			return di > dj
+		}
+		return streamKey(r.Streams.Shifted[i].Seq) < streamKey(r.Streams.Shifted[j].Seq)
+	})
+
+	r.Metrics = []MetricDelta{
+		metric("trace.refs", float64(old.Trace.Refs), float64(new.Trace.Refs)),
+		metric("trace.addresses", float64(old.Trace.Addresses), float64(new.Trace.Addresses)),
+		metric("trace.refsPerAddress", old.Trace.RefsPerAddress, new.Trace.RefsPerAddress),
+		metric("grammar.rules", float64(old.Grammar.Rules), float64(new.Grammar.Rules)),
+		metric("grammar.compressionRatio", old.Grammar.CompressionRatio, new.Grammar.CompressionRatio),
+		metric("threshold.multiple", float64(old.Threshold.Multiple), float64(new.Threshold.Multiple)),
+		metric("hotStreams.count", float64(old.HotStreams.Count), float64(new.HotStreams.Count)),
+		metric("hotStreams.coverage", old.HotStreams.Coverage, new.HotStreams.Coverage),
+		metric("hotStreams.distinctAddresses", float64(old.HotStreams.DistinctAddresses), float64(new.HotStreams.DistinctAddresses)),
+		metric("locality.wtAvgStreamSize", old.Locality.WtAvgStreamSize, new.Locality.WtAvgStreamSize),
+		metric("locality.wtAvgRepetitionInterval", old.Locality.WtAvgRepetitionInterval, new.Locality.WtAvgRepetitionInterval),
+		metric("locality.wtAvgPackingEfficiencyPct", old.Locality.WtAvgPackingEfficiencyPct, new.Locality.WtAvgPackingEfficiencyPct),
+	}
+	return r
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Format writes the human-readable diff: headline, metric table, stream
+// set movement, and up to top entries of each stream list (top <= 0
+// means all). The first write error is returned.
+func (r *Report) Format(w io.Writer, top int) error {
+	p := report.NewPrinter(w)
+	p.Printf("refs %d -> %d, hot streams %d -> %d (coverage %.1f%% -> %.1f%%)\n",
+		r.Old.Refs, r.New.Refs, r.Old.Streams, r.New.Streams,
+		r.Old.Coverage*100, r.New.Coverage*100)
+	p.Printf("stream set: %d matched, %d added, %d dropped (overlap %.1f%% by count, %.1f%% by heat)\n",
+		r.Streams.Matched, len(r.Streams.Added), len(r.Streams.Dropped),
+		r.Streams.StreamOverlap*100, r.Streams.HeatOverlap*100)
+
+	p.Printf("\n%-36s %14s %14s %14s %9s\n", "metric", "old", "new", "delta", "pct")
+	for _, m := range r.Metrics {
+		p.Printf("%-36s %14.4g %14.4g %+14.4g %+8.2f%%\n", m.Name, m.Old, m.New, m.Delta, m.Pct)
+	}
+
+	clip := func(n int) int {
+		if top > 0 && n > top {
+			return top
+		}
+		return n
+	}
+	if len(r.Streams.Dropped) > 0 {
+		p.Printf("\ndropped streams (%d, hottest first):\n", len(r.Streams.Dropped))
+		for _, s := range r.Streams.Dropped[:clip(len(r.Streams.Dropped))] {
+			p.Printf("  len=%-4d freq=%-8d heat=%-10d share=%5.2f%% seq=%v\n",
+				s.Length, s.Freq, s.Heat, s.HeatShare*100, s.Seq)
+		}
+	}
+	if len(r.Streams.Added) > 0 {
+		p.Printf("\nadded streams (%d, hottest first):\n", len(r.Streams.Added))
+		for _, s := range r.Streams.Added[:clip(len(r.Streams.Added))] {
+			p.Printf("  len=%-4d freq=%-8d heat=%-10d share=%5.2f%% seq=%v\n",
+				s.Length, s.Freq, s.Heat, s.HeatShare*100, s.Seq)
+		}
+	}
+	var moved []StreamShift
+	for _, s := range r.Streams.Shifted {
+		if s.ShareDelta != 0 {
+			moved = append(moved, s)
+		}
+	}
+	if len(moved) > 0 {
+		p.Printf("\ncoverage-shifted streams (%d, largest shift first):\n", len(moved))
+		for _, s := range moved[:clip(len(moved))] {
+			p.Printf("  heat %d -> %d, share %5.2f%% -> %5.2f%% (%+.2fpp) seq=%v\n",
+				s.OldHeat, s.NewHeat, s.OldShare*100, s.NewShare*100, s.ShareDelta*100, s.Seq)
+		}
+	}
+	return p.Err()
+}

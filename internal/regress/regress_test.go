@@ -1,0 +1,227 @@
+package regress
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/online"
+	"repro/internal/workload"
+)
+
+// snap builds a minimal snapshot with the given streams and coverage.
+func snap(coverage float64, streams ...online.StreamStat) *online.Snapshot {
+	s := &online.Snapshot{}
+	s.Trace.Refs = 1000
+	s.Trace.Addresses = 100
+	s.Trace.RefsPerAddress = 10
+	s.Grammar.Rules = 10
+	s.Grammar.CompressionRatio = 4
+	s.HotStreams.Count = len(streams)
+	s.HotStreams.Coverage = coverage
+	s.HotStreams.Streams = streams
+	s.Locality.WtAvgStreamSize = 8
+	s.Locality.WtAvgRepetitionInterval = 50
+	s.Locality.WtAvgPackingEfficiencyPct = 60
+	return s
+}
+
+func stream(seq []uint64, freq uint64) online.StreamStat {
+	return online.StreamStat{
+		Seq: seq, Length: len(seq), Freq: freq,
+		Heat: uint64(len(seq)) * freq,
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := snap(0.9, stream([]uint64{1, 2, 3}, 10), stream([]uint64{4, 5}, 7))
+	b := snap(0.9, stream([]uint64{1, 2, 3}, 10), stream([]uint64{4, 5}, 7))
+	r := Diff(a, b)
+	if !r.Identical() {
+		t.Error("identical snapshots reported a diff")
+	}
+	if r.Streams.Matched != 2 || len(r.Streams.Added) != 0 || len(r.Streams.Dropped) != 0 {
+		t.Errorf("streams = %+v", r.Streams)
+	}
+	if r.Streams.StreamOverlap != 1 || r.Streams.HeatOverlap != 1 {
+		t.Errorf("overlap = %v/%v, want 1/1", r.Streams.StreamOverlap, r.Streams.HeatOverlap)
+	}
+	if v := Strict().Evaluate(r); !v.Pass {
+		t.Errorf("strict gates failed an empty diff: %+v", v.Failures)
+	}
+	if v := Disabled().Evaluate(r); !v.Pass {
+		t.Errorf("disabled gates failed: %+v", v.Failures)
+	}
+}
+
+func TestDiffAddedDroppedShifted(t *testing.T) {
+	old := snap(0.9,
+		stream([]uint64{1, 2, 3}, 10), // survives, heat moves
+		stream([]uint64{4, 5}, 7),     // dropped
+	)
+	new := snap(0.8,
+		stream([]uint64{1, 2, 3}, 20), // heat doubled
+		stream([]uint64{6, 7, 8}, 5),  // added
+	)
+	r := Diff(old, new)
+	if r.Identical() {
+		t.Error("differing snapshots reported identical")
+	}
+	if r.Streams.Matched != 1 || len(r.Streams.Added) != 1 || len(r.Streams.Dropped) != 1 {
+		t.Fatalf("matched/added/dropped = %d/%d/%d",
+			r.Streams.Matched, len(r.Streams.Added), len(r.Streams.Dropped))
+	}
+	if got := r.Streams.Dropped[0].Seq; len(got) != 2 || got[0] != 4 {
+		t.Errorf("dropped = %v", got)
+	}
+	if got := r.Streams.Added[0].Seq; len(got) != 3 || got[0] != 6 {
+		t.Errorf("added = %v", got)
+	}
+	if r.Streams.StreamOverlap != 0.5 {
+		t.Errorf("stream overlap = %v", r.Streams.StreamOverlap)
+	}
+	// Old heat: 30 + 14 = 44; matched old heat 30.
+	if want := 30.0 / 44.0; abs(r.Streams.HeatOverlap-want) > 1e-12 {
+		t.Errorf("heat overlap = %v, want %v", r.Streams.HeatOverlap, want)
+	}
+	sh := r.Streams.Shifted[0]
+	if sh.OldHeat != 30 || sh.NewHeat != 60 {
+		t.Errorf("shift = %+v", sh)
+	}
+	if sh.ShareDelta <= 0 {
+		t.Errorf("share delta = %v, want positive", sh.ShareDelta)
+	}
+	if m, ok := r.Metric("hotStreams.coverage"); !ok || abs(m.Delta-(-0.1)) > 1e-12 {
+		t.Errorf("coverage delta = %+v", m)
+	}
+}
+
+func TestDiffDisjointAndEmpty(t *testing.T) {
+	old := snap(0.9, stream([]uint64{1, 2}, 5))
+	new := snap(0.9, stream([]uint64{3, 4}, 5))
+	r := Diff(old, new)
+	if r.Streams.Matched != 0 || r.Streams.StreamOverlap != 0 || r.Streams.HeatOverlap != 0 {
+		t.Errorf("disjoint diff = %+v", r.Streams)
+	}
+	// Empty old side: overlaps are vacuously 1, strict floors don't fire
+	// on the overlap axis.
+	r2 := Diff(snap(0), snap(0.5, stream([]uint64{1, 2}, 3)))
+	if r2.Streams.StreamOverlap != 1 || r2.Streams.HeatOverlap != 1 {
+		t.Errorf("empty-baseline overlap = %v/%v, want 1/1",
+			r2.Streams.StreamOverlap, r2.Streams.HeatOverlap)
+	}
+}
+
+func TestGatesTrip(t *testing.T) {
+	old := snap(0.92, stream([]uint64{1, 2, 3}, 10), stream([]uint64{4, 5}, 7))
+	new := snap(0.80, stream([]uint64{1, 2, 3}, 10))
+	new.Locality.WtAvgPackingEfficiencyPct = 40
+	new.Locality.WtAvgStreamSize = 4
+	new.Locality.WtAvgRepetitionInterval = 100
+	new.Grammar.CompressionRatio = 2
+	r := Diff(old, new)
+
+	g := Gates{
+		MaxCoverageDrop:     0.05,
+		MinStreamOverlap:    0.9,
+		MinHeatOverlap:      0.9,
+		MaxPackingDrop:      10,
+		MaxStreamSizeDrop:   0.25,
+		MaxRepetitionGrowth: 0.5,
+		MaxCompressionDrop:  0.25,
+	}
+	v := g.Evaluate(r)
+	if v.Pass {
+		t.Fatal("gates passed a clear regression")
+	}
+	want := map[string]bool{
+		"coverage-drop": true, "stream-overlap": true, "heat-overlap": true,
+		"packing-drop": true, "stream-size-drop": true,
+		"repetition-growth": true, "compression-drop": true,
+	}
+	for _, f := range v.Failures {
+		if !want[f.Gate] {
+			t.Errorf("unexpected gate %q", f.Gate)
+		}
+		delete(want, f.Gate)
+		if f.Detail == "" {
+			t.Errorf("gate %q has no detail", f.Gate)
+		}
+	}
+	for g := range want {
+		t.Errorf("gate %q did not fire", g)
+	}
+
+	// The same regression sails through disabled gates.
+	if v := Disabled().Evaluate(r); !v.Pass {
+		t.Errorf("disabled gates failed: %+v", v.Failures)
+	}
+	// Loose tolerances pass.
+	loose := Gates{MaxCoverageDrop: 0.5, MinStreamOverlap: 0.1, MinHeatOverlap: 0.1,
+		MaxPackingDrop: 90, MaxStreamSizeDrop: 0.9, MaxRepetitionGrowth: 9, MaxCompressionDrop: 0.9}
+	if v := loose.Evaluate(r); !v.Pass {
+		t.Errorf("loose gates failed: %+v", v.Failures)
+	}
+}
+
+func TestReportJSONAndFormat(t *testing.T) {
+	old := snap(0.9, stream([]uint64{1, 2, 3}, 10), stream([]uint64{4, 5}, 7))
+	new := snap(0.85, stream([]uint64{1, 2, 3}, 12), stream([]uint64{6, 7}, 4))
+	r := Diff(old, new)
+
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Streams.Matched != r.Streams.Matched ||
+		back.Streams.Shifted[0].NewHeat != r.Streams.Shifted[0].NewHeat {
+		t.Errorf("JSON round-trip lost data: %+v", back.Streams)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Format(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stream set:", "hotStreams.coverage", "added streams", "dropped streams"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffRealPipeline drives the diff with genuine snapshots: identical
+// traces diff empty and pass strict gates; a perturbed workload seed
+// produces a non-identical diff.
+func TestDiffRealPipeline(t *testing.T) {
+	analyze := func(seed int64) *online.Snapshot {
+		b, err := workload.Generate("boxsim", 12000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return online.SnapshotFromAnalysis(core.Analyze(b, core.Options{SkipPotential: true}))
+	}
+	s1, s1b, s2 := analyze(1), analyze(1), analyze(7)
+
+	same := Diff(s1, s1b)
+	if !same.Identical() {
+		t.Error("same-seed snapshots diff non-empty")
+	}
+	if v := Strict().Evaluate(same); !v.Pass {
+		t.Errorf("strict gates failed same-seed runs: %+v", v.Failures)
+	}
+
+	perturbed := Diff(s1, s2)
+	if perturbed.Identical() {
+		t.Error("perturbed-seed snapshots diff empty")
+	}
+	if v := Strict().Evaluate(perturbed); v.Pass {
+		t.Error("strict gates passed a perturbed-seed diff")
+	}
+}

@@ -104,21 +104,54 @@ func uvarintLen(v uint64) uint64 {
 	return n
 }
 
+// countReader tracks the byte offset of a buffered stream so decode
+// errors can point at the corrupt byte instead of just naming a rule.
+type countReader struct {
+	br  *bufio.Reader
+	off uint64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.off += uint64(n)
+	return n, err
+}
+
+// noEOF normalizes a mid-stream EOF: once past the magic, a clean EOF
+// still means the encoding was cut short.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 // ReadBinary decodes a grammar from the binary form. The result is frozen:
 // Append panics with ErrFrozen; analysis entry points (NewDAG, Walk,
-// Expand, Rules) work normally.
+// Expand, Rules) work normally. Truncated or corrupt input fails with an
+// error naming the rule and byte offset of the damage.
 func ReadBinary(r io.Reader) (*Grammar, error) {
-	br := bufio.NewReader(r)
+	cr := &countReader{br: bufio.NewReader(r)}
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("sequitur: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		// Even a zero-byte stream is corrupt here: no valid grammar
+		// encoding is shorter than the magic.
+		return nil, fmt.Errorf("sequitur: reading magic: %w", noEOF(err))
 	}
 	if magic != codecMagic {
 		return nil, fmt.Errorf("sequitur: bad magic %q", magic[:])
 	}
-	nRules, err := binary.ReadUvarint(br)
+	nRules, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("sequitur: rule count: %w", err)
+		return nil, fmt.Errorf("sequitur: rule count at offset 4: %w", noEOF(err))
 	}
 	if nRules == 0 {
 		return nil, errors.New("sequitur: empty grammar")
@@ -143,21 +176,31 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 	g.nextID = nRules
 	var total uint64
 	for i := uint64(0); i < nRules; i++ {
-		rhsLen, err := binary.ReadUvarint(br)
+		at := cr.off
+		rhsLen, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("sequitur: rule %d length: %w", i, err)
+			return nil, fmt.Errorf("sequitur: rule %d length at offset %d: %w", i, at, noEOF(err))
+		}
+		// Every non-root rule must produce something: an empty body
+		// expands to nothing, which no SEQUITUR (or relaxed,
+		// post-eviction) grammar emits — it only appears in damaged
+		// encodings. The root alone may be empty (a grammar over zero
+		// input symbols).
+		if rhsLen == 0 && i != nRules-1 {
+			return nil, fmt.Errorf("sequitur: rule %d at offset %d has empty right-hand side", i, at)
 		}
 		r := rules[i]
 		for j := uint64(0); j < rhsLen; j++ {
-			sv, err := binary.ReadUvarint(br)
+			at = cr.off
+			sv, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("sequitur: rule %d symbol %d: %w", i, j, err)
+				return nil, fmt.Errorf("sequitur: rule %d symbol %d at offset %d: %w", i, j, at, noEOF(err))
 			}
 			var s *symbol
 			if sv&1 == 1 {
 				idx := sv >> 1
 				if idx >= i {
-					return nil, fmt.Errorf("sequitur: rule %d references rule %d out of postorder", i, idx)
+					return nil, fmt.Errorf("sequitur: rule %d at offset %d references rule %d out of postorder", i, at, idx)
 				}
 				s = &symbol{r: rules[idx]}
 				rules[idx].uses++

@@ -2,6 +2,8 @@ package sequitur
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -121,5 +123,94 @@ func TestReadBinaryForwardReferenceRejected(t *testing.T) {
 	if _, err := ReadBinary(bytes.NewReader(data)); err == nil ||
 		!strings.Contains(err.Error(), "postorder") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestRelaxedGrammarRoundTrip: grammars that went through cold-rule
+// eviction relax digram uniqueness but must still encode and reload with
+// the expansion (and input length) preserved — the store persists exactly
+// these grammars for long-running locserve sessions.
+func TestRelaxedGrammarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := make([]uint64, 6000)
+	for i := range in {
+		in[i] = uint64(rng.Intn(40)) + 1
+	}
+	g := New()
+	g.AppendAll(in)
+	before := g.NumRules()
+	if evicted := g.EvictColdRules(before / 4); evicted == 0 {
+		t.Fatal("eviction removed no rules; fixture too small")
+	}
+	if !g.Relaxed() {
+		t.Fatal("grammar not marked relaxed after eviction")
+	}
+	if !reflect.DeepEqual(g.Expand(), in) {
+		t.Fatal("eviction changed the expansion")
+	}
+
+	var buf bytes.Buffer
+	if _, err := NewDAG(g, 100).WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary of relaxed grammar: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary of relaxed grammar: %v", err)
+	}
+	if !reflect.DeepEqual(g2.Expand(), in) {
+		t.Fatal("relaxed grammar expands differently after round trip")
+	}
+	if g2.InputLen() != g.InputLen() {
+		t.Errorf("input len %d != %d", g2.InputLen(), g.InputLen())
+	}
+	if g2.NumRules() != g.NumRules() {
+		t.Errorf("rules %d != %d", g2.NumRules(), g.NumRules())
+	}
+}
+
+// TestReadBinaryTruncationOffsets: every mid-stream cut of a valid
+// encoding fails with a descriptive error carrying a byte offset, and
+// never a bare io.EOF masquerading as a clean end.
+func TestReadBinaryTruncationOffsets(t *testing.T) {
+	g := New()
+	g.AppendAll(sym("abcbcabcabcxyzxyzabc"))
+	var buf bytes.Buffer
+	if _, err := NewDAG(g, 100).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for cut := 0; cut < len(enc); cut++ {
+		_, err := ReadBinary(bytes.NewReader(enc[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d decoded successfully", cut)
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: clean EOF leaked: %v", cut, err)
+		}
+		// Cuts past the magic know where they stopped.
+		if cut >= len(codecMagic) && !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("cut at %d: error lacks offset: %v", cut, err)
+		}
+	}
+}
+
+// TestReadBinaryRejectsEmptyRule: a zero-length right-hand side on a
+// non-root rule is structural corruption; an empty root (zero-symbol
+// input) still loads.
+func TestReadBinaryRejectsEmptyRule(t *testing.T) {
+	// 2 rules; rule 0 has an empty RHS, root references nothing.
+	bad := []byte{'W', 'P', 'S', '1', 2, 0, 1, 1 << 1}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "empty right-hand side") {
+		t.Errorf("empty non-root rule: err = %v", err)
+	}
+	// 1 rule (the root) with an empty RHS: a grammar over no input.
+	empty := []byte{'W', 'P', 'S', '1', 1, 0}
+	g, err := ReadBinary(bytes.NewReader(empty))
+	if err != nil {
+		t.Fatalf("empty-root grammar: %v", err)
+	}
+	if g.InputLen() != 0 || len(g.Expand()) != 0 {
+		t.Errorf("empty-root grammar: input %d, expand %d symbols", g.InputLen(), len(g.Expand()))
 	}
 }

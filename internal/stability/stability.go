@@ -76,12 +76,16 @@ type Report struct {
 	// more stable than the tail, so this is typically higher than
 	// StreamOverlap.
 	HeatOverlap float64
+	// TrainOnly and TestOnly count the streams present on only one
+	// side: train streams that did not recur, and test streams whose PC
+	// sequence was never hot in training (newly hot behavior).
+	TrainOnly, TestOnly int
 }
 
 // String summarizes the report.
 func (r Report) String() string {
-	return fmt.Sprintf("%d/%d train streams recur (%.0f%% by count, %.0f%% by heat) among %d test streams",
-		r.Common, r.TrainStreams, r.StreamOverlap*100, r.HeatOverlap*100, r.TestStreams)
+	return fmt.Sprintf("%d/%d train streams recur (%.0f%% by count, %.0f%% by heat) among %d test streams; %d train-only, %d test-only",
+		r.Common, r.TrainStreams, r.StreamOverlap*100, r.HeatOverlap*100, r.TestStreams, r.TrainOnly, r.TestOnly)
 }
 
 // Compare measures how much of the training run's hot-stream population
@@ -92,12 +96,20 @@ func Compare(train, test []PCStream) Report {
 	for _, s := range test {
 		testSet[s.key()] = struct{}{}
 	}
+	trainSet := make(map[string]struct{}, len(train))
 	var heat, commonHeat uint64
 	for _, s := range train {
 		heat += s.Heat
+		trainSet[s.key()] = struct{}{}
 		if _, ok := testSet[s.key()]; ok {
 			r.Common++
 			commonHeat += s.Heat
+		}
+	}
+	r.TrainOnly = r.TrainStreams - r.Common
+	for _, s := range test {
+		if _, ok := trainSet[s.key()]; !ok {
+			r.TestOnly++
 		}
 	}
 	if r.TrainStreams > 0 {

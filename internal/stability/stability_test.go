@@ -2,6 +2,7 @@ package stability
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/hotstream"
@@ -78,5 +79,58 @@ func TestKeyDistinguishesSequences(t *testing.T) {
 	}
 	if a.key() != c.key() {
 		t.Error("equal sequences differ")
+	}
+}
+
+// TestCompareOneSided: streams present in only one run are reported
+// from both directions, not just as a lower overlap ratio.
+func TestCompareOneSided(t *testing.T) {
+	train := []PCStream{
+		{PCs: []uint32{1, 2, 3}, Heat: 60},
+		{PCs: []uint32{4, 5}, Heat: 40},
+	}
+	test := []PCStream{
+		{PCs: []uint32{1, 2, 3}, Heat: 50},
+		{PCs: []uint32{7, 8}, Heat: 25},
+		{PCs: []uint32{9, 10, 11}, Heat: 25},
+	}
+	r := Compare(train, test)
+	if r.TrainOnly != 1 {
+		t.Errorf("TrainOnly = %d, want 1 (stream 4,5 vanished)", r.TrainOnly)
+	}
+	if r.TestOnly != 2 {
+		t.Errorf("TestOnly = %d, want 2 (newly hot streams)", r.TestOnly)
+	}
+	if !strings.Contains(r.String(), "1 train-only") || !strings.Contains(r.String(), "2 test-only") {
+		t.Errorf("String() = %q lacks one-sided counts", r.String())
+	}
+}
+
+// TestCompareDisjoint: no shared sequences — everything is one-sided.
+func TestCompareDisjoint(t *testing.T) {
+	train := []PCStream{{PCs: []uint32{1}, Heat: 5}, {PCs: []uint32{2}, Heat: 5}}
+	test := []PCStream{{PCs: []uint32{3}, Heat: 5}}
+	r := Compare(train, test)
+	if r.Common != 0 || r.StreamOverlap != 0 || r.HeatOverlap != 0 {
+		t.Errorf("disjoint compare = %+v", r)
+	}
+	if r.TrainOnly != 2 || r.TestOnly != 1 {
+		t.Errorf("one-sided counts = %d/%d, want 2/1", r.TrainOnly, r.TestOnly)
+	}
+}
+
+// TestCompareIdentical: the same population on both sides is fully
+// common with nothing one-sided.
+func TestCompareIdentical(t *testing.T) {
+	pop := []PCStream{
+		{PCs: []uint32{1, 2}, Heat: 30},
+		{PCs: []uint32{3, 4, 5}, Heat: 70},
+	}
+	r := Compare(pop, pop)
+	if r.Common != 2 || r.StreamOverlap != 1 || r.HeatOverlap != 1 {
+		t.Errorf("identical compare = %+v", r)
+	}
+	if r.TrainOnly != 0 || r.TestOnly != 0 {
+		t.Errorf("one-sided counts = %d/%d, want 0/0", r.TrainOnly, r.TestOnly)
 	}
 }

@@ -1,0 +1,348 @@
+// Package store is the locality artifact store: a content-addressed
+// on-disk repository for the durable artifacts the analysis pipeline
+// produces and consumes — raw traces, frozen WPS grammars in the binary
+// codec form (§5.2: "the binary representation can be two times
+// smaller"), and canonical analysis snapshots. It is what makes a
+// compressed grammar the paper promises — a durable, reanalyzable
+// stand-in for a gigabyte trace — actually durable: analyses persist
+// across runs, identical traces are stored once, and re-analysis of an
+// already-seen trace is a manifest lookup instead of a pipeline run.
+//
+// Layout under the store root:
+//
+//	manifest.json            versioned JSON index of named artifacts
+//	blobs/<hh>/<sha256 hex>  content-addressed blobs (hh = first hex pair)
+//	tmp/                     staging area for atomic writes
+//
+// Every write is atomic: blobs and the manifest are first written to a
+// file under tmp/ and then renamed into place, so a crash mid-write
+// leaves at worst an orphaned tmp file (reclaimed by GC) and never a
+// half-written blob reachable from the manifest. Blobs are keyed by the
+// SHA-256 of their content, so storing the same trace twice stores one
+// blob; GC removes blobs no manifest entry references.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Digest identifies a blob by content: "sha256:" + 64 hex digits.
+type Digest string
+
+// digestPrefix is the only digest algorithm the store writes or accepts.
+const digestPrefix = "sha256:"
+
+// Hex returns the bare hex portion of the digest.
+func (d Digest) Hex() string { return strings.TrimPrefix(string(d), digestPrefix) }
+
+// Valid reports whether d is a well-formed sha256 digest.
+func (d Digest) Valid() bool {
+	h := d.Hex()
+	if !strings.HasPrefix(string(d), digestPrefix) || len(h) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(h)
+	return err == nil
+}
+
+func digestOf(sum []byte) Digest { return Digest(digestPrefix + hex.EncodeToString(sum)) }
+
+// Artifact kinds recorded in the manifest.
+const (
+	KindTrace    = "trace"    // raw encoded trace records
+	KindGrammar  = "grammar"  // frozen WPS grammar, sequitur binary codec
+	KindSnapshot = "snapshot" // canonical online.Snapshot JSON
+)
+
+// Artifact is one named manifest entry: a kind, the blob it points at,
+// and free-form metadata (e.g. the source-trace digest and the analysis
+// parameter fingerprint for a snapshot).
+type Artifact struct {
+	Kind   string            `json:"kind"`
+	Digest Digest            `json:"digest"`
+	Size   int64             `json:"size"`
+	Meta   map[string]string `json:"meta,omitempty"`
+}
+
+// manifestVersion is the current on-disk index format. Opening a store
+// written by a future (or corrupt) version fails rather than guessing.
+const manifestVersion = 1
+
+type manifest struct {
+	Version   int                 `json:"version"`
+	Artifacts map[string]Artifact `json:"artifacts"`
+}
+
+// Store is an open artifact store. All methods are safe for concurrent
+// use within one process; cross-process writers are serialized only by
+// rename atomicity (last manifest write wins).
+type Store struct {
+	root string
+
+	mu  sync.Mutex
+	man manifest
+}
+
+// Open opens (creating if necessary) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"", "blobs", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{root: dir, man: manifest{Version: manifestVersion, Artifacts: map[string]Artifact{}}}
+	b, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d, this build supports %d", m.Version, manifestVersion)
+	}
+	if m.Artifacts == nil {
+		m.Artifacts = map[string]Artifact{}
+	}
+	s.man = m
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) manifestPath() string { return filepath.Join(s.root, "manifest.json") }
+
+func (s *Store) blobPath(d Digest) string {
+	h := d.Hex()
+	return filepath.Join(s.root, "blobs", h[:2], h)
+}
+
+// PutBlob streams r into the store, returning the content digest and
+// byte count. The blob is staged under tmp/ and renamed into its final
+// content-addressed path only once fully written and hashed; if a blob
+// with the same content already exists the staged copy is discarded
+// (dedup) and the existing blob is reused.
+func (s *Store) PutBlob(r io.Reader) (Digest, int64, error) {
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "blob-*")
+	if err != nil {
+		return "", 0, fmt.Errorf("store: staging blob: %w", err)
+	}
+	tmpName := tmp.Name()
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return "", 0, fmt.Errorf("store: writing blob: %w", err)
+	}
+	d := digestOf(h.Sum(nil))
+	final := s.blobPath(d)
+	if _, err := os.Stat(final); err == nil {
+		_ = os.Remove(tmpName) // dedup: identical content already stored
+		return d, n, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		_ = os.Remove(tmpName)
+		return "", 0, fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		_ = os.Remove(tmpName)
+		return "", 0, fmt.Errorf("store: committing blob: %w", err)
+	}
+	return d, n, nil
+}
+
+// PutBytes stores b as a blob.
+func (s *Store) PutBytes(b []byte) (Digest, int64, error) {
+	return s.PutBlob(strings.NewReader(string(b)))
+}
+
+// HasBlob reports whether the blob is present on disk.
+func (s *Store) HasBlob(d Digest) bool {
+	if !d.Valid() {
+		return false
+	}
+	_, err := os.Stat(s.blobPath(d))
+	return err == nil
+}
+
+// OpenBlob opens the blob for reading.
+func (s *Store) OpenBlob(d Digest) (io.ReadCloser, error) {
+	if !d.Valid() {
+		return nil, fmt.Errorf("store: malformed digest %q", d)
+	}
+	f, err := os.Open(s.blobPath(d))
+	if err != nil {
+		return nil, fmt.Errorf("store: blob %s: %w", d, err)
+	}
+	return f, nil
+}
+
+// ReadBlob returns the blob's full content.
+func (s *Store) ReadBlob(d Digest) ([]byte, error) {
+	rc, err := s.OpenBlob(d)
+	if err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	return b, err
+}
+
+// Put records (or replaces) the named artifact in the manifest and
+// persists the manifest atomically. The artifact's blob must already be
+// stored: a manifest entry never points at absent content.
+func (s *Store) Put(name string, a Artifact) error {
+	if name == "" {
+		return errors.New("store: empty artifact name")
+	}
+	if !a.Digest.Valid() {
+		return fmt.Errorf("store: artifact %q: malformed digest %q", name, a.Digest)
+	}
+	if !s.HasBlob(a.Digest) {
+		return fmt.Errorf("store: artifact %q: blob %s not stored", name, a.Digest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.man.Artifacts[name] = a
+	return s.saveLocked()
+}
+
+// Get returns the named artifact.
+func (s *Store) Get(name string) (Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.man.Artifacts[name]
+	return a, ok
+}
+
+// Delete removes the named artifact from the manifest (its blob remains
+// until GC). Deleting an absent name is a no-op.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.man.Artifacts[name]; !ok {
+		return nil
+	}
+	delete(s.man.Artifacts, name)
+	return s.saveLocked()
+}
+
+// Names returns the artifact names with the given prefix ("" for all),
+// sorted.
+func (s *Store) Names(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for n := range s.man.Artifacts {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// saveLocked writes the manifest atomically (tmp + rename). Callers hold mu.
+func (s *Store) saveLocked() error {
+	b, err := json.MarshalIndent(s.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "manifest-*")
+	if err != nil {
+		return fmt.Errorf("store: staging manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, err = tmp.Write(b)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, s.manifestPath()); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: committing manifest: %w", err)
+	}
+	return nil
+}
+
+// GCStats reports what a GC pass reclaimed.
+type GCStats struct {
+	// Blobs and BlobBytes count unreferenced blobs removed.
+	Blobs     int
+	BlobBytes int64
+	// TmpFiles counts orphaned staging files removed (crash leftovers).
+	TmpFiles int
+}
+
+// GC removes blobs referenced by no manifest entry and clears orphaned
+// staging files. It is safe to run concurrently with readers of
+// referenced artifacts; concurrent *writers* may race a brand-new blob
+// against its manifest entry, so run GC quiesced (the locdiff/locserve
+// CLIs only GC on demand).
+func (s *Store) GC() (GCStats, error) {
+	s.mu.Lock()
+	referenced := make(map[Digest]struct{}, len(s.man.Artifacts))
+	for _, a := range s.man.Artifacts {
+		referenced[a.Digest] = struct{}{}
+	}
+	s.mu.Unlock()
+
+	var st GCStats
+	blobs := filepath.Join(s.root, "blobs")
+	err := filepath.WalkDir(blobs, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if _, ok := referenced[Digest(digestPrefix+d.Name())]; ok {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		st.Blobs++
+		st.BlobBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("store: gc: %w", err)
+	}
+	tmps, err := os.ReadDir(filepath.Join(s.root, "tmp"))
+	if err != nil {
+		return st, fmt.Errorf("store: gc: %w", err)
+	}
+	for _, e := range tmps {
+		if err := os.Remove(filepath.Join(s.root, "tmp", e.Name())); err != nil {
+			return st, fmt.Errorf("store: gc: %w", err)
+		}
+		st.TmpFiles++
+	}
+	return st, nil
+}

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func countBlobFiles(t *testing.T, s *Store) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(filepath.Join(s.Root(), "blobs"), func(_ string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			n++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPutBlobRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	content := []byte("hot data streams")
+	d, n, err := s.PutBytes(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(content)) {
+		t.Errorf("size = %d, want %d", n, len(content))
+	}
+	if !d.Valid() {
+		t.Errorf("digest %q not valid", d)
+	}
+	if !s.HasBlob(d) {
+		t.Error("HasBlob = false after Put")
+	}
+	got, err := s.ReadBlob(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Errorf("ReadBlob = %q", got)
+	}
+}
+
+func TestPutBlobDedup(t *testing.T) {
+	s := open(t, t.TempDir())
+	d1, _, err := s.PutBytes([]byte("same content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := s.PutBytes([]byte("same content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("digests differ: %s vs %s", d1, d2)
+	}
+	if n := countBlobFiles(t, s); n != 1 {
+		t.Errorf("%d blob files after storing identical content twice, want 1", n)
+	}
+	// Staging left nothing behind.
+	tmps, err := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("%d staging files left after dedup", len(tmps))
+	}
+}
+
+func TestManifestPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	d, n, err := s.PutBytes([]byte("trace bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := Artifact{Kind: KindTrace, Digest: d, Size: n, Meta: map[string]string{"bench": "boxsim"}}
+	if err := s.Put("trace/x", art); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh open sees the entry.
+	s2 := open(t, dir)
+	got, ok := s2.Get("trace/x")
+	if !ok {
+		t.Fatal("artifact lost across reopen")
+	}
+	if got.Kind != KindTrace || got.Digest != d || got.Size != n || got.Meta["bench"] != "boxsim" {
+		t.Errorf("artifact = %+v", got)
+	}
+	if names := s2.Names("trace/"); len(names) != 1 || names[0] != "trace/x" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestPutRejectsAbsentBlob(t *testing.T) {
+	s := open(t, t.TempDir())
+	bogus := Digest(digestPrefix + strings.Repeat("ab", 32))
+	if err := s.Put("x", Artifact{Kind: KindTrace, Digest: bogus}); err == nil {
+		t.Error("Put accepted an artifact whose blob is not stored")
+	}
+	if err := s.Put("x", Artifact{Kind: KindTrace, Digest: "sha256:short"}); err == nil {
+		t.Error("Put accepted a malformed digest")
+	}
+}
+
+// TestCrashedWriteInvisible simulates a writer dying between staging and
+// rename: the half-written blob sits in tmp/, is reachable from no
+// manifest entry, is not addressable as a blob, and is reclaimed by GC.
+func TestCrashedWriteInvisible(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	// The committed artifact the store must keep.
+	d, n, err := s.PutBytes([]byte("committed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("keep", Artifact{Kind: KindSnapshot, Digest: d, Size: n}); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: a fully-written but never-renamed staging blob, and a
+	// half-written staging manifest.
+	for _, name := range []string{"blob-crashed", "manifest-crashed"} {
+		if err := os.WriteFile(filepath.Join(dir, "tmp", name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopening sees only the committed state.
+	s2 := open(t, dir)
+	if names := s2.Names(""); len(names) != 1 || names[0] != "keep" {
+		t.Fatalf("manifest names = %v, want [keep]", names)
+	}
+	if got, err := s2.ReadBlob(d); err != nil || string(got) != "committed" {
+		t.Fatalf("committed blob unreadable: %q, %v", got, err)
+	}
+
+	// GC reclaims the staging leftovers and keeps the referenced blob.
+	st, err := s2.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TmpFiles != 2 {
+		t.Errorf("GC removed %d tmp files, want 2", st.TmpFiles)
+	}
+	if st.Blobs != 0 {
+		t.Errorf("GC removed %d blobs, want 0", st.Blobs)
+	}
+	if !s2.HasBlob(d) {
+		t.Error("GC removed a referenced blob")
+	}
+}
+
+func TestGCRemovesUnreferenced(t *testing.T) {
+	s := open(t, t.TempDir())
+	kept, n, err := s.PutBytes([]byte("referenced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", Artifact{Kind: KindTrace, Digest: kept, Size: n}); err != nil {
+		t.Fatal(err)
+	}
+	orphan, _, err := s.PutBytes([]byte("orphaned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blobs != 1 || st.BlobBytes != int64(len("orphaned")) {
+		t.Errorf("GC stats = %+v", st)
+	}
+	if s.HasBlob(orphan) {
+		t.Error("orphaned blob survived GC")
+	}
+	if !s.HasBlob(kept) {
+		t.Error("referenced blob removed by GC")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := open(t, t.TempDir())
+	d, n, err := s.PutBytes([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", Artifact{Kind: KindTrace, Digest: d, Size: n}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("artifact survives Delete")
+	}
+	if err := s.Delete("absent"); err != nil {
+		t.Errorf("Delete of absent name = %v", err)
+	}
+}
+
+func TestOpenRejectsFutureManifest(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir) // create layout
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"version": 99, "artifacts": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("Open of future manifest = %v", err)
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open accepted a corrupt manifest")
+	}
+}

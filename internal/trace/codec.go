@@ -81,6 +81,10 @@ func (tw *Writer) Flush() error {
 // Reader decodes events from an underlying stream.
 type Reader struct {
 	r *bufio.Reader
+	// off is the byte offset of the next unread record, reported in
+	// corruption errors so a damaged trace file can be located with
+	// dd/xxd rather than by re-counting records.
+	off uint64
 }
 
 // NewReader returns a Reader decoding from r.
@@ -88,9 +92,14 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// Offset returns the byte offset of the next record to be decoded.
+func (tr *Reader) Offset() uint64 { return tr.off }
+
 // Read decodes the next event. It returns io.EOF at a clean end of stream
-// and ErrCorrupt if the stream ends mid-record or contains an unknown kind.
+// and ErrCorrupt if the stream ends mid-record or contains an unknown
+// kind; corruption errors carry the byte offset of the offending record.
 func (tr *Reader) Read() (Event, error) {
+	start := tr.off
 	k, err := tr.r.ReadByte()
 	if err != nil {
 		if err == io.EOF {
@@ -98,18 +107,21 @@ func (tr *Reader) Read() (Event, error) {
 		}
 		return Event{}, err
 	}
+	tr.off++
 	kind := Kind(k & 7)
 	thread := k >> 3
 	if kind > Path {
-		return Event{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, k&7)
+		return Event{}, fmt.Errorf("%w: unknown kind %d at offset %d", ErrCorrupt, k&7, start)
 	}
 	n := refRecordSize - 1
 	if kind == Alloc {
 		n = allocRecordSize - 1
 	}
 	var buf [allocRecordSize - 1]byte
-	if _, err := io.ReadFull(tr.r, buf[:n]); err != nil {
-		return Event{}, fmt.Errorf("%w: truncated %s record: %v", ErrCorrupt, kind, err)
+	got, err := io.ReadFull(tr.r, buf[:n])
+	tr.off += uint64(got)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: truncated %s record at offset %d: %v", ErrCorrupt, kind, start, err)
 	}
 	e := Event{
 		Kind:   kind,

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"reflect"
@@ -272,6 +273,48 @@ func TestReaderTruncated(t *testing.T) {
 	_, err := ReadAll(bytes.NewReader(data))
 	if err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("err = %v, want truncated", err)
+	}
+}
+
+// TestReaderTruncationOffset: a cut inside the Nth record reports the
+// byte offset where that record starts, so the damage can be located in
+// the file directly.
+func TestReaderTruncationOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Event{Kind: Load, PC: uint32(i), Addr: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Records are 9 bytes; cut mid-way through the second (offset 9..17).
+	r := NewReader(bytes.NewReader(buf.Bytes()[:14]))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if off := r.Offset(); off != 9 {
+		t.Errorf("Offset after one record = %d, want 9", off)
+	}
+	_, err := r.Read()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-record cut = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "at offset 9") {
+		t.Errorf("err = %v, want record-start offset 9", err)
+	}
+
+	// An unknown kind byte reports its own offset too.
+	bad := append(append([]byte{}, buf.Bytes()[:9]...), 7) // kind 7 > Path
+	r = NewReader(bytes.NewReader(bad))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read()
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "unknown kind 7 at offset 9") {
+		t.Errorf("unknown-kind err = %v, want kind and offset 9", err)
 	}
 }
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the regression-gating subsystem: build
+# locdiff and tracegen, diff two runs of the same workload through the
+# artifact store (must pass with zero drift even under -strict, and the
+# second analysis of the shared trace must be a memo hit), then diff
+# against a perturbed workload (different seed) and require the strict
+# gates to trip with a non-zero exit — the CI contract ISSUE 4 specifies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT
+
+go build -o "$tmp/locdiff" ./cmd/locdiff
+go build -o "$tmp/tracegen" ./cmd/tracegen
+
+"$tmp/tracegen" -bench boxsim -refs 50000 -seed 1 -o "$tmp/a.trace" >/dev/null
+cp "$tmp/a.trace" "$tmp/b.trace"
+"$tmp/tracegen" -bench boxsim -refs 50000 -seed 7 -o "$tmp/c.trace" >/dev/null
+
+store="$tmp/store"
+
+# Same workload twice: zero regressions, exit 0, even with every gate at
+# its strictest.
+out=$("$tmp/locdiff" -strict -store "$store" "$tmp/a.trace" "$tmp/b.trace")
+case "$out" in *'PASS (no locality drift)'*) ;; *)
+  echo "locdiff-smoke: identical traces did not report zero drift:" >&2
+  echo "$out" >&2; exit 1;;
+esac
+
+# Identical content deduplicates: one trace blob, one memoized snapshot.
+snapshots=$(ls "$store"/blobs/*/* | wc -l)
+[ "$snapshots" -eq 3 ] || {  # trace blob + snapshot blob + grammar blob
+  echo "locdiff-smoke: expected 3 blobs after dedup, found $snapshots" >&2
+  exit 1
+}
+
+# Re-running hits the store memo instead of re-analyzing.
+out=$("$tmp/locdiff" -store "$store" "$tmp/a.trace" "$tmp/b.trace")
+case "$out" in *'memoized'*) ;; *)
+  echo "locdiff-smoke: second run did not hit the analysis memo:" >&2
+  echo "$out" >&2; exit 1;;
+esac
+
+# Explicit per-gate flags on the pass case also succeed.
+"$tmp/locdiff" -store "$store" \
+  -max-coverage-drop 0.01 -min-stream-overlap 0.99 -min-heat-overlap 0.99 \
+  -max-packing-drop 0.5 -max-size-drop 0.01 -max-repetition-growth 0.01 \
+  -max-compression-drop 0.01 \
+  "$tmp/a.trace" "$tmp/b.trace" >/dev/null || {
+  echo "locdiff-smoke: explicit gates tripped on identical traces" >&2
+  exit 1
+}
+
+# Perturbed workload: strict gating must fail with exit 1 and name the
+# tripped gates in the report.
+set +e
+out=$("$tmp/locdiff" -strict -store "$store" "$tmp/a.trace" "$tmp/c.trace")
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || {
+  echo "locdiff-smoke: perturbed trace exited $rc, want 1" >&2
+  echo "$out" >&2; exit 1
+}
+case "$out" in *'FAIL'*) ;; *)
+  echo "locdiff-smoke: failing run did not print a FAIL verdict:" >&2
+  echo "$out" >&2; exit 1;;
+esac
+
+# The JSON form carries the machine-readable verdict for CI tooling.
+set +e
+json=$("$tmp/locdiff" -json -strict -store "$store" "$tmp/a.trace" "$tmp/c.trace")
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "locdiff-smoke: -json run exited $rc, want 1" >&2; exit 1; }
+case "$json" in *'"pass": false'*) ;; *)
+  echo "locdiff-smoke: JSON verdict missing pass=false" >&2; exit 1;;
+esac
+
+echo "locdiff-smoke: OK (identical traces pass strict gates, perturbed seed trips them)"
