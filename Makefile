@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke repro csv lint race sanitize serve-smoke locdiff-smoke fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke bench-pipeline repro csv lint race sanitize serve-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -56,6 +56,16 @@ serve-smoke:
 # a perturbed workload seed must trip the gates with a non-zero exit.
 locdiff-smoke:
 	./scripts/locdiff-smoke.sh
+
+# Observability smoke: locstats -stage-timing over both entry points;
+# fails if any registered pipeline stage reports zero samples.
+obs-smoke:
+	./scripts/obs-smoke.sh
+
+# Measure obs-on vs obs-off ingest/snapshot throughput and regenerate
+# BENCH_pipeline.json; fails if overhead exceeds the 2% budget.
+bench-pipeline:
+	./scripts/bench-pipeline.sh
 
 # Short fuzz sessions over the parsers and the grammar invariant.
 fuzz:

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hotstream"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/optim"
 	"repro/internal/sequitur"
@@ -407,6 +408,11 @@ func BenchmarkAnalyzeStream(b *testing.B) {
 // and with the rule table capped (bounded memory plus eviction work).
 // records/op is the per-iteration event count: records/op divided by
 // ns/op gives records per nanosecond of sustained ingest.
+//
+// The exact-obs variant runs the same ingest with a live obs registry so
+// scripts/bench-pipeline.sh can bound the instrumentation overhead (the
+// hot path pays two cached-counter atomics per chunk; the acceptance
+// budget is <2%).
 func BenchmarkOnlineIngest(b *testing.B) {
 	buf := benchTrace(b, "boxsim")
 	events := buf.Events()
@@ -415,6 +421,7 @@ func BenchmarkOnlineIngest(b *testing.B) {
 		opts online.Options
 	}{
 		{"exact", online.Options{}},
+		{"exact-obs", online.Options{Obs: obs.New()}},
 		{"maxrules=4096", online.Options{MaxRules: 4096}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
@@ -437,14 +444,26 @@ func BenchmarkOnlineIngest(b *testing.B) {
 // BenchmarkOnlineSnapshot measures one live detection pass (DAG build,
 // threshold search, detection, exact measurement, locality summary) over
 // a fully ingested trace: the cost of answering a /v1/snapshot query.
+// The obs=on variant times the identical pass with per-stage timers and
+// pprof labels live (six timer observations per snapshot).
 func BenchmarkOnlineSnapshot(b *testing.B) {
 	buf := benchTrace(b, "boxsim")
-	e := online.NewEngine(online.Options{})
-	e.Ingest(buf.Events())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if s := e.Snapshot(); s.Trace.Refs == 0 {
-			b.Fatal("empty snapshot")
-		}
+	for _, cfg := range []struct {
+		name string
+		opts online.Options
+	}{
+		{"obs=off", online.Options{}},
+		{"obs=on", online.Options{Obs: obs.New()}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e := online.NewEngine(cfg.opts)
+			e.Ingest(buf.Events())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s := e.Snapshot(); s.Trace.Refs == 0 {
+					b.Fatal("empty snapshot")
+				}
+			}
+		})
 	}
 }

@@ -17,49 +17,31 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/cliflags"
 	"repro/internal/drill"
 	"repro/internal/report"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark to generate and analyze")
-	traceFile := flag.String("trace", "", "trace file to analyze")
-	refs := flag.Int("refs", 200_000, "target references when generating")
-	seed := flag.Int64("seed", 1, "generator seed")
+	in := cliflags.Inputs(flag.CommandLine)
+	params := cliflags.AnalysisFlags(flag.CommandLine)
 	top := flag.Int("top", 25, "streams to list")
 	streamID := flag.Int("stream", -1, "walk one stream's members")
 	focus := flag.Bool("focus", false, "list only optimization candidates (poor packing, long repetition interval)")
 	interactive := flag.Bool("i", false, "interactive session (list/show/next/focus commands)")
 	flag.Parse()
 
-	var (
-		b   *trace.Buffer
-		err error
-	)
-	switch {
-	case *bench != "":
-		b, err = workload.Generate(*bench, *refs, *seed)
-	case *traceFile != "":
-		var f *os.File
-		if f, err = os.Open(*traceFile); err == nil {
-			b, err = trace.ReadAll(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-	default:
-		err = fmt.Errorf("one of -bench or -trace is required")
-	}
+	// The shared constructor keeps drill's analysis parameters (and their
+	// defaults) identical to locstats/locdiff/locserve; DRILL never needs
+	// the Figure-9 simulations.
+	opts := params.CoreOptions()
+	opts.SkipPotential = true
+	a, err := in.Analyze(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "drill:", err)
 		os.Exit(1)
 	}
-
-	a := core.Analyze(b, core.Options{SkipPotential: true})
-	rep := drill.Build(a.Streams(), a.Abstraction.Objects, 64)
+	rep := drill.Build(a.Streams(), a.Abstraction.Objects, params.Block)
 	out := bufio.NewWriter(os.Stdout)
 	p := report.NewPrinter(out)
 

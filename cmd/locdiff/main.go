@@ -27,7 +27,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/cliflags"
 	"repro/internal/regress"
 	"repro/internal/store"
 )
@@ -44,12 +44,10 @@ func run() int {
 	strict := fs.Bool("strict", false, "fail on any locality drift (zero-tolerance gates)")
 	gc := fs.Bool("gc", false, "after the diff, garbage-collect unreferenced store blobs")
 
-	// Analysis parameters for inputs that are raw traces.
-	minLen := fs.Int("min-len", 2, "minimum hot-stream length")
-	maxLen := fs.Int("max-len", 100, "maximum hot-stream length")
-	coverage := fs.Float64("coverage", 0.90, "hot-stream coverage target for the threshold search")
-	fixedMultiple := fs.Uint64("fixed-multiple", 0, "pin the heat threshold to this unit-uniform-access multiple instead of searching")
-	block := fs.Int("block", 64, "cache block size for packing-efficiency metrics")
+	// Analysis parameters for inputs that are raw traces: the shared
+	// group, so locdiff analyzes with exactly the defaults every other
+	// driver uses.
+	params := cliflags.AnalysisFlags(fs)
 
 	// Gates: negative disables.
 	maxCoverageDrop := fs.Float64("max-coverage-drop", -1, "max absolute hot-stream coverage drop, fraction points (e.g. 0.05)")
@@ -75,14 +73,8 @@ func run() int {
 		}
 	}
 
-	opts := core.Options{
-		MinStreamLen:      *minLen,
-		MaxStreamLen:      *maxLen,
-		CoverageTarget:    *coverage,
-		FixedHeatMultiple: *fixedMultiple,
-		BlockSize:         *block,
-		SkipPotential:     true,
-	}
+	opts := params.CoreOptions()
+	opts.SkipPotential = true
 
 	oldIn, err := resolveInput(fs.Arg(0), st, opts)
 	if err != nil {

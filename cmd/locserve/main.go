@@ -15,8 +15,13 @@
 //	/v1/stats?session=S       Table-1 statistics only
 //	/v1/hotstreams?session=S  threshold + hot streams only
 //	/v1/locality?session=S    inherent/realized locality metrics only
-//	/debug/vars               expvar counters (sessions, records,
-//	                          evictions, snapshots, live grammar rules)
+//	/v1/metrics               structured observability snapshot: every
+//	                          counter/gauge plus per-stage latency
+//	                          histograms (count, total, p50, p99) for
+//	                          the shared analysis pipeline's stages
+//	/debug/vars               the same metrics mirrored flat into expvar
+//	                          (sessions, records, evictions, snapshots,
+//	                          live grammar rules)
 //	/debug/pprof/             CPU/heap profiles of the live service
 //
 // With eviction off (-max-rules 0) a snapshot of a fully uploaded trace
@@ -47,6 +52,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/online"
 	"repro/internal/store"
@@ -58,22 +64,12 @@ func main() {
 	batch := flag.String("batch", "", "batch mode: analyze a trace file and print the snapshot JSON, no server")
 	storeDir := flag.String("store", "", "artifact store directory: persist per-session snapshots on close (empty = ephemeral sessions)")
 	maxRules := flag.Int("max-rules", 0, "bound the live grammar's rule table per session (0 = exact, unbounded)")
-	fixedMultiple := flag.Uint64("fixed-multiple", 0, "pin the heat threshold to this unit-uniform-access multiple instead of searching (cheaper snapshots)")
-	minLen := flag.Int("min-len", 2, "minimum hot-stream length")
-	maxLen := flag.Int("max-len", 100, "maximum hot-stream length")
-	coverage := flag.Float64("coverage", 0.90, "hot-stream coverage target for the threshold search")
-	blockSize := flag.Int("block", 64, "cache block size for packing-efficiency metrics")
-	workers := flag.Int("workers", 0, "goroutines for all-session snapshots (0 = GOMAXPROCS)")
+	params := cliflags.AnalysisFlags(flag.CommandLine)
+	workers := cliflags.WorkersFlag(flag.CommandLine)
 	flag.Parse()
 
-	opts := online.Options{
-		MinStreamLen:      *minLen,
-		MaxStreamLen:      *maxLen,
-		CoverageTarget:    *coverage,
-		FixedHeatMultiple: *fixedMultiple,
-		BlockSize:         *blockSize,
-		MaxRules:          *maxRules,
-	}
+	opts := params.OnlineOptions()
+	opts.MaxRules = *maxRules
 
 	if *batch != "" {
 		if err := runBatch(*batch, opts); err != nil {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/pipeline"
+)
+
+// TestMetricNamesStable is the regression gate on the service's metric
+// namespace: dashboards and the serve-smoke script address metrics by
+// these exact names, so renaming one is a breaking change that must
+// show up in review as an edit to this list.
+func TestMetricNamesStable(t *testing.T) {
+	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	defer ts.Close()
+
+	b := genTrace(t, "boxsim", 5_000, 1)
+	if code, body := post(t, ts.URL+"/v1/ingest?session=m", encodeEvents(t, b.Events())); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/snapshot?session=m"); code != http.StatusOK {
+		t.Fatal("snapshot failed")
+	}
+
+	code, body := get(t, ts.URL+"/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/metrics: status %d: %s", code, body)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/v1/metrics is not an obs snapshot: %v", err)
+	}
+
+	for _, name := range []string{
+		"locserve.sessions", "locserve.records",
+		"locserve.evictions", "locserve.snapshots",
+		"online.events", "online.chunks", "online.evictions",
+		"trace.records", "trace.bytes",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q missing from /v1/metrics", name)
+		}
+	}
+	if _, ok := snap.Gauges["locserve.rules"]; !ok {
+		t.Error(`gauge "locserve.rules" missing from /v1/metrics`)
+	}
+
+	// Every snapshot-path stage must be present with samples and
+	// latency quantiles — the acceptance bar for per-stage p50/p99.
+	for _, stage := range pipeline.SnapshotStages() {
+		ts, ok := snap.Timers[pipeline.StageTimerName(stage)]
+		if !ok {
+			t.Errorf("stage timer %q missing from /v1/metrics", pipeline.StageTimerName(stage))
+			continue
+		}
+		if ts.Count == 0 {
+			t.Errorf("stage %q has zero samples after a snapshot", stage)
+		}
+		if ts.P99NS < ts.P50NS {
+			t.Errorf("stage %q: p99 %d < p50 %d", stage, ts.P99NS, ts.P50NS)
+		}
+	}
+	if !strings.Contains(string(body), `"p50Ns"`) || !strings.Contains(string(body), `"p99Ns"`) {
+		t.Error("/v1/metrics payload lacks p50Ns/p99Ns fields")
+	}
+
+	// The flat expvar mirror must keep the names serve-smoke greps.
+	code, vars := get(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", code)
+	}
+	for _, name := range []string{"locserve.records", "locserve.rules", "locserve.sessions"} {
+		if !strings.Contains(string(vars), fmt.Sprintf("%q", name)) {
+			t.Errorf("expvar mirror lost %q", name)
+		}
+	}
+}

@@ -11,19 +11,31 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/store"
 )
 
-// Instrumentation counters, published once at package level so multiple
-// server instances (tests spin up several) share them without
-// re-registering; expvar panics on duplicate Publish.
+// metrics is the serving process's observability registry: locserve
+// opts the whole process in (engines, trace decoding, the worker pool,
+// and the stage runner all pick up obs.Default()) and mirrors every
+// metric into expvar, so /debug/vars keeps serving the flat
+// "locserve.*" names existing tooling greps for while /v1/metrics
+// serves the structured snapshot with per-stage p50/p99.
+var metrics = func() *obs.Registry {
+	r := obs.EnableDefault()
+	r.SetExpvar(true)
+	return r
+}()
+
+// Service counters: handles resolved once at package level so multiple
+// server instances (tests spin up several) share them.
 var (
-	mSessions  = expvar.NewInt("locserve.sessions")
-	mRecords   = expvar.NewInt("locserve.records")
-	mEvictions = expvar.NewInt("locserve.evictions")
-	mSnapshots = expvar.NewInt("locserve.snapshots")
+	mSessions  = metrics.Counter("locserve.sessions")
+	mRecords   = metrics.Counter("locserve.records")
+	mEvictions = metrics.Counter("locserve.evictions")
+	mSnapshots = metrics.Counter("locserve.snapshots")
 )
 
 // registry tracks live servers so the "locserve.rules" gauge can sum
@@ -34,7 +46,7 @@ var registry struct {
 }
 
 func init() {
-	expvar.Publish("locserve.rules", expvar.Func(func() any {
+	metrics.GaugeFunc("locserve.rules", func() int64 {
 		registry.mu.Lock()
 		servers := append([]*server(nil), registry.servers...)
 		registry.mu.Unlock()
@@ -43,7 +55,7 @@ func init() {
 			total += s.totalRules()
 		}
 		return total
-	}))
+	})
 }
 
 // session is one ingest stream's analysis state. Engines are
@@ -101,6 +113,7 @@ func (s *server) handler() http.Handler {
 		}{sn.Threshold, sn.HotStreams}
 	}))
 	mux.HandleFunc("/v1/locality", s.sectionHandler(func(sn *online.Snapshot) any { return sn.Locality }))
+	mux.HandleFunc("/v1/metrics", handleMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -186,9 +199,9 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	sess.mu.Lock()
 	n, err := sess.engine.IngestReader(r.Body)
-	mRecords.Add(int64(n))
+	mRecords.Add(n)
 	ev := sess.engine.Evictions()
-	mEvictions.Add(int64(ev - sess.lastEvictions))
+	mEvictions.Add(ev - sess.lastEvictions)
 	sess.lastEvictions = ev
 	status := sess.statusLocked()
 	sess.mu.Unlock()
@@ -203,6 +216,21 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Ingested uint64 `json:"ingested"`
 		sessionStatus
 	}{n, status})
+}
+
+// handleMetrics serves the structured observability snapshot: GET
+// /v1/metrics returns every counter, gauge, and duration histogram
+// (count, total, p50, p99) in the process registry — including the
+// "pipeline.stage.*" timers the stage runner populates on every
+// snapshot, ingest decode counters, and the worker-pool gauges. The
+// same data is mirrored flat into /debug/vars; this endpoint is the
+// structured view monitoring scrapes.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, metrics.Snapshot())
 }
 
 // handleSessions lists every session: GET /v1/sessions.

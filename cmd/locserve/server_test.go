@@ -100,7 +100,12 @@ func counter(t testing.TB, name string) int64 {
 	case *expvar.Int:
 		return c.Value()
 	case expvar.Func:
-		return c().(int64)
+		switch n := c().(type) {
+		case int64:
+			return n
+		case uint64:
+			return int64(n)
+		}
 	}
 	t.Fatalf("expvar %q has unexpected type %T", name, v)
 	return 0

@@ -7,6 +7,7 @@
 //
 //	locstats -bench sqlserver
 //	locstats -trace app.trace
+//	locstats -bench boxsim -stage-timing   # per-stage wall time to stderr
 package main
 
 import (
@@ -14,54 +15,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/report"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark to generate and analyze")
-	traceFile := flag.String("trace", "", "trace file to analyze")
-	refs := flag.Int("refs", 200_000, "target references when generating")
-	seed := flag.Int64("seed", 1, "generator seed")
+	in := cliflags.Inputs(flag.CommandLine)
+	workers := cliflags.WorkersFlag(flag.CommandLine)
+	obsFlags := cliflags.ObsFlags(flag.CommandLine)
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
-	workers := flag.Int("workers", 0, "goroutines for cache simulations and figure data (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
 	flag.Parse()
 
-	opts := core.Options{Workers: *workers}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-	var (
-		a   *core.Analysis
-		err error
-	)
-	switch {
-	case *bench != "":
-		var b *trace.Buffer
-		if b, err = workload.Generate(*bench, *refs, *seed); err == nil {
-			a = core.Analyze(b, opts)
-		}
-	case *traceFile != "":
-		// Trace files stream straight into the analysis: the raw event
-		// buffer is never materialized, so files larger than memory work.
-		var f *os.File
-		if f, err = os.Open(*traceFile); err == nil {
-			a, err = core.AnalyzeStream(trace.NewReader(f), opts)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-	default:
-		err = fmt.Errorf("one of -bench or -trace is required")
-	}
+	obsFlags.Setup(false)
+	a, err := in.Analyze(core.Options{Workers: cliflags.Workers(*workers)})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locstats:", err)
 		os.Exit(1)
 	}
+	defer func() {
+		if err := obsFlags.Report(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "locstats:", err)
+		}
+	}()
 	out := bufio.NewWriter(os.Stdout)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "locstats:", err)

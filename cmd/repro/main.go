@@ -10,6 +10,7 @@
 //	repro                         # everything, all benchmarks, 200k refs
 //	repro -exp fig9 -scale 500000 # Figure 9 at a larger scale
 //	repro -bench boxsim -exp all  # one benchmark
+//	repro -exp fig9 -stage-timing # per-stage wall time to stderr
 package main
 
 import (
@@ -17,8 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -30,14 +31,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig1 table1 fig5 table2 fig6 table3 fig7 fig8 fig9 coverage times all")
 	skipPotential := flag.Bool("skip-potential", false, "skip the Figure 8/9 cache simulations")
 	parallel := flag.Int("parallel", 4, "benchmarks analyzed concurrently (1 = sequential)")
-	workers := flag.Int("workers", 0, "goroutines per analysis for cache simulations and figure data (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
+	workers := cliflags.WorkersFlag(flag.CommandLine)
+	obsFlags := cliflags.ObsFlags(flag.CommandLine)
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files to this directory")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, SkipPotential: *skipPotential, Workers: *workers}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
+	obsFlags.Setup(*skipPotential)
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, SkipPotential: *skipPotential, Workers: cliflags.Workers(*workers)}
 	if *bench != "" {
 		cfg.Benchmarks = []string{*bench}
 	}
@@ -69,6 +69,10 @@ func main() {
 		}
 	}
 	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	if err := obsFlags.Report(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}

@@ -27,14 +27,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name (see -list)")
-	refs := flag.Int("refs", 200_000, "target number of references")
-	seed := flag.Int64("seed", 1, "generator seed")
+	gen := cliflags.GenFlags(flag.CommandLine)
 	out := flag.String("o", "", "output file (default <bench>.trace)")
 	list := flag.Bool("list", false, "list available benchmarks")
 	stream := flag.Bool("stream", false, "stream records to stdout (or -url) instead of writing a file")
@@ -50,24 +49,24 @@ func main() {
 		return
 	}
 	if *stream {
-		if err := runStream(*bench, *refs, *seed, *in, *url, *rate); err != nil {
+		if err := runStream(gen, *in, *url, *rate); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *bench == "" {
+	if gen.Bench == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -bench required (try -list)")
 		os.Exit(2)
 	}
-	b, err := workload.Generate(*bench, *refs, *seed)
+	b, err := gen.Generate()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 	path := *out
 	if path == "" {
-		path = *bench + ".trace"
+		path = gen.Bench + ".trace"
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -88,14 +87,14 @@ func main() {
 	}
 	st := b.Stats()
 	fmt.Printf("%s: %d events (%d refs, %d allocs), %d bytes -> %s\n",
-		*bench, b.Len(), st.Refs, st.Allocs, st.TraceBytes, path)
+		gen.Bench, b.Len(), st.Refs, st.Allocs, st.TraceBytes, path)
 }
 
 // runStream emits records as a live stream: generated from a benchmark
 // or replayed from a trace file, throttled to rate records/s, to stdout
 // or an HTTP ingest endpoint.
-func runStream(bench string, refs int, seed int64, in, url string, rate int) error {
-	if bench == "" && in == "" {
+func runStream(gen *cliflags.Input, in, url string, rate int) error {
+	if gen.Bench == "" && in == "" {
 		return errors.New("-stream needs -bench or -in")
 	}
 	start := time.Now()
@@ -134,7 +133,7 @@ func runStream(bench string, refs int, seed int64, in, url string, rate int) err
 			}
 		} else {
 			var b *trace.Buffer
-			if b, err = workload.Generate(bench, refs, seed); err != nil {
+			if b, err = gen.Generate(); err != nil {
 				return err
 			}
 			for _, e := range b.Events() {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cliflags"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -37,7 +38,7 @@ func TestRunStreamHTTP(t *testing.T) {
 	ts := httptest.NewServer(cs)
 	defer ts.Close()
 
-	if err := runStream("boxsim", 5_000, 1, "", ts.URL, 0); err != nil {
+	if err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 5_000, Seed: 1}, "", ts.URL, 0); err != nil {
 		t.Fatal(err)
 	}
 	want, err := workload.Generate("boxsim", 5_000, 1)
@@ -80,7 +81,7 @@ func TestRunStreamReplay(t *testing.T) {
 	defer ts.Close()
 	// A nonzero rate exercises the pacing path; high enough to finish
 	// promptly, and throttling must never drop or reorder records.
-	if err := runStream("", 0, 0, path, ts.URL, 500_000); err != nil {
+	if err := runStream(&cliflags.Input{}, path, ts.URL, 500_000); err != nil {
 		t.Fatal(err)
 	}
 	if len(cs.events) != b.Len() {
@@ -94,7 +95,7 @@ func TestRunStreamReplay(t *testing.T) {
 }
 
 func TestRunStreamRejectsEmptySource(t *testing.T) {
-	if err := runStream("", 0, 0, "", "", 0); err == nil {
+	if err := runStream(&cliflags.Input{}, "", "", 0); err == nil {
 		t.Fatal("runStream without -bench or -in returned nil error")
 	}
 }
@@ -104,7 +105,7 @@ func TestRunStreamServerError(t *testing.T) {
 		http.Error(w, "nope", http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
-	if err := runStream("boxsim", 1_000, 1, "", ts.URL, 0); err == nil {
+	if err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 1_000, Seed: 1}, "", ts.URL, 0); err == nil {
 		t.Fatal("runStream against an erroring server returned nil error")
 	}
 }

@@ -15,38 +15,19 @@ import (
 	"os"
 
 	"repro/internal/abstract"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/cliflags"
 	"repro/internal/wps"
 )
 
 func main() {
-	traceFile := flag.String("trace", "", "input trace file")
-	bench := flag.String("bench", "", "benchmark to generate instead of reading a trace")
-	refs := flag.Int("refs", 200_000, "target references when generating")
-	seed := flag.Int64("seed", 1, "generator seed")
+	in := cliflags.Inputs(flag.CommandLine)
 	out := flag.String("o", "out.wps", "output WPS file")
 	naming := flag.String("naming", "birth-id", "heap naming: birth-id, site-only, raw-address")
 	flag.Parse()
 
-	var (
-		b   *trace.Buffer
-		err error
-	)
-	switch {
-	case *bench != "":
-		b, err = workload.Generate(*bench, *refs, *seed)
-	case *traceFile != "":
-		var f *os.File
-		if f, err = os.Open(*traceFile); err == nil {
-			b, err = trace.ReadAll(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-	default:
-		err = fmt.Errorf("one of -trace or -bench is required")
-	}
+	// Abstraction needs the raw event buffer (it renames each reference),
+	// so wpsbuild materializes the input rather than streaming it.
+	b, err := in.Buffer()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wpsbuild:", err)
 		os.Exit(1)

@@ -1,0 +1,79 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestInputValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		in      Input
+		wantErr bool
+	}{
+		{"neither", Input{}, true},
+		{"both", Input{Bench: "boxsim", Trace: "x.trace"}, true},
+		{"bench", Input{Bench: "boxsim"}, false},
+		{"trace", Input{Trace: "x.trace"}, false},
+	} {
+		if err := tc.in.Validate(); (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// The two option constructors must agree field-for-field — a server and
+// its batch oracle analyzing with different parameters is exactly the
+// drift this package exists to prevent.
+func TestOptionConstructorsAgree(t *testing.T) {
+	a := &Analysis{MinLen: 3, MaxLen: 50, Coverage: 0.8, FixedMultiple: 7, Block: 32}
+	c, o := a.CoreOptions(), a.OnlineOptions()
+	if c.MinStreamLen != o.MinStreamLen || c.MaxStreamLen != o.MaxStreamLen ||
+		c.CoverageTarget != o.CoverageTarget ||
+		c.FixedHeatMultiple != o.FixedHeatMultiple || c.BlockSize != o.BlockSize {
+		t.Fatalf("CoreOptions %+v and OnlineOptions %+v diverge", c, o)
+	}
+	if c.MinStreamLen != 3 || c.MaxStreamLen != 50 || c.CoverageTarget != 0.8 ||
+		c.FixedHeatMultiple != 7 || c.BlockSize != 32 {
+		t.Fatalf("CoreOptions dropped a field: %+v", c)
+	}
+}
+
+// Registered defaults are the paper's parameters.
+func TestAnalysisFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	a := AnalysisFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.MinLen != 2 || a.MaxLen != 100 || a.Coverage != 0.90 || a.FixedMultiple != 0 || a.Block != 64 {
+		t.Fatalf("defaults = %+v", a)
+	}
+}
+
+func TestInputsParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	in := Inputs(fs)
+	if err := fs.Parse([]string{"-bench", "boxsim", "-refs", "5000", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if in.Bench != "boxsim" || in.Refs != 5000 || in.Seed != 9 || in.Trace != "" {
+		t.Fatalf("parsed = %+v", in)
+	}
+	b, err := in.Buffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Fatal("generated buffer is empty")
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(1) != 1 {
+		t.Fatalf("Workers(1) = %d", Workers(1))
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatalf("Workers(0)=%d Workers(-3)=%d; want >= 1", Workers(0), Workers(-3))
+	}
+}

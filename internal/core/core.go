@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -17,8 +18,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/hotstream"
 	"repro/internal/locality"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/reduce"
 	"repro/internal/sequitur"
 	"repro/internal/trace"
@@ -59,6 +62,20 @@ type Options struct {
 	// many goroutines. 1 (or less) runs fully sequentially; results are
 	// bit-identical at any value — only wall-clock changes.
 	Workers int
+	// Obs attaches a metrics registry: per-stage duration histograms and
+	// pprof stage labels. Nil falls back to obs.Default() (itself nil —
+	// fully disabled — unless the process opted in). Instrumentation
+	// never changes analysis results, only what is recorded about them;
+	// it is excluded from option fingerprints for the same reason.
+	Obs *obs.Registry
+}
+
+// registry resolves the effective metrics registry for a run.
+func (o Options) registry() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
 }
 
 // Normalized returns the options with every zero/out-of-range field
@@ -158,8 +175,33 @@ func (a *Analysis) HotMembers() map[uint64]struct{} {
 
 // Analyze runs the full pipeline.
 func Analyze(b *trace.Buffer, opts Options) *Analysis {
+	a, _ := AnalyzeContext(context.Background(), b, opts)
+	return a
+}
+
+// AnalyzeContext is Analyze with cancellation: every pipeline phase runs
+// as a named stage through the shared runner (internal/pipeline), so a
+// cancelled context stops the analysis at the next stage boundary and
+// per-stage timings land in the run's obs registry. The only possible
+// error is the context's.
+func AnalyzeContext(ctx context.Context, b *trace.Buffer, opts Options) (*Analysis, error) {
 	opts.normalize()
-	return analyzeAbstracted(b.Stats(), abstract.New(opts.HeapNaming).Abstract(b), opts)
+	pc := pipeline.NewContext(ctx, opts.registry(), opts.Workers)
+	var stats trace.Stats
+	var res *abstract.Result
+	if err := pc.Run(
+		pipeline.Stage{Name: pipeline.StageStats, Run: func(*pipeline.Context) error {
+			stats = b.Stats()
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageAbstract, Run: func(*pipeline.Context) error {
+			res = abstract.New(opts.HeapNaming).Abstract(b)
+			return nil
+		}},
+	); err != nil {
+		return nil, err
+	}
+	return analyzeAbstracted(pc, stats, res, opts)
 }
 
 // AnalyzeStream runs the full pipeline over an encoded trace stream
@@ -169,66 +211,105 @@ func Analyze(b *trace.Buffer, opts Options) *Analysis {
 // abstracted name/PC/address arrays the analysis needs remain). The
 // result is identical to Analyze over the same records.
 func AnalyzeStream(r *trace.Reader, opts Options) (*Analysis, error) {
+	return AnalyzeStreamContext(context.Background(), r, opts)
+}
+
+// AnalyzeStreamContext is AnalyzeStream through the shared stage runner.
+// The single decode pass fuses statistics accumulation with abstraction,
+// so it runs as the "abstract" stage; the "stats" stage is the
+// accumulator finalization. Everything downstream is the same stage list
+// Analyze runs.
+func AnalyzeStreamContext(ctx context.Context, r *trace.Reader, opts Options) (*Analysis, error) {
 	opts.normalize()
+	pc := pipeline.NewContext(ctx, opts.registry(), opts.Workers)
 	acc := trace.NewStatsAccum()
 	st := abstract.New(opts.HeapNaming).Streamer(1 << 16)
-	if err := r.ForEach(func(e trace.Event) error {
-		acc.Add(e)
-		st.Process(e)
-		return nil
-	}); err != nil {
+	var stats trace.Stats
+	var res *abstract.Result
+	if err := pc.Run(
+		pipeline.Stage{Name: pipeline.StageAbstract, Run: func(*pipeline.Context) error {
+			if err := r.ForEach(func(e trace.Event) error {
+				acc.Add(e)
+				st.Process(e)
+				return nil
+			}); err != nil {
+				return err
+			}
+			res = st.Result()
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageStats, Run: func(*pipeline.Context) error {
+			stats = acc.Stats()
+			return nil
+		}},
+	); err != nil {
 		return nil, err
 	}
-	return analyzeAbstracted(acc.Stats(), st.Result(), opts), nil
+	return analyzeAbstracted(pc, stats, res, opts)
 }
 
 // analyzeAbstracted is the shared pipeline tail: everything after trace statistics
-// and abstraction. opts must already be normalized. Independent,
-// order-free computations (the two skew curves; the summary and the two
-// CDFs; the four Figure-9 simulations) fan out over opts.Workers; each
-// task fills a distinct result field from shared read-only inputs, so
-// the Analysis is bit-identical at any worker count.
-func analyzeAbstracted(stats trace.Stats, res *abstract.Result, opts Options) *Analysis {
+// and abstraction, run as stages on pc. opts must already be normalized.
+// Independent, order-free computations (the two skew curves; the summary
+// and the two CDFs; the four Figure-9 simulations) fan out over
+// opts.Workers; each task fills a distinct result field from shared
+// read-only inputs, so the Analysis is bit-identical at any worker count.
+func analyzeAbstracted(pc *pipeline.Context, stats trace.Stats, res *abstract.Result, opts Options) (*Analysis, error) {
 	a := &Analysis{opts: opts}
 	a.TraceStats = stats
 	a.Abstraction = res
 
-	_ = parallel.Do(opts.Workers,
-		func() error { a.AddressSkew = locality.AddressSkew(a.Abstraction.Addrs); return nil },
-		func() error { a.PCSkew = locality.PCSkew(a.Abstraction.PCs); return nil },
-	)
-
-	//lint:ignore determinism wall-clock feeds AnalysisTime, a reporting-only field; no analysis result depends on it
-	start := time.Now()
-	a.Pipeline = reduce.Run(a.Abstraction.Names, a.TraceStats.Addresses, reduce.Options{
-		MinLen:         opts.MinStreamLen,
-		MaxLen:         opts.MaxStreamLen,
-		CoverageTarget: opts.CoverageTarget,
-		FixedMultiple:  opts.FixedHeatMultiple,
-		Levels:         opts.ReduceLevels,
-		Sequitur:       sequitur.Options{MinRuleOccurrences: opts.SequiturMinRuleOccurrences},
-	})
-	a.AnalysisTime = time.Since(start)
-
-	streams := a.Streams()
-	_ = parallel.Do(opts.Workers,
-		func() error {
-			a.Summary = locality.Summarize(streams, a.Abstraction.Objects, opts.BlockSize)
+	stages := []pipeline.Stage{
+		{Name: pipeline.StageSkew, Run: func(*pipeline.Context) error {
+			return parallel.Do(opts.Workers,
+				func() error { a.AddressSkew = locality.AddressSkew(a.Abstraction.Addrs); return nil },
+				func() error { a.PCSkew = locality.PCSkew(a.Abstraction.PCs); return nil },
+			)
+		}},
+		// Unnamed grouping stage: the reducer emits its own
+		// sequitur/threshold/detect/measure stages per level through the
+		// same runner, and its total wall clock is the §5.2 AnalysisTime.
+		{Run: func(pc *pipeline.Context) error {
+			//lint:ignore determinism wall-clock feeds AnalysisTime, a reporting-only field; no analysis result depends on it
+			start := time.Now()
+			a.Pipeline = reduce.RunStaged(pc, a.Abstraction.Names, a.TraceStats.Addresses, reduce.Options{
+				MinLen:         opts.MinStreamLen,
+				MaxLen:         opts.MaxStreamLen,
+				CoverageTarget: opts.CoverageTarget,
+				FixedMultiple:  opts.FixedHeatMultiple,
+				Levels:         opts.ReduceLevels,
+				Sequitur:       sequitur.Options{MinRuleOccurrences: opts.SequiturMinRuleOccurrences},
+			})
+			a.AnalysisTime = time.Since(start)
 			return nil
-		},
-		func() error { a.SizeCDF = locality.SizeCDF(streams); return nil },
-		func() error {
-			a.PackingCDF = locality.PackingCDF(streams, a.Abstraction.Objects, opts.BlockSize)
-			return nil
-		},
-	)
-
-	if !opts.SkipPotential {
-		a.Potential = optim.EvaluatePotentialParallel(
-			a.Abstraction.Names, a.Abstraction.Addrs, a.Abstraction.Objects,
-			streams, opts.Cache, opts.Workers)
+		}},
+		{Name: pipeline.StageSummary, Run: func(*pipeline.Context) error {
+			streams := a.Streams()
+			return parallel.Do(opts.Workers,
+				func() error {
+					a.Summary = locality.Summarize(streams, a.Abstraction.Objects, opts.BlockSize)
+					return nil
+				},
+				func() error { a.SizeCDF = locality.SizeCDF(streams); return nil },
+				func() error {
+					a.PackingCDF = locality.PackingCDF(streams, a.Abstraction.Objects, opts.BlockSize)
+					return nil
+				},
+			)
+		}},
 	}
-	return a
+	if !opts.SkipPotential {
+		stages = append(stages, pipeline.Stage{Name: pipeline.StagePotential, Run: func(*pipeline.Context) error {
+			a.Potential = optim.EvaluatePotentialParallel(
+				a.Abstraction.Names, a.Abstraction.Addrs, a.Abstraction.Objects,
+				a.Streams(), opts.Cache, opts.Workers)
+			return nil
+		}})
+	}
+	if err := pc.Run(stages...); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // AnalyzePerThread splits a multi-threaded trace by thread and analyzes

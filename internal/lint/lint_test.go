@@ -251,6 +251,47 @@ func TestExhaustiveKind(t *testing.T) {
 		map[string]string{"fixture.go": exhaustiveFixture}, ExhaustiveKind)
 }
 
+const obscheckFixture = `package fixture
+
+import (
+	"expvar"
+	"net/http"
+)
+
+var hits = expvar.NewInt("hits") // want:obscheck
+
+var ratio = expvar.NewFloat("ratio") // want:obscheck
+
+func publish(v expvar.Var) {
+	expvar.Publish("custom", v) // want:obscheck
+}
+
+func reading(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	_ = expvar.Get("hits")
+	expvar.Do(func(expvar.KeyValue) {})
+}
+`
+
+func TestObsCheck(t *testing.T) {
+	runFixture(t, "repro/internal/fixture",
+		map[string]string{"fixture.go": obscheckFixture}, ObsCheck)
+}
+
+// ObsCheck exempts internal/obs itself — the bridge is the one place
+// allowed to publish into expvar.
+func TestObsCheckScope(t *testing.T) {
+	src := strings.ReplaceAll(obscheckFixture, " // want:obscheck", "")
+	pkg, err := testLoader(t).LoadSource("repro/internal/obs",
+		map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := Run([]*Package{pkg}, []*Analyzer{ObsCheck}); len(fs) != 0 {
+		t.Fatalf("internal/obs flagged by obscheck: %v", fs)
+	}
+}
+
 // TestIgnoreDirectives checks the //lint:ignore mechanism end to end:
 // suppression on the directive line and the line below, malformed and
 // unknown-analyzer directives becoming unsuppressable findings.

@@ -7,6 +7,7 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		ErrCheck,
 		ExhaustiveKind,
+		ObsCheck,
 		TraceCheck,
 	}
 }

@@ -8,11 +8,15 @@
 package fixture
 
 import (
+	"expvar"
 	"fmt"
 	"time"
 
 	"repro/internal/trace"
 )
+
+// DirectExpvar registers a metric outside the obs registry (obscheck).
+var DirectExpvar = expvar.NewInt("fixture.hits")
 
 type phase int
 

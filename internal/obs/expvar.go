@@ -1,0 +1,63 @@
+// The expvar bridge: a registry can mirror every metric into the
+// process-wide expvar namespace so /debug/vars keeps serving the flat
+// "locserve.records"-style names existing tooling (and the serve-smoke
+// script) greps for. This file is the only place in the repository that
+// may register expvar variables — the repolint obscheck analyzer
+// forbids direct expvar.New*/Publish everywhere else.
+
+package obs
+
+import "expvar"
+
+// SetExpvar enables (or disables, for registries built before a test
+// re-enables) expvar mirroring: every metric already in the registry and
+// every metric created afterwards is published as a top-level expvar
+// variable under its registry name. Publishing is idempotent across
+// registries and test re-instantiations: a name already present in
+// expvar is left pointing at its first publisher.
+func (r *Registry) SetExpvar(on bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expvar = on
+	if !on {
+		return
+	}
+	for n, c := range r.counters {
+		c := c
+		r.mirror(n, func() any { return c.Value() })
+	}
+	for n, g := range r.gauges {
+		g := g
+		r.mirror(n, func() any { return g.Value() })
+	}
+	for n := range r.funcs {
+		n := n
+		r.mirror(n, func() any {
+			r.mu.RLock()
+			f := r.funcs[n]
+			r.mu.RUnlock()
+			if f == nil {
+				return int64(0)
+			}
+			return f()
+		})
+	}
+	for n, t := range r.timers {
+		t := t
+		r.mirror(n, func() any { return t.stats() })
+	}
+}
+
+// mirror publishes one metric into expvar when mirroring is on. Callers
+// hold r.mu. expvar panics on duplicate names, so a name that is already
+// published (a previous registry instance in the same process — tests
+// spin up several) is skipped.
+func (r *Registry) mirror(name string, value func() any) {
+	if !r.expvar || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(value))
+}

@@ -1,0 +1,92 @@
+package online
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// readGolden loads a pre-refactor snapshot captured before the stage
+// runner existed. These bytes are the proof obligation of the pipeline
+// unification: every entry point, at any worker count, with
+// observability on or off, must still emit them exactly.
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+	if err != nil {
+		t.Fatalf("golden snapshot missing (regenerate with core.Analyze + SnapshotFromAnalysis): %v", err)
+	}
+	return b
+}
+
+// TestGoldenThreeWay drives all three entry points — batch
+// core.Analyze, streaming core.AnalyzeStream, and the online engine —
+// over the same generated trace and requires each to reproduce the
+// committed pre-refactor snapshot byte for byte, at several worker
+// counts and with a live obs registry attached. Run under -race this is
+// also the proof that stage instrumentation introduces no races.
+func TestGoldenThreeWay(t *testing.T) {
+	for _, bench := range []string{"boxsim", "sqlserver"} {
+		want := readGolden(t, bench+"_30000_seed1.json")
+		b := genTrace(t, bench, 30_000)
+
+		var enc bytes.Buffer
+		w := trace.NewWriter(&enc)
+		if err := w.WriteAll(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{1, 4} {
+			for _, instrumented := range []bool{false, true} {
+				name := fmt.Sprintf("%s/workers=%d/obs=%v", bench, workers, instrumented)
+				t.Run(name, func(t *testing.T) {
+					opts := core.Options{SkipPotential: true, Workers: workers}
+					var reg *obs.Registry
+					if instrumented {
+						reg = obs.New()
+						opts.Obs = reg
+					}
+
+					batch := core.Analyze(b, opts)
+					if got := snapshotJSON(t, SnapshotFromAnalysis(batch)); !bytes.Equal(got, want) {
+						t.Errorf("core.Analyze diverged from golden:\n%s", firstDiffContext(got, want))
+					}
+
+					stream, err := core.AnalyzeStream(trace.NewReader(bytes.NewReader(enc.Bytes())), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := snapshotJSON(t, SnapshotFromAnalysis(stream)); !bytes.Equal(got, want) {
+						t.Errorf("core.AnalyzeStream diverged from golden:\n%s", firstDiffContext(got, want))
+					}
+
+					e := NewEngine(Options{Obs: reg})
+					ingestChunked(e, b, 777)
+					if got := snapshotJSON(t, e.Snapshot()); !bytes.Equal(got, want) {
+						t.Errorf("online snapshot diverged from golden:\n%s", firstDiffContext(got, want))
+					}
+
+					if instrumented {
+						// The registry must have seen every stage both
+						// frontends run, each with at least one sample.
+						for _, s := range pipeline.BatchStages(true) {
+							if n := reg.Timer(pipeline.StageTimerName(s)).Count(); n == 0 {
+								t.Errorf("stage %q recorded no samples", s)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

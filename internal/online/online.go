@@ -40,6 +40,8 @@ import (
 	"repro/internal/abstract"
 	"repro/internal/hotstream"
 	"repro/internal/locality"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/sequitur"
 	"repro/internal/trace"
 )
@@ -68,6 +70,19 @@ type Options struct {
 	// that leaves more rules live, the coldest are evicted. 0 disables
 	// eviction and makes snapshots bit-identical to the batch pipeline.
 	MaxRules int
+	// Obs attaches a metrics registry: ingest counters, live-grammar
+	// gauges, and per-stage snapshot timings. Nil falls back to
+	// obs.Default() (itself nil — disabled — unless the process opted
+	// in). Instrumentation never changes analysis results.
+	Obs *obs.Registry
+}
+
+// registry resolves the effective metrics registry for an engine.
+func (o Options) registry() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
 }
 
 func (o *Options) normalize() {
@@ -108,6 +123,13 @@ type Engine struct {
 	chunks    uint64
 	evictions uint64
 	dagFresh  bool // grammar unchanged since the last Snapshot's DAG
+
+	// Metric handles are resolved once at construction (nil when
+	// observability is off), so the per-chunk ingest cost is one
+	// nil-check per counter, not a registry lookup.
+	obsEvents *obs.Counter
+	obsChunks *obs.Counter
+	obsEvict  *obs.Counter
 }
 
 // NewEngine returns an empty engine.
@@ -121,6 +143,10 @@ func NewEngine(opts Options) *Engine {
 	e.abs = abstract.New(opts.HeapNaming).SinkStreamer(func(name uint64, pc, addr uint32) {
 		e.g.Append(name)
 	})
+	reg := opts.registry()
+	e.obsEvents = reg.Counter("online.events")
+	e.obsChunks = reg.Counter("online.chunks")
+	e.obsEvict = reg.Counter("online.evictions")
 	return e
 }
 
@@ -137,6 +163,8 @@ func (e *Engine) Ingest(events []trace.Event) {
 	}
 	e.events += uint64(len(events))
 	e.chunks++
+	e.obsEvents.Add(uint64(len(events)))
+	e.obsChunks.Inc()
 	e.maybeEvict()
 }
 
@@ -177,7 +205,9 @@ func (e *Engine) beginAppend() {
 // maybeEvict applies the MaxRules bound after a chunk.
 func (e *Engine) maybeEvict() {
 	if e.opts.MaxRules > 0 && e.g.NumRules() > e.opts.MaxRules {
-		e.evictions += uint64(e.g.EvictColdRules(e.opts.MaxRules))
+		n := uint64(e.g.EvictColdRules(e.opts.MaxRules))
+		e.evictions += n
+		e.obsEvict.Add(n)
 	}
 }
 
@@ -203,30 +233,60 @@ func (e *Engine) Stats() trace.Stats { return e.acc.Stats() }
 // streams are detected on the DAG and measured exactly against the
 // regenerated reference sequence, and the locality metrics are
 // summarized. The engine remains appendable afterwards.
+// Every phase runs as a named stage through the shared runner
+// (internal/pipeline) — the same stage names the batch pipeline uses —
+// so a serving process's obs registry accumulates per-stage latency
+// histograms across snapshots and CPU profiles carry stage labels.
 func (e *Engine) Snapshot() *Snapshot {
-	stats := e.acc.Stats()
-	dag := sequitur.NewDAG(e.g, e.opts.MaxStreamLen)
-	e.dagFresh = true
-	dsrc := hotstream.NewDAGSource(dag)
-
+	pc := pipeline.NewContext(nil, e.opts.registry(), 1)
 	refs := e.g.InputLen()
+	var stats trace.Stats
+	var dsrc *hotstream.DAGSource
 	var th hotstream.Threshold
+	var cfg hotstream.Config
+	var streams []*hotstream.Stream
 	var meas *hotstream.Measurement
-	if e.opts.FixedHeatMultiple > 0 {
-		th = hotstream.FixedThreshold(e.opts.FixedHeatMultiple, refs, stats.Addresses)
-	} else {
-		th, _ = hotstream.FindThreshold(dsrc, e.g, refs, stats.Addresses, hotstream.SearchConfig{
-			MinLen:         e.opts.MinStreamLen,
-			MaxLen:         e.opts.MaxStreamLen,
-			CoverageTarget: e.opts.CoverageTarget,
-		})
-	}
-	cfg := hotstream.Config{MinLen: e.opts.MinStreamLen, MaxLen: e.opts.MaxStreamLen, Heat: th.Heat}
-	streams := hotstream.Detect(dsrc, cfg)
-	meas = hotstream.Measure(e.g, streams, cfg, 0, false)
-	th.Coverage = meas.Coverage()
-
-	sum := locality.Summarize(meas.Streams, e.abs.Objects(), e.opts.BlockSize)
+	var sum locality.Summary
+	var grammar sequitur.Stats
+	_ = pc.Run(
+		pipeline.Stage{Name: pipeline.StageStats, Run: func(*pipeline.Context) error {
+			stats = e.acc.Stats()
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageSequitur, Run: func(*pipeline.Context) error {
+			dag := sequitur.NewDAG(e.g, e.opts.MaxStreamLen)
+			e.dagFresh = true
+			dsrc = hotstream.NewDAGSource(dag)
+			grammar = dag.ComputeStats()
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageThreshold, Run: func(*pipeline.Context) error {
+			if e.opts.FixedHeatMultiple > 0 {
+				th = hotstream.FixedThreshold(e.opts.FixedHeatMultiple, refs, stats.Addresses)
+			} else {
+				th, _ = hotstream.FindThreshold(dsrc, e.g, refs, stats.Addresses, hotstream.SearchConfig{
+					MinLen:         e.opts.MinStreamLen,
+					MaxLen:         e.opts.MaxStreamLen,
+					CoverageTarget: e.opts.CoverageTarget,
+				})
+			}
+			cfg = hotstream.Config{MinLen: e.opts.MinStreamLen, MaxLen: e.opts.MaxStreamLen, Heat: th.Heat}
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageDetect, Run: func(*pipeline.Context) error {
+			streams = hotstream.Detect(dsrc, cfg)
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageMeasure, Run: func(*pipeline.Context) error {
+			meas = hotstream.Measure(e.g, streams, cfg, 0, false)
+			th.Coverage = meas.Coverage()
+			return nil
+		}},
+		pipeline.Stage{Name: pipeline.StageSummary, Run: func(*pipeline.Context) error {
+			sum = locality.Summarize(meas.Streams, e.abs.Objects(), e.opts.BlockSize)
+			return nil
+		}},
+	)
 	stackRefs, unknownRefs := e.abs.Excluded()
 	return buildSnapshot(snapshotInputs{
 		Stats:       stats,
@@ -234,7 +294,7 @@ func (e *Engine) Snapshot() *Snapshot {
 		StackRefs:   stackRefs,
 		UnknownRefs: unknownRefs,
 		Objects:     len(e.abs.Objects()),
-		Grammar:     dag.ComputeStats(),
+		Grammar:     grammar,
 		Evictions:   e.evictions,
 		Threshold:   th,
 		Streams:     meas.Streams,

@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers normalizes a worker-count knob: values <= 0 select one worker
@@ -49,10 +51,33 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// Pool instrumentation: handles resolve to nil (no-op) when
+	// observability is off, and are fetched once per fan-out, not per
+	// task. The queue gauge counts submitted-but-unstarted tasks, the
+	// busy gauge counts running ones, and the task timer's sum is the
+	// pool's cumulative busy time.
+	reg := obs.Default()
+	var (
+		obsTasks = reg.Counter("parallel.tasks")
+		obsQueue = reg.Gauge("parallel.queue")
+		obsBusy  = reg.Gauge("parallel.busy")
+		obsTimer = reg.Timer("parallel.task")
+	)
+	obsTasks.Add(uint64(n))
+	obsQueue.Add(int64(n))
+	runTask := func(i int) error {
+		obsQueue.Add(-1)
+		obsBusy.Add(1)
+		stop := obsTimer.Start()
+		err := protect(i, fn)
+		stop()
+		obsBusy.Add(-1)
+		return err
+	}
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = protect(i, fn)
+			errs[i] = runTask(i)
 		}
 	} else {
 		var (
@@ -68,7 +93,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 					if i >= n {
 						return
 					}
-					errs[i] = protect(i, fn)
+					errs[i] = runTask(i)
 				}
 			}()
 		}

@@ -14,6 +14,7 @@ package reduce
 
 import (
 	"repro/internal/hotstream"
+	"repro/internal/pipeline"
 	"repro/internal/sequitur"
 	"repro/internal/sfg"
 	"repro/internal/wps"
@@ -82,6 +83,16 @@ type Pipeline struct {
 // the number of distinct data addresses in the original trace (it
 // normalizes the level-0 threshold to unit-uniform-access multiples).
 func Run(names []uint64, totalAddrs uint64, opts Options) *Pipeline {
+	return RunStaged(nil, names, totalAddrs, opts)
+}
+
+// RunStaged is Run with each level's four phases — SEQUITUR compression,
+// threshold search, detection, exact measurement — routed through the
+// shared stage runner, so per-phase wall time lands in the
+// "pipeline.stage.*" timers and CPU samples carry stage labels. A nil
+// pc runs the phases plain; the result is identical either way (the
+// runner only wraps, it never reorders).
+func RunStaged(pc *pipeline.Context, names []uint64, totalAddrs uint64, opts Options) *Pipeline {
 	def := DefaultOptions()
 	if opts.MinLen < 2 {
 		opts.MinLen = def.MinLen
@@ -106,7 +117,11 @@ func Run(names []uint64, totalAddrs uint64, opts Options) *Pipeline {
 	inputWeight := uint64(len(names))
 
 	for lvl := 0; lvl <= opts.Levels; lvl++ {
-		w := wps.Build(cur, wps.Options{MaxStreamLen: opts.MaxLen, Sequitur: opts.Sequitur})
+		var w *wps.WPS
+		_ = pc.Time(pipeline.StageSequitur, func() error {
+			w = wps.Build(cur, wps.Options{MaxStreamLen: opts.MaxLen, Sequitur: opts.Sequitur})
+			return nil
+		})
 		level := Level{Index: lvl, WPS: w}
 
 		if len(cur) == 0 {
@@ -116,27 +131,38 @@ func Run(names []uint64, totalAddrs uint64, opts Options) *Pipeline {
 		src := hotstream.SliceSource(cur)
 		dag := hotstream.NewDAGSource(w.DAG)
 		var th hotstream.Threshold
-		if opts.FixedMultiple > 0 {
-			th = hotstream.FixedThreshold(opts.FixedMultiple, uint64(len(cur)), curAddrs)
-		} else {
-			scfg := hotstream.SearchConfig{
-				MinLen: opts.MinLen, MaxLen: opts.MaxLen, CoverageTarget: opts.CoverageTarget,
+		_ = pc.Time(pipeline.StageThreshold, func() error {
+			if opts.FixedMultiple > 0 {
+				th = hotstream.FixedThreshold(opts.FixedMultiple, uint64(len(cur)), curAddrs)
+			} else {
+				scfg := hotstream.SearchConfig{
+					MinLen: opts.MinLen, MaxLen: opts.MaxLen, CoverageTarget: opts.CoverageTarget,
+				}
+				th, _ = hotstream.FindThreshold(dag, src, uint64(len(cur)), curAddrs, scfg)
 			}
-			th, _ = hotstream.FindThreshold(dag, src, uint64(len(cur)), curAddrs, scfg)
-		}
+			return nil
+		})
 		level.Threshold = th
 
 		// Re-run detection+measurement at the chosen heat, emitting the
 		// reduced trace for the next level.
 		cfg := hotstream.Config{MinLen: opts.MinLen, MaxLen: opts.MaxLen, Heat: th.Heat}
-		streams := hotstream.Detect(dag, cfg)
+		var streams []*hotstream.Stream
+		_ = pc.Time(pipeline.StageDetect, func() error {
+			streams = hotstream.Detect(dag, cfg)
+			return nil
+		})
 		base := maxSymbol(cur) + 1
-		meas := hotstream.Measure(src, streams, cfg, base, true)
+		var meas *hotstream.Measurement
+		_ = pc.Time(pipeline.StageMeasure, func() error {
+			meas = hotstream.Measure(src, streams, cfg, base, true)
+			level.SFG = sfg.Build(meas.Reduced, base, len(meas.Streams))
+			return nil
+		})
 		level.Streams = meas.Streams
 		level.Measurement = meas
 		level.Threshold.Coverage = meas.Coverage()
 		level.StreamBase = base
-		level.SFG = sfg.Build(meas.Reduced, base, len(meas.Streams))
 
 		// Original-reference weights for this level's streams.
 		level.RefWeight = make([]uint64, len(meas.Streams))

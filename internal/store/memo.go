@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/trace"
 )
@@ -111,10 +112,12 @@ func (s *Store) AnalyzeStored(d Digest, opts core.Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		obs.Default().Counter("store.memo.hits").Inc()
 		res.Snapshot = b
 		res.Hit = true
 		return res, nil
 	}
+	obs.Default().Counter("store.memo.misses").Inc()
 
 	rc, err := s.OpenBlob(d)
 	if err != nil {

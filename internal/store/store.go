@@ -34,6 +34,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Digest identifies a blob by content: "sha256:" + 64 hex digits.
@@ -166,6 +168,7 @@ func (s *Store) PutBlob(r io.Reader) (Digest, int64, error) {
 		_ = os.Remove(tmpName)
 		return "", 0, fmt.Errorf("store: committing blob: %w", err)
 	}
+	obs.Default().Counter("store.blob.written").Add(uint64(n))
 	return d, n, nil
 }
 
@@ -204,6 +207,9 @@ func (s *Store) ReadBlob(d Digest) ([]byte, error) {
 	b, err := io.ReadAll(rc)
 	if cerr := rc.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		obs.Default().Counter("store.blob.read").Add(uint64(len(b)))
 	}
 	return b, err
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Benchmark the instrumentation overhead of the shared stage pipeline and
+# emit BENCH_pipeline.json: online ingest and snapshot throughput with
+# the obs registry disabled vs enabled. The refactor's contract is that
+# disabled observability is a nil-check (<2% on the ingest hot path), so
+# the script fails if the measured overhead exceeds the budget.
+#
+# Environment:
+#   BENCH_COUNT (default 5)      runs per variant; the minimum is kept
+#   BENCH_SCALE (default 60000)  references per generated workload
+#   OUT         (default BENCH_pipeline.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+count=${BENCH_COUNT:-5}
+scale=${BENCH_SCALE:-60000}
+out=${OUT:-BENCH_pipeline.json}
+budget_pct=2.0
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+BENCH_SCALE=$scale go test -run '^$' -count="$count" \
+  -bench 'BenchmarkOnlineIngest/exact|BenchmarkOnlineSnapshot' . | tee "$raw"
+
+# Minimum ns/op across runs for one benchmark name: the most repeatable
+# statistic for an overhead bound (noise only ever inflates a run).
+min_ns() {
+  # Benchmark names carry a -GOMAXPROCS suffix only when it is not 1;
+  # strip it and compare exactly.
+  awk -v name="$1" '
+    /ns\/op/ {
+      n = $1
+      sub(/-[0-9]+$/, "", n)
+      if (n == name && (best == "" || $3 + 0 < best)) best = $3 + 0
+    }
+    END { print best }' "$raw"
+}
+
+ingest_off=$(min_ns 'BenchmarkOnlineIngest/exact')
+ingest_on=$(min_ns 'BenchmarkOnlineIngest/exact-obs')
+snap_off=$(min_ns 'BenchmarkOnlineSnapshot/obs=off')
+snap_on=$(min_ns 'BenchmarkOnlineSnapshot/obs=on')
+
+for v in "$ingest_off" "$ingest_on" "$snap_off" "$snap_on"; do
+  [ -n "$v" ] || { echo "bench-pipeline: missing benchmark result" >&2; exit 1; }
+done
+
+overhead() { awk -v off="$1" -v on="$2" 'BEGIN { printf "%.2f", (on - off) / off * 100 }'; }
+ingest_pct=$(overhead "$ingest_off" "$ingest_on")
+snap_pct=$(overhead "$snap_off" "$snap_on")
+
+cat > "$out" <<EOF
+{
+  "benchmark": "pipeline-obs-overhead",
+  "scale": $scale,
+  "count": $count,
+  "budget_pct": $budget_pct,
+  "ingest": {
+    "obs_off_ns_op": $ingest_off,
+    "obs_on_ns_op": $ingest_on,
+    "overhead_pct": $ingest_pct
+  },
+  "snapshot": {
+    "obs_off_ns_op": $snap_off,
+    "obs_on_ns_op": $snap_on,
+    "overhead_pct": $snap_pct
+  }
+}
+EOF
+echo "bench-pipeline: ingest ${ingest_pct}% / snapshot ${snap_pct}% obs overhead -> $out"
+
+fail=$(awk -v i="$ingest_pct" -v s="$snap_pct" -v b="$budget_pct" \
+  'BEGIN { print (i > b || s > b) ? 1 : 0 }')
+if [ "$fail" -ne 0 ]; then
+  echo "bench-pipeline: obs overhead exceeds ${budget_pct}% budget" >&2
+  exit 1
+fi

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Observability smoke test: run a generated trace through both locstats
+# entry points with -stage-timing and fail if any registered pipeline
+# stage reports zero samples. Stage preregistration means a stage that
+# silently stops executing (or a driver that stops routing through the
+# shared runner) shows up here as a zero-sample row, not as quietly
+# missing output.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/locstats" ./cmd/locstats
+go build -o "$tmp/tracegen" ./cmd/tracegen
+
+"$tmp/tracegen" -bench boxsim -refs 30000 -o "$tmp/box.trace" >/dev/null
+
+# Every stage the batch pipeline registers, in canonical order (see
+# internal/pipeline). locstats runs the full list including potential.
+stages="stats abstract skew sequitur threshold detect measure summary potential"
+
+check_timing() {
+  local label=$1 timing=$2
+  for stage in $stages; do
+    # Row format (internal/obs.WriteStageTable):
+    #   stage         samples        total          p50          p99
+    samples=$(awk -v s="$stage" '$1 == s { print $2 }' "$timing")
+    if [ -z "$samples" ]; then
+      echo "obs-smoke: $label: stage '$stage' missing from timing table" >&2
+      cat "$timing" >&2
+      exit 1
+    fi
+    if [ "$samples" -eq 0 ]; then
+      echo "obs-smoke: $label: stage '$stage' reports zero samples" >&2
+      cat "$timing" >&2
+      exit 1
+    fi
+  done
+}
+
+# Batch path: generated workload through core.Analyze.
+"$tmp/locstats" -bench boxsim -refs 30000 -stage-timing \
+  >/dev/null 2>"$tmp/bench-timing.txt"
+check_timing "bench" "$tmp/bench-timing.txt"
+
+# Streaming path: trace file through core.AnalyzeStream — the same stage
+# list, driven by the other entry point.
+"$tmp/locstats" -trace "$tmp/box.trace" -stage-timing \
+  >/dev/null 2>"$tmp/trace-timing.txt"
+check_timing "trace" "$tmp/trace-timing.txt"
+
+echo "obs-smoke: OK (all $(echo "$stages" | wc -w) stages sampled on both entry points)"
