@@ -90,27 +90,37 @@ func main() {
 
 	srv := newServer(opts, *workers, st)
 
-	// Graceful shutdown: close (and, with -store, persist) every live
-	// session before exiting.
+	// The listener runs in a goroutine joined through errCh; main owns
+	// shutdown. On SIGINT/SIGTERM it closes (and, with -store, persists)
+	// every live session, then tears the listener down, which also
+	// unblocks the goroutine.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	errCh := make(chan error, 1)
 	go func() {
-		<-sig
-		closed := srv.closeAll()
-		fmt.Fprintf(os.Stderr, "locserve: shutting down, closed %d sessions\n", len(closed))
-		for _, c := range closed {
-			if c.Artifact != "" {
-				fmt.Fprintf(os.Stderr, "locserve:   %s -> %s\n", c.Session, c.Artifact)
-			}
-		}
-		os.Exit(0)
+		errCh <- hs.ListenAndServe()
 	}()
 
 	fmt.Fprintf(os.Stderr, "locserve: listening on %s (max-rules %d)\n", *addr, *maxRules)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+	select {
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "locserve:", err)
 		os.Exit(1)
+	case <-sig:
 	}
+
+	closed := srv.closeAll()
+	fmt.Fprintf(os.Stderr, "locserve: shutting down, closed %d sessions\n", len(closed))
+	for _, c := range closed {
+		if c.Artifact != "" {
+			fmt.Fprintf(os.Stderr, "locserve:   %s -> %s\n", c.Session, c.Artifact)
+		}
+	}
+	if err := hs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "locserve: closing listener:", err)
+	}
+	<-errCh // join the listener goroutine; ListenAndServe has returned
 }
 
 // runBatch prints the batch pipeline's snapshot for a trace file in the

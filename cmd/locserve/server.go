@@ -129,10 +129,18 @@ func (s *server) getSession(name string, create bool) *session {
 	defer s.mu.Unlock()
 	sess := s.sessions[name]
 	if sess == nil && create {
-		sess = &session{name: name, engine: online.NewEngine(s.opts)}
-		s.sessions[name] = sess
-		mSessions.Add(1)
+		sess = s.newSession(name)
 	}
+	return sess
+}
+
+// newSession builds and registers a session. Callers hold s.mu.
+//
+//lint:coldpath session construction; runs once per session name, not per record
+func (s *server) newSession(name string) *session {
+	sess := &session{name: name, engine: online.NewEngine(s.opts)}
+	s.sessions[name] = sess
+	mSessions.Add(1)
 	return sess
 }
 
@@ -185,6 +193,8 @@ func (sess *session) statusLocked() sessionStatus {
 // session per thread (§5.1's per-thread WPS construction maps to one
 // session per thread) and may POST any number of times; records append
 // in arrival order.
+//
+//lint:hotpath serves the live upload stream; runs per POST with the decode loop inside
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -209,9 +219,17 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Records decoded before the error are already ingested; report
 		// both the partial progress and the failure.
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("after %d events: %v", n, err))
+		httpError(w, http.StatusBadRequest,
+			"after "+strconv.FormatUint(n, 10)+" events: "+err.Error())
 		return
 	}
+	writeIngestResponse(w, n, status)
+}
+
+// writeIngestResponse reports a completed upload.
+//
+//lint:coldpath response writer; runs once per POST, after the decode loop has drained
+func writeIngestResponse(w http.ResponseWriter, n uint64, status sessionStatus) {
 	writeJSON(w, struct {
 		Ingested uint64 `json:"ingested"`
 		sessionStatus
@@ -489,6 +507,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_, _ = w.Write(append(b, '\n'))
 }
 
+// httpError writes a JSON error response.
+//
+//lint:coldpath error responses; never taken on the per-record decode loop
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

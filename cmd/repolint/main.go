@@ -3,21 +3,33 @@
 // file:line:col form. It is the lint half of the correctness tooling the
 // reproduction relies on: the tier-1 tests check outputs, repolint checks
 // the properties outputs silently depend on (trace-writer discipline,
-// seed determinism, enum-switch exhaustiveness, error handling).
+// seed determinism, enum-switch exhaustiveness, error handling, hot-path
+// allocation discipline, lock and goroutine hygiene, context plumbing).
 //
 // Usage:
 //
-//	repolint [-list] [pattern ...]
+//	repolint [-list] [-json] [-baseline file [-update-baseline]] [pattern ...]
 //
 // Patterns take the go-command shapes ("./internal/...", "./cmd/repolint");
 // the default is the whole tree: ./internal/... ./cmd/... ./examples/...
-// Recursive patterns skip testdata directories, so the analyzer fixtures
-// under internal/lint/testdata are linted only when named explicitly.
+// ./scripts/... Recursive patterns skip testdata directories, so the
+// analyzer fixtures under internal/lint/testdata are linted only when
+// named explicitly.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// With -baseline, findings ratchet against the committed waiver file
+// (lint_baseline.json): per-analyzer counts may only decrease. More
+// findings than the baseline fails; fewer also fails, with instructions
+// to regenerate via -update-baseline so the improvement is locked in.
+// -json emits the findings (waived ones marked) as a JSON array on
+// stdout for CI annotation tooling (scripts/ghannotate); human-readable
+// ratchet diagnostics go to stderr.
+//
+// Exit status: 0 clean (or fully waived), 1 findings or ratchet
+// violations, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +42,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	root := flag.String("root", ".", "directory inside the module to lint")
+	baselinePath := flag.String("baseline", "", "ratchet findings against this baseline file (missing file = all zeros)")
+	updateBaseline := flag.Bool("update-baseline", false, "regenerate the -baseline file from the current findings and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -38,10 +53,14 @@ func main() {
 		}
 		return
 	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "repolint: -update-baseline requires -baseline")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
-		patterns = []string{"./internal/...", "./cmd/...", "./examples/..."}
+		patterns = []string{"./internal/...", "./cmd/...", "./examples/...", "./scripts/..."}
 	}
 
 	loader, err := lint.NewLoader(*root)
@@ -55,14 +74,108 @@ func main() {
 		os.Exit(2)
 	}
 	findings := lint.Run(pkgs, lint.Analyzers())
-	for _, f := range findings {
-		f.Pos.Filename = relPath(loader.Root, f.Pos.Filename)
-		fmt.Println(f)
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(loader.Root, findings[i].Pos.Filename)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	if *updateBaseline {
+		bl := lint.BaselineOf(findings)
+		if err := bl.Save(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "repolint: baseline %s updated: %d waived finding(s) across %d analyzer(s)\n",
+			*baselinePath, len(findings), len(bl.Analyzers))
+		return
+	}
+
+	if *baselinePath == "" {
+		emit(findings, nil, *jsonOut)
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+			os.Exit(1)
+		}
+		return
+	}
+
+	bl, err := lint.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	v := bl.Apply(findings)
+	emit(findings, v, *jsonOut)
+	for _, d := range v.Regressed {
+		fmt.Fprintf(os.Stderr, "repolint: %s: %d finding(s) exceed the baseline of %d\n", d.Analyzer, d.Have, d.Waived)
+	}
+	for _, d := range v.Improved {
+		fmt.Fprintf(os.Stderr, "repolint: %s: %d finding(s), down from baseline %d — lock the ratchet in with: repolint -baseline %s -update-baseline\n",
+			d.Analyzer, d.Have, d.Waived, *baselinePath)
+	}
+	if v.Waived > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) waived by %s\n", v.Waived, *baselinePath)
+	}
+	if v.Fail() {
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the machine-readable finding shape consumed by
+// scripts/ghannotate.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
+// emit prints the findings: as JSON (all findings, waived ones marked)
+// or as plain file:line:col lines (violations only when a verdict
+// applies, everything otherwise).
+func emit(findings []lint.Finding, v *lint.Verdict, asJSON bool) {
+	if asJSON {
+		waived := map[string]bool{}
+		if v != nil {
+			waived = violationSet(v, findings)
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+				Waived:   v != nil && !waived[f.String()],
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	shown := findings
+	if v != nil {
+		shown = v.Violations
+	}
+	for _, f := range shown {
+		fmt.Println(f)
+	}
+}
+
+// violationSet keys the verdict's violations by their rendered form so
+// emit can mark the rest as waived.
+func violationSet(v *lint.Verdict, findings []lint.Finding) map[string]bool {
+	set := make(map[string]bool, len(v.Violations))
+	for _, f := range v.Violations {
+		set[f.String()] = true
+	}
+	return set
 }
 
 // relPath shortens filenames to module-relative form for readability.

@@ -211,6 +211,14 @@ type state struct {
 	process func(e trace.Event)
 }
 
+// newState builds the closures that carry one abstraction pass. The
+// constructor itself runs once per stream, but the st.process closure it
+// returns IS the per-event inner loop — and because it is invoked
+// through a function-valued field, the static callgraph cannot follow
+// calls into it. The hotpath marker below roots this function directly
+// so the closure bodies stay under per-record allocation scrutiny.
+//
+//lint:hotpath the st.process closure defined here runs once per trace event
 func (a *Abstractor) newState(hint int) *state {
 	res := &Result{
 		Names:   make([]uint64, 0, hint),

@@ -175,6 +175,7 @@ func (a *Analysis) HotMembers() map[uint64]struct{} {
 
 // Analyze runs the full pipeline.
 func Analyze(b *trace.Buffer, opts Options) *Analysis {
+	//lint:ignore ctxflow compat wrapper predating AnalyzeContext; CLI callers with no cancellation source
 	a, _ := AnalyzeContext(context.Background(), b, opts)
 	return a
 }
@@ -211,6 +212,7 @@ func AnalyzeContext(ctx context.Context, b *trace.Buffer, opts Options) (*Analys
 // abstracted name/PC/address arrays the analysis needs remain). The
 // result is identical to Analyze over the same records.
 func AnalyzeStream(r *trace.Reader, opts Options) (*Analysis, error) {
+	//lint:ignore ctxflow compat wrapper predating AnalyzeStreamContext; CLI callers with no cancellation source
 	return AnalyzeStreamContext(context.Background(), r, opts)
 }
 

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the ratcheting waiver file (lint_baseline.json): for
+// each analyzer, the number of findings the repository currently
+// tolerates. The contract is a one-way ratchet:
+//
+//   - more findings than the baseline for any analyzer fails (new debt
+//     cannot merge),
+//   - fewer findings than the baseline also fails, with instructions to
+//     regenerate: the improvement must be locked in so it cannot
+//     silently regress back,
+//   - equal counts pass, with the waived findings suppressed from
+//     normal output.
+//
+// Counts-per-analyzer (rather than per-finding identities) keep the
+// file tiny, merge-conflict-friendly, and line-number-insensitive; the
+// cost is that a fix plus a same-analyzer regression in one change nets
+// to zero, which review is expected to catch.
+type Baseline struct {
+	Version   int            `json:"version"`
+	Analyzers map[string]int `json:"analyzers"`
+}
+
+// baselineVersion is the current file format.
+const baselineVersion = 1
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline (every analyzer ratcheted to zero), so a fresh checkout
+// without the file enforces full cleanliness.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Baseline{Version: baselineVersion, Analyzers: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var bl Baseline
+	if err := json.Unmarshal(b, &bl); err != nil {
+		return nil, fmt.Errorf("lint: corrupt baseline %s: %w", path, err)
+	}
+	if bl.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d, this build supports %d", bl.Version, baselineVersion)
+	}
+	if bl.Analyzers == nil {
+		bl.Analyzers = map[string]int{}
+	}
+	return &bl, nil
+}
+
+// BaselineOf builds the baseline matching a finding set (the
+// -update-baseline path). Zero counts are omitted: absent means zero.
+func BaselineOf(findings []Finding) *Baseline {
+	bl := &Baseline{Version: baselineVersion, Analyzers: map[string]int{}}
+	for _, f := range findings {
+		bl.Analyzers[f.Analyzer]++
+	}
+	return bl
+}
+
+// Save writes the baseline as stable, human-diffable JSON.
+func (bl *Baseline) Save(path string) error {
+	b, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// A RatchetDelta describes one analyzer whose finding count moved off
+// its baseline.
+type RatchetDelta struct {
+	Analyzer string
+	Have     int
+	Waived   int
+}
+
+// A Verdict is the result of applying a baseline to a finding set.
+type Verdict struct {
+	// Violations are the findings of analyzers over their baseline
+	// count, in position order. Because the baseline stores counts, all
+	// of the analyzer's findings are listed, not just the delta.
+	Violations []Finding
+	// Regressed lists analyzers with more findings than waived.
+	Regressed []RatchetDelta
+	// Improved lists analyzers with fewer findings than waived: the
+	// baseline is stale and must be regenerated to lock the gain in.
+	Improved []RatchetDelta
+	// Waived counts findings suppressed by the baseline.
+	Waived int
+}
+
+// Fail reports whether the verdict should fail the gate.
+func (v *Verdict) Fail() bool { return len(v.Regressed) > 0 || len(v.Improved) > 0 }
+
+// Apply ratchets a finding set against the baseline.
+func (bl *Baseline) Apply(findings []Finding) *Verdict {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	v := &Verdict{}
+	names := make([]string, 0, len(counts)+len(bl.Analyzers))
+	for a := range counts {
+		names = append(names, a)
+	}
+	for a := range bl.Analyzers {
+		if _, ok := counts[a]; !ok {
+			names = append(names, a)
+		}
+	}
+	sort.Strings(names)
+	over := map[string]bool{}
+	for _, a := range names {
+		have, waived := counts[a], bl.Analyzers[a]
+		switch {
+		case have > waived:
+			v.Regressed = append(v.Regressed, RatchetDelta{Analyzer: a, Have: have, Waived: waived})
+			over[a] = true
+		case have < waived:
+			v.Improved = append(v.Improved, RatchetDelta{Analyzer: a, Have: have, Waived: waived})
+		default:
+			v.Waived += have
+		}
+	}
+	for _, f := range findings {
+		if over[f.Analyzer] {
+			v.Violations = append(v.Violations, f)
+		}
+	}
+	return v
+}

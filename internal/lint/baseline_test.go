@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkFindings(counts map[string]int) []Finding {
+	var fs []Finding
+	for a, n := range counts {
+		for i := 0; i < n; i++ {
+			f := Finding{Analyzer: a, Message: "x"}
+			f.Pos.Filename, f.Pos.Line = "f.go", i+1
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	bl, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Analyzers) != 0 {
+		t.Fatalf("missing baseline = %v, want empty", bl.Analyzers)
+	}
+	// An empty baseline ratchets everything to zero: any finding regresses.
+	v := bl.Apply(mkFindings(map[string]int{"hotalloc": 1}))
+	if !v.Fail() || len(v.Regressed) != 1 || len(v.Violations) != 1 {
+		t.Fatalf("verdict = %+v, want one regression", v)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	fs := mkFindings(map[string]int{"hotalloc": 3, "goexit": 1})
+	if err := BaselineOf(fs).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Analyzers["hotalloc"] != 3 || bl.Analyzers["goexit"] != 1 || len(bl.Analyzers) != 2 {
+		t.Fatalf("reloaded analyzers = %v", bl.Analyzers)
+	}
+	v := bl.Apply(fs)
+	if v.Fail() || v.Waived != 4 || len(v.Violations) != 0 {
+		t.Fatalf("verdict against own findings = %+v, want all waived", v)
+	}
+}
+
+func TestBaselineRatchetRegression(t *testing.T) {
+	bl := &Baseline{Version: baselineVersion, Analyzers: map[string]int{"hotalloc": 2}}
+	v := bl.Apply(mkFindings(map[string]int{"hotalloc": 3}))
+	if !v.Fail() {
+		t.Fatal("over-baseline count did not fail")
+	}
+	if len(v.Regressed) != 1 || v.Regressed[0].Have != 3 || v.Regressed[0].Waived != 2 {
+		t.Fatalf("regressed = %+v", v.Regressed)
+	}
+	// All of the analyzer's findings surface, not just the delta: counts
+	// cannot tell new debt from old.
+	if len(v.Violations) != 3 {
+		t.Fatalf("violations = %d, want 3", len(v.Violations))
+	}
+}
+
+// TestBaselineRatchetImprovement pins the one-way ratchet: dropping
+// below the baseline also fails, so the gain must be locked in by
+// regenerating the file.
+func TestBaselineRatchetImprovement(t *testing.T) {
+	bl := &Baseline{Version: baselineVersion, Analyzers: map[string]int{"hotalloc": 2, "goexit": 1}}
+	v := bl.Apply(mkFindings(map[string]int{"hotalloc": 1, "goexit": 1}))
+	if !v.Fail() {
+		t.Fatal("under-baseline count did not fail")
+	}
+	if len(v.Improved) != 1 || v.Improved[0].Analyzer != "hotalloc" || v.Improved[0].Have != 1 {
+		t.Fatalf("improved = %+v", v.Improved)
+	}
+	if len(v.Violations) != 0 || v.Waived != 1 {
+		t.Fatalf("verdict = %+v: improvement must not list violations", v)
+	}
+}
+
+func TestBaselineAnalyzerVanishes(t *testing.T) {
+	bl := &Baseline{Version: baselineVersion, Analyzers: map[string]int{"hotalloc": 2}}
+	v := bl.Apply(nil)
+	if !v.Fail() || len(v.Improved) != 1 || v.Improved[0].Have != 0 {
+		t.Fatalf("verdict = %+v, want improvement to zero", v)
+	}
+}
+
+func TestBaselineVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "analyzers": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("version 99 baseline loaded without error")
+	}
+}
+
+func TestBaselineCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("corrupt baseline loaded without error")
+	}
+}

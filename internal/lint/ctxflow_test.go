@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const ctxflowFixture = `package fixture
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// BadOrder hides ctx behind another parameter.
+func BadOrder(name string, ctx context.Context) error { // want:ctxflow
+	return work(ctx)
+}
+
+// Dropped accepts ctx but never threads it anywhere.
+func Dropped(ctx context.Context, n int) int { // want:ctxflow
+	return n + 1
+}
+
+// Blank declares its intent: the signature needs the slot, the body
+// does not.
+func Blank(_ context.Context, n int) int {
+	return n + 1
+}
+
+// Threads is the conventional shape.
+func Threads(ctx context.Context, n int) error {
+	_ = n
+	return work(ctx)
+}
+
+// Root mints a detached root context inside an internal package.
+func Root() error {
+	return work(context.Background()) // want:ctxflow
+}
+
+// Todo is the other root constructor.
+func Todo() error {
+	return work(context.TODO()) // want:ctxflow
+}
+`
+
+func TestCtxFlow(t *testing.T) {
+	runFixture(t, "repro/internal/fixture",
+		map[string]string{"fixture.go": ctxflowFixture}, CtxFlow)
+}
+
+// TestCtxFlowScope pins where root contexts are allowed: cmd/ packages
+// and internal/pipeline (the sanctioned normalization boundary) may call
+// context.Background; the parameter-discipline checks still apply
+// everywhere.
+func TestCtxFlowScope(t *testing.T) {
+	src := strings.ReplaceAll(ctxflowFixture, " // want:ctxflow", "")
+	for _, importPath := range []string{"repro/cmd/fixture", "repro/internal/pipeline"} {
+		pkg, err := testLoader(t).LoadSource(importPath,
+			map[string]string{"fixture.go": src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lines []int
+		for _, f := range Run([]*Package{pkg}, []*Analyzer{CtxFlow}) {
+			if strings.Contains(f.Message, "detached root") {
+				t.Errorf("%s flagged for context.Background: %s", importPath, f)
+			}
+			lines = append(lines, f.Pos.Line)
+		}
+		// BadOrder and Dropped stay findings regardless of package.
+		if len(lines) != 2 {
+			t.Errorf("%s: parameter findings on lines %v, want 2 findings", importPath, lines)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoExit requires every goroutine in internal/ and cmd/ packages to have
+// a statically visible bounded lifetime. The race detector only catches
+// goroutines that race; it says nothing about goroutines that simply
+// never exit — the leak class that took down locserve's graceful
+// shutdown path (a SIGINT handler goroutine with no join). A `go`
+// statement passes if it matches one of the sanctioned shapes:
+//
+//   - it is spawned by internal/parallel itself (the bounded worker
+//     pool every fan-out is supposed to use),
+//   - the spawned function calls (usually defers) sync.WaitGroup.Done,
+//     tying it to a Wait elsewhere,
+//   - the enclosing function calls sync.WaitGroup.Wait after spawning,
+//   - the spawned body receives from ctx.Done() (directly or in a
+//     select), bounding it by context cancellation,
+//   - the spawned body sends on a completion channel that the enclosing
+//     function receives from (the `done := make(chan error, 1)` idiom).
+//
+// Everything else is a finding: spawn through internal/parallel, or make
+// the lifetime explicit with one of the shapes above.
+var GoExit = &Analyzer{
+	Name: "goexit",
+	Doc:  "goroutines in internal/ and cmd/ must have a bounded lifetime",
+	Run:  runGoExit,
+}
+
+func runGoExit(pass *Pass) {
+	mod := pass.Pkg.Module
+	if pass.Pkg.Path == mod+"/internal/parallel" {
+		return // the sanctioned pool
+	}
+	if !strings.HasPrefix(pass.Pkg.Path, mod+"/internal/") && !strings.HasPrefix(pass.Pkg.Path, mod+"/cmd/") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkGoStmts(pass, fd.Body)
+			return true
+		})
+	}
+}
+
+// checkGoStmts inspects one function body's go statements.
+func checkGoStmts(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !goroutineBounded(pass, gs, body) {
+			pass.Reportf(gs.Pos(), "goroutine has no bounded lifetime: spawn via internal/parallel, pair it with a WaitGroup, select on ctx.Done(), or join on a completion channel")
+		}
+		return true
+	})
+}
+
+// goroutineBounded applies the sanctioned-shape checks for one go
+// statement inside the enclosing function body.
+func goroutineBounded(pass *Pass, gs *ast.GoStmt, enclosing *ast.BlockStmt) bool {
+	info := pass.Pkg.Info
+
+	// Shape: the enclosing function waits on a WaitGroup.
+	if containsWaitGroupWait(info, enclosing) {
+		return true
+	}
+
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+
+	// Shapes inside the spawned body: wg.Done, ctx.Done() receive, or a
+	// completion-channel send joined by the enclosing function.
+	bounded := false
+	var sends []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if funcPkgPath(fn) == "sync" && fn.Name() == "Done" && recvTypeString(fn) == "*sync.WaitGroup" {
+				bounded = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCtxDone(info, n.X) {
+				bounded = true
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Chan).(*ast.Ident); ok {
+				sends = append(sends, id.Name)
+			}
+		}
+		return true
+	})
+	if bounded {
+		return true
+	}
+
+	// Completion channel: the enclosing function (outside the spawned
+	// literal) receives from a channel the goroutine sends to.
+	for _, name := range sends {
+		received := false
+		ast.Inspect(enclosing, func(n ast.Node) bool {
+			if n == gs {
+				return false // skip the goroutine's own body
+			}
+			if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok && id.Name == name {
+					received = true
+				}
+			}
+			return !received
+		})
+		if received {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWaitGroupWait reports whether the body (outside nested
+// function literals) calls sync.WaitGroup.Wait.
+func containsWaitGroupWait(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn := calleeFunc(info, call)
+			if funcPkgPath(fn) == "sync" && fn.Name() == "Wait" && recvTypeString(fn) == "*sync.WaitGroup" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxDone reports whether the expression is a call to
+// context.Context.Done (or any method named Done returning a receive
+// channel — errgroup-style contexts included).
+func isCtxDone(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	ch, ok := sig.Results().At(0).Type().Underlying().(*types.Chan)
+	return ok && ch.Dir() != types.SendOnly
+}

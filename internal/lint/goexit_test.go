@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const goexitFixture = `package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Leak spawns a named function with no join.
+func Leak() {
+	go work() // want:goexit
+}
+
+// LeakLit spawns a literal with no join.
+func LeakLit(ch chan int) {
+	go func() { // want:goexit
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// WaitGrouped joins through a WaitGroup in the enclosing function.
+func WaitGrouped(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// DoneOnly defers wg.Done in the spawned body; the Wait lives in a
+// caller that owns the group.
+func DoneOnly(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// CtxBounded exits when the context is cancelled.
+func CtxBounded(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Joined uses the completion-channel idiom: the goroutine sends, the
+// enclosing function receives.
+func Joined() error {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	return <-done
+}
+`
+
+func TestGoExit(t *testing.T) {
+	runFixture(t, "repro/internal/fixture",
+		map[string]string{"fixture.go": goexitFixture}, GoExit)
+}
+
+// TestGoExitScope pins the exemptions: internal/parallel (the sanctioned
+// pool) is never flagged, and packages outside internal/ and cmd/ are
+// out of scope.
+func TestGoExitScope(t *testing.T) {
+	src := strings.ReplaceAll(goexitFixture, " // want:goexit", "")
+	for _, importPath := range []string{"repro/internal/parallel", "repro/examples/fixture"} {
+		pkg, err := testLoader(t).LoadSource(importPath,
+			map[string]string{"fixture.go": src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs := Run([]*Package{pkg}, []*Analyzer{GoExit}); len(fs) != 0 {
+			t.Fatalf("%s flagged by goexit: %v", importPath, fs)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces per-record allocation discipline on the ingest hot
+// path. The ingest throughput target (ROADMAP: "10× the ingest hot
+// path") lives and dies by what happens per decoded record: a composite
+// literal that escapes, a value boxed into an interface argument, a
+// defer re-armed inside a loop, or a fmt call each cost an allocation or
+// an indirect call that profiling already told us to remove.
+//
+// Functions on the hot path are declared, not guessed: a doc-comment
+// directive
+//
+//	//lint:hotpath <note>
+//
+// marks a function as a hot-path root (seeded on trace.Reader.ForEach/
+// ReadChunk, sequitur.Grammar.Append, online.Engine.Ingest, and
+// locserve's /v1/ingest handler). HotAlloc builds a static callgraph
+// over every loaded package and walks everything reachable from the
+// roots — across package boundaries — flagging in each reachable
+// function:
+//
+//   - composite literals whose address is taken (&T{...}) and new(T):
+//     per-call heap allocations,
+//   - concrete values passed to interface (or any/variadic ...any)
+//     parameters: boxing, and an indirect call the compiler cannot
+//     devirtualize,
+//   - defer statements inside loops: the deferred call queue grows per
+//     iteration,
+//   - fmt-family calls: reflection-driven formatting (every operand is
+//     boxed and scanned at run time),
+//   - time.Now / time.Since: a vDSO call per record adds up at 10M/s.
+//
+// The traversal stops at function calls it cannot resolve statically
+// (interface dispatch, function values) and at module boundaries
+// (standard-library bodies are not loaded). A function that is invoked
+// from the hot path but runs off the per-record path — a constructor
+// memoized per session, an error path taken only on invalid input, a
+// response writer that runs once per request — is pruned with the
+// counterpart directive, which requires an audited reason:
+//
+//	//lint:coldpath <reason>
+//
+// Branches guarded by compile-time-false constants (e.g. the
+// repro_sanitize-gated invariant sweep in sequitur.Append) are skipped:
+// the compiler removes them, so should the analyzer.
+var HotAlloc = &Analyzer{
+	Name:       "hotalloc",
+	Doc:        "no heap escapes, boxing, defer-in-loop, or fmt reachable from //lint:hotpath roots",
+	RunProgram: runHotAlloc,
+}
+
+// hotpathDirective and coldpathDirective are the marker comments
+// hotalloc reads from function doc comments.
+const (
+	hotpathDirective  = "lint:hotpath"
+	coldpathDirective = "lint:coldpath"
+)
+
+// hotFunc is one declared function in the loaded program.
+type hotFunc struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	hot  bool // //lint:hotpath root
+	cold bool // //lint:coldpath: pruned from traversal
+}
+
+func runHotAlloc(pass *ProgramPass) {
+	funcs := collectFuncs(pass)
+
+	// Breadth-first reachability from the hotpath roots, recording each
+	// function's call-chain parent for readable findings. Cold functions
+	// are never entered; unresolvable callees end the walk.
+	parent := make(map[*types.Func]*types.Func)
+	var queue []*hotFunc
+	for _, hf := range funcs {
+		if hf.hot && !hf.cold {
+			parent[hf.fn] = nil
+			queue = append(queue, hf)
+		}
+	}
+	reachable := make(map[*types.Func]*hotFunc, len(queue))
+	for len(queue) > 0 {
+		hf := queue[0]
+		queue = queue[1:]
+		if _, ok := reachable[hf.fn]; ok {
+			continue
+		}
+		reachable[hf.fn] = hf
+		for _, callee := range callees(hf) {
+			chf, ok := funcs[callee]
+			if !ok || chf.cold {
+				continue
+			}
+			if _, seen := parent[callee]; !seen {
+				parent[callee] = hf.fn
+				queue = append(queue, chf)
+			}
+		}
+	}
+
+	for _, hf := range reachable {
+		checkHotBody(pass, hf, chainString(hf.fn, parent))
+	}
+}
+
+// collectFuncs indexes every declared function with a body, parsing the
+// hotpath/coldpath markers (and reporting malformed ones: coldpath
+// suppresses analysis, so like lint:ignore its reason is mandatory).
+func collectFuncs(pass *ProgramPass) map[*types.Func]*hotFunc {
+	funcs := make(map[*types.Func]*hotFunc)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				hf := &hotFunc{fn: fn, decl: decl, pkg: pkg}
+				if decl.Doc != nil {
+					for _, c := range decl.Doc.List {
+						text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+						if rest, ok := strings.CutPrefix(text, hotpathDirective); ok && (rest == "" || rest[0] == ' ') {
+							hf.hot = true
+						}
+						if rest, ok := strings.CutPrefix(text, coldpathDirective); ok && (rest == "" || rest[0] == ' ') {
+							if strings.TrimSpace(rest) == "" {
+								pass.Reportf(pkg.Fset, c.Pos(), "malformed directive %q: want //lint:coldpath <reason>", text)
+								continue
+							}
+							hf.cold = true
+						}
+					}
+				}
+				if hf.hot && hf.cold {
+					pass.Reportf(pkg.Fset, decl.Pos(), "function %s marked both hotpath and coldpath", fn.Name())
+					hf.hot = false
+				}
+				funcs[fn] = hf
+			}
+		}
+	}
+	return funcs
+}
+
+// callees lists the statically resolvable functions hf calls, including
+// calls made inside its function literals (a literal defined on the hot
+// path is conservatively assumed to run there).
+func callees(hf *hotFunc) []*types.Func {
+	var out []*types.Func
+	walkLive(hf.pkg.Info, hf.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(hf.pkg.Info, call); fn != nil {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chainString renders the BFS call chain from a hotpath root down to fn,
+// e.g. "handleIngest → IngestReader → ReadChunk".
+func chainString(fn *types.Func, parent map[*types.Func]*types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, f.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// checkHotBody flags the per-record allocation hazards inside one
+// reachable function.
+func checkHotBody(pass *ProgramPass, hf *hotFunc, chain string) {
+	info := hf.pkg.Info
+	fset := hf.pkg.Fset
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			// Re-walk the loop node's children with the depth raised,
+			// then prune this subtree from the outer traversal.
+			for _, child := range loopChildren(n) {
+				if child != nil {
+					walkLive(info, child, walk)
+				}
+			}
+			loopDepth--
+			return false
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				pass.Reportf(fset, n.Pos(), "defer inside a loop on the hot path (%s) re-arms per iteration; hoist it or unlock explicitly", chain)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(fset, n.Pos(), "composite literal escapes to the heap on the hot path (%s); reuse a buffer or preallocate", chain)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, hf, n, chain)
+		}
+		return true
+	}
+	walkLive(info, hf.decl.Body, walk)
+}
+
+// loopChildren returns the body and clause nodes of a for/range
+// statement (the parts that execute per iteration).
+func loopChildren(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return []ast.Node{n.Body}
+	case *ast.RangeStmt:
+		return []ast.Node{n.Body}
+	}
+	return nil
+}
+
+// checkHotCall flags fmt/time calls, new(T), and interface boxing at one
+// call site.
+func checkHotCall(pass *ProgramPass, hf *hotFunc, call *ast.CallExpr, chain string) {
+	info := hf.pkg.Info
+	fset := hf.pkg.Fset
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(fset, call.Pos(), "new(T) allocates on the hot path (%s); reuse a buffer or preallocate", chain)
+			case "panic":
+				// Boxing the panic argument only happens on the crash
+				// path; a hot-path analyzer has nothing to say about it.
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	switch funcPkgPath(fn) {
+	case "fmt":
+		pass.Reportf(fset, call.Pos(), "fmt.%s on the hot path (%s) formats via reflection; build strings with strconv or format lazily in an Error method", fn.Name(), chain)
+		return
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(fset, call.Pos(), "time.%s on the hot path (%s); sample the clock per batch, not per record", fn.Name(), chain)
+			return
+		}
+	}
+
+	// Interface boxing: a concrete argument converted to an interface
+	// parameter at the call site.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			s, ok := params.At(np - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(info, arg) {
+			continue
+		}
+		pass.Reportf(fset, arg.Pos(), "%s boxes %s into %s on the hot path (%s); take a concrete type or move the call off the per-record path",
+			exprString(fset, arg), at.String(), pt.String(), chain)
+	}
+}
+
+// isUntypedNil reports whether the argument is the predeclared nil.
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value == nil && tv.IsNil()
+}
+
+// walkLive is ast.Inspect skipping branches a compile-time-false
+// condition removes: `if sanitizeHot && ...` emits nothing when
+// sanitizeHot is a false build-mode constant, so neither the body nor
+// the (side-effect-free) condition concerns a hot-path analyzer.
+func walkLive(info *types.Info, root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && constFalse(info, ifs.Cond) {
+			if ifs.Init != nil {
+				walkLive(info, ifs.Init, fn)
+			}
+			if ifs.Else != nil {
+				walkLive(info, ifs.Else, fn)
+			}
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// constFalse reports whether the condition is statically false: a false
+// constant, or a && chain with a false constant operand (the mixed
+// constant/dynamic expression itself carries no constant value in
+// go/types, so conjunctions are decomposed).
+func constFalse(info *types.Info, cond ast.Expr) bool {
+	cond = ast.Unparen(cond)
+	if tv, ok := info.Types[cond]; ok && tv.Value != nil &&
+		tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value) {
+		return true
+	}
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return constFalse(info, b.X) || constFalse(info, b.Y)
+	}
+	return false
+}

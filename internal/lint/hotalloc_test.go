@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const hotallocFixture = `package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+type record struct{ v uint64 }
+
+type sink struct{ total uint64 }
+
+func (s *sink) add(r *record) { s.total += r.v }
+
+func cleanup() {}
+
+// consume only exists to offer an interface parameter.
+func consume(v any) {}
+
+// newRecord is reachable from the root but pruned: constructors run off
+// the per-record path.
+//
+//lint:coldpath fixture constructor; runs once per stream, not per record
+func newRecord() *record {
+	fmt.Println("cold bodies are not scanned")
+	return &record{}
+}
+
+// Ingest is the fixture's hot-path root.
+//
+//lint:hotpath fixture hot loop
+func Ingest(s *sink, vs []uint64) {
+	_ = newRecord()
+	for _, v := range vs {
+		defer cleanup()     // want:hotalloc
+		r := &record{v: v}  // want:hotalloc
+		s.add(r)
+		process(v)
+	}
+}
+
+const sanitize = false
+
+func process(v uint64) {
+	if sanitize && v > 0 {
+		fmt.Println("compile-time-dead branches are skipped")
+	}
+	if v == 0 {
+		fmt.Println("zero") // want:hotalloc
+	}
+	_ = time.Now()   // want:hotalloc
+	consume(v)       // want:hotalloc
+	p := new(record) // want:hotalloc
+	_ = p
+}
+
+// Offline allocates freely: it is not reachable from any root.
+func Offline() *record {
+	fmt.Println("not hot")
+	return &record{}
+}
+
+//lint:hotpath marked hot
+//lint:coldpath and also cold; the contradiction is the finding
+func contradictory() {} // want:hotalloc
+`
+
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, "repro/internal/fixture",
+		map[string]string{"fixture.go": hotallocFixture}, HotAlloc)
+}
+
+// TestHotAllocColdpathReason pins that a coldpath directive without a
+// reason is itself a finding: the marker suppresses analysis, so like
+// lint:ignore it must say why.
+func TestHotAllocColdpathReason(t *testing.T) {
+	const src = `package fixture
+
+//lint:coldpath
+func unexplained() {}
+`
+	pkg, err := testLoader(t).LoadSource("repro/internal/fixture",
+		map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run([]*Package{pkg}, []*Analyzer{HotAlloc})
+	if len(fs) != 1 || fs[0].Pos.Line != 3 ||
+		!strings.Contains(fs[0].Message, "want //lint:coldpath <reason>") {
+		t.Fatalf("findings = %v, want one malformed-coldpath finding on line 3", fs)
+	}
+}
+
+// TestHotAllocCrossPackage loads the on-disk two-package fixture and
+// checks the callgraph crosses the package boundary: the root lives in
+// hotpath/root, the allocations it reaches live in hotpath/leaf, and the
+// reported chain names both ends.
+func TestHotAllocCrossPackage(t *testing.T) {
+	pkgs, err := testLoader(t).Load(
+		"./internal/lint/testdata/hotpath/root",
+		"./internal/lint/testdata/hotpath/leaf",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	fs := Run(pkgs, []*Analyzer{HotAlloc})
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want 2", fs)
+	}
+	for _, f := range fs {
+		if !strings.HasSuffix(f.Pos.Filename, "leaf/leaf.go") {
+			t.Errorf("finding in %s, want leaf/leaf.go", f.Pos.Filename)
+		}
+		if !strings.Contains(f.Message, "Ingest → Process") {
+			t.Errorf("message %q does not name the cross-package chain", f.Message)
+		}
+	}
+}

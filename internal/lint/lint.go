@@ -25,7 +25,10 @@ import (
 	"strings"
 )
 
-// An Analyzer is one named check run over every loaded package.
+// An Analyzer is one named check run over every loaded package. Exactly
+// one of Run and RunProgram is set: Run sees one package at a time,
+// RunProgram sees every loaded package at once (for whole-program
+// analyses such as hotalloc's cross-package callgraph).
 type Analyzer struct {
 	// Name identifies the analyzer in findings and ignore directives.
 	Name string
@@ -33,6 +36,8 @@ type Analyzer struct {
 	Doc string
 	// Run reports the analyzer's findings for one package via pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram reports findings over the whole loaded package set.
+	RunProgram func(pass *ProgramPass)
 }
 
 // A Finding is one diagnostic: a position, the analyzer that produced it,
@@ -65,29 +70,60 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes every analyzer over every package, applies ignore
-// directives, and returns the surviving findings sorted by position. The
-// framework's own diagnostics (malformed or unknown-analyzer ignore
-// directives) are reported under the analyzer name "lint" and cannot be
-// suppressed.
+// A ProgramPass carries one whole-program analyzer's run over every
+// loaded package.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos, resolved against fset (packages
+// loaded by one Loader share a file set; pass the owning package's).
+func (p *ProgramPass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package (per-package analyzers
+// package by package, whole-program analyzers once over the full set),
+// applies ignore directives, and returns the surviving findings sorted
+// by position. The framework's own diagnostics (malformed or
+// unknown-analyzer ignore directives) are reported under the analyzer
+// name "lint" and cannot be suppressed.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	ig := make(ignoreSet)
 	var all []Finding
+	var raw []Finding
 	for _, pkg := range pkgs {
-		ig, directiveFindings := parseIgnores(pkg, known)
-		var raw []Finding
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
+		pkgIg, directiveFindings := parseIgnores(pkg, known)
+		for k := range pkgIg {
+			ig[k] = true
 		}
-		for _, f := range raw {
-			if !ig.suppresses(f) {
-				all = append(all, f)
+		for _, a := range analyzers {
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
 			}
 		}
 		all = append(all, directiveFindings...)
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			a.RunProgram(&ProgramPass{Analyzer: a, Pkgs: pkgs, findings: &raw})
+		}
+	}
+	for _, f := range raw {
+		if !ig.suppresses(f) {
+			all = append(all, f)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]

@@ -53,7 +53,10 @@ func TestFixturePackageHasFindings(t *testing.T) {
 	for _, f := range findings {
 		byAnalyzer[f.Analyzer]++
 	}
-	for _, a := range []string{"errcheck", "exhaustive-kind", "determinism", "tracecheck"} {
+	for _, a := range []string{
+		"errcheck", "exhaustive-kind", "determinism", "tracecheck",
+		"hotalloc", "locksafe", "goexit", "ctxflow",
+	} {
 		if byAnalyzer[a] == 0 {
 			t.Errorf("fixture package produced no %s findings (got %v)", a, byAnalyzer)
 		}

@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe enforces the mutex discipline the serving path depends on:
+// locserve's session map, the per-session engine locks, and the worker
+// pool all serialize with sync primitives, and the three mistakes the
+// race detector is worst at catching are exactly the ones that matter
+// there — a lock copied by value (two goroutines serialize on different
+// copies), a Lock with no Unlock on some path (a wedged session wedges
+// every request behind it), and a blocking operation performed while
+// holding a lock (one slow channel peer stalls the whole map).
+//
+// Flagged:
+//
+//   - copies of values whose type (transitively) contains a sync
+//     primitive (Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool):
+//     by-value parameters and receivers, assignments, call arguments,
+//     returns, and range values,
+//   - a mutex Lock/RLock with no pairing Unlock/RUnlock on the same
+//     receiver in the function (the pairing check is intra-procedural
+//     and syntactic: same printed receiver expression),
+//   - a return statement between a Lock and its non-deferred Unlock
+//     (some path leaves the function with the lock held),
+//   - blocking operations — channel send/receive, select without
+//     default, sync.WaitGroup.Wait, sync.Cond.Wait — while a lock is
+//     held (between Lock and its pairing Unlock, or anywhere after a
+//     Lock paired with a deferred Unlock).
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no lock copies, unpaired Locks, or blocking calls under a held lock",
+	Run:  runLockSafe,
+}
+
+// lockBearing lists the sync types a copy silently duplicates.
+var lockBearing = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+// containsLock reports whether a value of type t holds sync state that
+// must not be copied. Pointers are fine: only the pointed-to value
+// carries the state.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, make(map[types.Type]bool))
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n := namedType(t); n != nil {
+		if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && lockBearing[n.Obj().Name()] {
+			return true
+		}
+		return containsLockRec(n.Underlying(), seen)
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockRec(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(t.Elem(), seen)
+	}
+	return false
+}
+
+// copiesValue reports whether the expression reads an existing location
+// (as opposed to constructing a fresh value, whose "copy" is its
+// initialization).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func runLockSafe(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockParams(pass, n.Recv, n.Type)
+				if n.Body != nil {
+					checkLockFlow(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockParams(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to _ discards the value; no copy outlives
+					// the statement.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if copiesValue(rhs) && containsLock(info.TypeOf(rhs)) {
+						pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a sync primitive; use a pointer", exprString(pass.Pkg.Fset, rhs))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if copiesValue(arg) && containsLock(info.TypeOf(arg)) {
+						pass.Reportf(arg.Pos(), "call copies %s, which contains a sync primitive; pass a pointer", exprString(pass.Pkg.Fset, arg))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if copiesValue(res) && containsLock(info.TypeOf(res)) {
+						pass.Reportf(res.Pos(), "return copies %s, which contains a sync primitive; return a pointer", exprString(pass.Pkg.Fset, res))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && containsLock(info.TypeOf(n.Value)) {
+					pass.Reportf(n.Value.Pos(), "range value copies a sync primitive per iteration; range over indices or pointers")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockParams flags by-value receivers and parameters of
+// lock-bearing type: every call would copy the lock.
+func checkLockParams(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.Pkg.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				pass.Reportf(f.Type.Pos(), "%s of type %s copies a sync primitive at every call; use a pointer", what, t.String())
+			}
+		}
+	}
+	flag(recv, "value receiver")
+	flag(ft.Params, "by-value parameter")
+}
+
+// lockCall classifies a statement-level mutex call: x.Lock(), x.RLock(),
+// x.Unlock(), x.RUnlock() on sync.Mutex or sync.RWMutex (including
+// embedded promotions). recv is the printed receiver expression used to
+// pair Lock with Unlock.
+type lockCall struct {
+	pos    token.Pos
+	end    token.Pos
+	recv   string
+	read   bool // RLock/RUnlock
+	unlock bool
+	defers bool
+}
+
+// mutexCall resolves a call expression to a mutex Lock/Unlock, or
+// returns ok=false.
+func mutexCall(pass *Pass, call *ast.CallExpr) (lockCall, bool) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if funcPkgPath(fn) != "sync" {
+		return lockCall{}, false
+	}
+	switch rt := recvTypeString(fn); rt {
+	case "*sync.Mutex", "*sync.RWMutex":
+	default:
+		return lockCall{}, false
+	}
+	lc := lockCall{pos: call.Pos(), end: call.End()}
+	switch fn.Name() {
+	case "Lock":
+	case "RLock":
+		lc.read = true
+	case "Unlock":
+		lc.unlock = true
+	case "RUnlock":
+		lc.unlock, lc.read = true, true
+	default:
+		return lockCall{}, false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		lc.recv = exprString(pass.Pkg.Fset, sel.X)
+	}
+	return lc, true
+}
+
+// checkLockFlow runs the pairing and blocking-op checks over one
+// function body. Function literals are excluded: a goroutine spawned
+// while a lock is held runs without it.
+func checkLockFlow(pass *Pass, body *ast.BlockStmt) {
+	var locks []lockCall
+	var blockers []lockCall // blocking ops, reusing pos/end
+	var returns []token.Pos
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if lc, ok := mutexCall(pass, n); ok {
+				locks = append(locks, lc)
+			} else if fn := calleeFunc(pass.Pkg.Info, n); funcPkgPath(fn) == "sync" && fn.Name() == "Wait" {
+				blockers = append(blockers, lockCall{pos: n.Pos(), end: n.End(), recv: "sync." + recvTypeString(fn)[6:] + ".Wait"})
+			}
+		case *ast.DeferStmt:
+			if lc, ok := mutexCall(pass, n.Call); ok {
+				lc.defers = true
+				locks = append(locks, lc)
+			}
+			return false // the deferred call itself runs at exit
+		case *ast.GoStmt:
+			return false // the spawned body runs elsewhere
+		case *ast.SendStmt:
+			blockers = append(blockers, lockCall{pos: n.Pos(), end: n.End(), recv: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blockers = append(blockers, lockCall{pos: n.Pos(), end: n.End(), recv: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blockers = append(blockers, lockCall{pos: n.Pos(), end: n.End(), recv: "select"})
+				return false // don't double-count its channel ops
+			}
+			// With a default the comm ops cannot block, but the case
+			// bodies run normally: walk them, skipping the comm clauses.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	for _, lk := range locks {
+		if lk.unlock || lk.defers {
+			continue
+		}
+		// Find the pairing unlock: a deferred one anywhere, or the first
+		// plain one after the Lock on the same receiver and R-ness.
+		heldUntil := token.Pos(-1) // -1: no pairing found
+		deferred := false
+		for _, ul := range locks {
+			if !ul.unlock || ul.recv != lk.recv || ul.read != lk.read {
+				continue
+			}
+			if ul.defers {
+				deferred = true
+				break
+			}
+			if ul.pos > lk.pos && (heldUntil == -1 || ul.pos < heldUntil) {
+				heldUntil = ul.pos
+			}
+		}
+		name := "Lock"
+		if lk.read {
+			name = "RLock"
+		}
+		switch {
+		case deferred:
+			heldUntil = body.End()
+		case heldUntil == -1:
+			pass.Reportf(lk.pos, "%s.%s has no pairing %s in this function; add a defer or unlock on every path",
+				lk.recv, name, pairName(lk.read))
+			continue
+		default:
+			for _, r := range returns {
+				if r > lk.end && r < heldUntil {
+					pass.Reportf(r, "return between %s.%s and %s.%s leaves the mutex held; defer the unlock",
+						lk.recv, name, lk.recv, pairName(lk.read))
+				}
+			}
+		}
+		for _, b := range blockers {
+			if b.pos > lk.end && b.pos < heldUntil {
+				pass.Reportf(b.pos, "%s while %s.%s is held can stall every goroutine behind the lock; release it first",
+					b.recv, lk.recv, name)
+			}
+		}
+	}
+}
+
+// pairName returns the unlock method pairing a Lock/RLock.
+func pairName(read bool) string {
+	if read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}

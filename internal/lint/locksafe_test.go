@@ -1,0 +1,130 @@
+package lint
+
+import "testing"
+
+const locksafeFixture = `package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// CopyParam receives a lock-bearing value by value.
+func CopyParam(g guarded) int { // want:locksafe
+	return g.n
+}
+
+func (g guarded) valueRecv() int { // want:locksafe
+	return g.n
+}
+
+func (g *guarded) pointerRecv() int {
+	return g.n
+}
+
+func CopyAssign(g *guarded) {
+	h := *g // want:locksafe
+	_ = h
+}
+
+func CopyReturn(g *guarded) guarded {
+	return *g // want:locksafe
+}
+
+func RangeCopy(gs []guarded) int {
+	t := 0
+	for _, g := range gs { // want:locksafe
+		t += g.n
+	}
+	return t
+}
+
+func RangeIndex(gs []guarded) int {
+	t := 0
+	for i := range gs {
+		t += gs[i].n
+	}
+	return t
+}
+
+func NoUnlock(g *guarded) {
+	g.mu.Lock() // want:locksafe
+	g.n++
+}
+
+func ReturnHeld(g *guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		return g.n // want:locksafe
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func DeferredClean(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func SendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want:locksafe
+}
+
+func WaitUnderLock(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want:locksafe
+	g.mu.Unlock()
+}
+
+func SendAfterUnlock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+func NonBlockingSelect(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-ch:
+		g.n = v
+	default:
+	}
+}
+
+func BlockingSelect(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want:locksafe
+	case v := <-ch:
+		g.n = v
+	}
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func ReadUnpaired(g *rwGuarded) int {
+	g.mu.RLock() // want:locksafe
+	return g.n
+}
+
+func ReadClean(g *rwGuarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+`
+
+func TestLockSafe(t *testing.T) {
+	runFixture(t, "repro/internal/fixture",
+		map[string]string{"fixture.go": locksafeFixture}, LockSafe)
+}

@@ -4,9 +4,13 @@ package lint
 // it. New repo-specific analyzers register here.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
 		Determinism,
 		ErrCheck,
 		ExhaustiveKind,
+		GoExit,
+		HotAlloc,
+		LockSafe,
 		ObsCheck,
 		TraceCheck,
 	}

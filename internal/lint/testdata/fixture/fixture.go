@@ -8,8 +8,10 @@
 package fixture
 
 import (
+	"context"
 	"expvar"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/trace"
@@ -65,4 +67,48 @@ func HandRolledEvent() trace.Event {
 // BlankedWrite discards a trace writer error (tracecheck).
 func BlankedWrite(w *trace.Writer, e trace.Event) {
 	_ = w.Write(e)
+}
+
+// guarded pairs a mutex with the data it protects.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// CopiedLock receives the mutex by value (locksafe).
+func CopiedLock(g guarded) int {
+	return g.n
+}
+
+// LockNoUnlock leaves the mutex held on every path (locksafe).
+func LockNoUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+}
+
+func spin() {}
+
+// LeakedGoroutine spawns with no join, WaitGroup, or context bound
+// (goexit).
+func LeakedGoroutine() {
+	go spin()
+}
+
+// DetachedRoot mints a root context inside an internal package (ctxflow).
+func DetachedRoot() error {
+	return context.Background().Err()
+}
+
+// HotLoop is a declared hot-path root with a per-iteration heap escape
+// and a fmt call (hotalloc, twice).
+//
+//lint:hotpath fixture root; repolint must flag the loop body below
+func HotLoop(vs []uint64) uint64 {
+	var total uint64
+	for _, v := range vs {
+		b := &struct{ v uint64 }{v}
+		fmt.Println(b.v)
+		total += b.v
+	}
+	return total
 }

@@ -1,0 +1,22 @@
+// Package leaf is the far end of the cross-package callgraph fixture:
+// it is hot only because hotpath/root's Ingest calls into it.
+package leaf
+
+import "fmt"
+
+type box struct{ v uint64 }
+
+// Process carries two deliberate hot-path findings: an escaping
+// composite literal and a fmt call.
+func Process(v uint64) uint64 {
+	b := &box{v: v}
+	if v == 0 {
+		fmt.Println("zero")
+	}
+	return b.v
+}
+
+// NewBox allocates too, but is pruned from traversal.
+//
+//lint:coldpath fixture constructor; never on the per-record path
+func NewBox() *box { return &box{} }

@@ -1,0 +1,18 @@
+// Package root holds the hot-path end of the cross-package callgraph
+// fixture: its Ingest root reaches allocations that live one package
+// away, in hotpath/leaf. TestHotAllocCrossPackage loads both packages
+// and checks the findings land in leaf with a chain naming both ends.
+package root
+
+import "repro/internal/lint/testdata/hotpath/leaf"
+
+// Ingest is the fixture's hot-path root.
+//
+//lint:hotpath fixture root; exercises cross-package traversal
+func Ingest(vs []uint64) uint64 {
+	var total uint64
+	for _, v := range vs {
+		total += leaf.Process(v)
+	}
+	return total
+}

@@ -133,6 +133,8 @@ type Engine struct {
 }
 
 // NewEngine returns an empty engine.
+//
+//lint:coldpath engine construction; runs once per session, never per chunk or record
 func NewEngine(opts Options) *Engine {
 	opts.normalize()
 	e := &Engine{
@@ -152,6 +154,8 @@ func NewEngine(opts Options) *Engine {
 
 // Ingest consumes one chunk of trace events in order, then applies the
 // eviction policy.
+//
+//lint:hotpath per-chunk ingest; runs once per ReadChunk batch on the live path
 func (e *Engine) Ingest(events []trace.Event) {
 	if len(events) == 0 {
 		return

@@ -1,6 +1,6 @@
 package sequitur
 
-import "sort"
+import "slices"
 
 // This file implements cold-rule eviction: the bounded-memory mode the
 // online analysis engine (internal/online) uses to keep an incrementally
@@ -93,7 +93,7 @@ func (g *Grammar) evictRule(r *Rule) {
 	for id := range g.rules {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	var uses []*symbol
 	for _, id := range ids {
 		for s := g.rules[id].first(); !s.guard; s = s.next {

@@ -149,6 +149,8 @@ func (g *Grammar) NumRules() int { return len(g.rules) }
 
 // Append feeds one terminal to the grammar. Values must be below 1<<63.
 // It panics on grammars loaded with ReadBinary, which are read-only.
+//
+//lint:hotpath called once per trace event; the paper's online SEQUITUR inner loop
 func (g *Grammar) Append(v uint64) {
 	if g.frozen {
 		panic(ErrFrozen)

@@ -4,8 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -21,6 +21,51 @@ const (
 
 // ErrCorrupt is returned when a trace stream cannot be decoded.
 var ErrCorrupt = errors.New("trace: corrupt record stream")
+
+// A CorruptError describes one undecodable record: an unknown kind byte
+// or a record cut short by end of stream. It matches ErrCorrupt under
+// errors.Is and formats its message lazily — the decode loop only pays
+// for the fields, never for fmt-style formatting, and the fields let
+// tools (locdiff, the artifact store's verifier) branch on the offset
+// without re-parsing the message.
+type CorruptError struct {
+	Kind    Kind   // record kind, valid when !Unknown
+	Byte    byte   // raw kind bits, valid when Unknown
+	Offset  uint64 // byte offset of the offending record
+	Unknown bool   // unknown kind byte (vs. truncated record)
+	Err     error  // underlying read error for truncated records
+}
+
+// Unwrap ties CorruptError into the ErrCorrupt sentinel chain.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+func (e *CorruptError) Error() string {
+	if e.Unknown {
+		return ErrCorrupt.Error() + ": unknown kind " + strconv.Itoa(int(e.Byte)) +
+			" at offset " + strconv.FormatUint(e.Offset, 10)
+	}
+	msg := ErrCorrupt.Error() + ": truncated " + e.Kind.String() +
+		" record at offset " + strconv.FormatUint(e.Offset, 10)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// errUnknownKind builds the corruption error for an unrecognized kind
+// byte.
+//
+//lint:coldpath corruption path; taken at most once per stream, never per valid record
+func errUnknownKind(b byte, off uint64) error {
+	return &CorruptError{Byte: b, Offset: off, Unknown: true}
+}
+
+// errTruncated builds the corruption error for a record cut short.
+//
+//lint:coldpath corruption path; taken at most once per stream, never per valid record
+func errTruncated(kind Kind, off uint64, err error) error {
+	return &CorruptError{Kind: kind, Offset: off, Err: err}
+}
 
 // Writer encodes events to an underlying stream in the binary record
 // format. It buffers internally; call Flush before closing the stream.
@@ -104,6 +149,8 @@ type Reader struct {
 const obsFlushEvery = 4096
 
 // NewReader returns a Reader decoding from r.
+//
+//lint:coldpath stream constructor; one allocation per upload, not per record
 func NewReader(r io.Reader) *Reader {
 	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 	if reg := obs.Default(); reg != nil {
@@ -124,6 +171,25 @@ func (tr *Reader) flushObs() {
 // Offset returns the byte offset of the next record to be decoded.
 func (tr *Reader) Offset() uint64 { return tr.off }
 
+// readFull fills buf from the buffered reader, with io.ReadFull's
+// contract (io.EOF only with nothing read, io.ErrUnexpectedEOF after a
+// partial fill). Calling the *bufio.Reader directly avoids re-boxing it
+// into an io.Reader parameter on every record decode.
+func (tr *Reader) readFull(buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := tr.r.Read(buf[n:])
+		n += m
+		if err != nil {
+			if err == io.EOF && n > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return n, err
+		}
+	}
+	return n, nil
+}
+
 // Read decodes the next event. It returns io.EOF at a clean end of stream
 // and ErrCorrupt if the stream ends mid-record or contains an unknown
 // kind; corruption errors carry the byte offset of the offending record.
@@ -143,20 +209,20 @@ func (tr *Reader) Read() (Event, error) {
 	kind := Kind(k & 7)
 	thread := k >> 3
 	if kind > Path {
-		return Event{}, fmt.Errorf("%w: unknown kind %d at offset %d", ErrCorrupt, k&7, start)
+		return Event{}, errUnknownKind(k&7, start)
 	}
 	n := refRecordSize - 1
 	if kind == Alloc {
 		n = allocRecordSize - 1
 	}
 	var buf [allocRecordSize - 1]byte
-	got, err := io.ReadFull(tr.r, buf[:n])
+	got, err := tr.readFull(buf[:n])
 	tr.off += uint64(got)
 	if err != nil {
 		if tr.obsRecords != nil {
 			tr.flushObs()
 		}
-		return Event{}, fmt.Errorf("%w: truncated %s record at offset %d: %v", ErrCorrupt, kind, start, err)
+		return Event{}, errTruncated(kind, start, err)
 	}
 	e := Event{
 		Kind:   kind,

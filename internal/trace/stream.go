@@ -80,6 +80,8 @@ func (a *StatsAccum) Stats() Stats {
 // as-is). A callback returning ErrStop stops iteration early and
 // reports success: the early-stop path network consumers use to cap an
 // upload without draining it.
+//
+//lint:hotpath per-event decode loop; every trace record flows through here
 func (tr *Reader) ForEach(fn func(Event) error) error {
 	for {
 		e, err := tr.Read()
@@ -112,6 +114,8 @@ func Decode(r io.Reader, fn func(Event) error) error {
 // chunk with nil error is valid mid-stream, io.EOF is returned (with
 // n == 0) once the stream is cleanly exhausted, and a decode error is
 // returned alongside the events decoded before it.
+//
+//lint:hotpath chunked decode loop feeding online ingest
 func (tr *Reader) ReadChunk(dst []Event) (int, error) {
 	for n := range dst {
 		e, err := tr.Read()

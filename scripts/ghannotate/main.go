@@ -1,0 +1,72 @@
+// Command ghannotate turns `repolint -json` output into GitHub Actions
+// workflow commands so lint findings surface as inline annotations on
+// the PR diff. It reads the JSON finding array on stdin and writes one
+//
+//	::error file=F,line=L,col=C,title=repolint/ANALYZER::MESSAGE
+//
+// line per non-waived finding (waived findings become ::notice lines so
+// the ratcheted debt stays visible without failing review). ghannotate
+// never fails the build itself — it exits 0 on any well-formed input and
+// leaves the pass/fail decision to repolint's exit status upstream of
+// the pipe (CI runs the pair under `set -o pipefail`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// finding mirrors cmd/repolint's jsonFinding.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
+// escapeData escapes a workflow-command message body per the Actions
+// runner's rules: %, CR and LF must be encoded or the command truncates.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProp additionally escapes the property-value delimiters.
+func escapeProp(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
+func main() {
+	var findings []finding
+	if err := json.NewDecoder(os.Stdin).Decode(&findings); err != nil {
+		fmt.Fprintln(os.Stderr, "ghannotate: bad input:", err)
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for _, f := range findings {
+		level := "error"
+		if f.Waived {
+			level = "notice"
+		}
+		if _, err := fmt.Fprintf(w, "::%s file=%s,line=%d,col=%d,title=%s::%s\n",
+			level, escapeProp(f.File), f.Line, f.Col,
+			escapeProp("repolint/"+f.Analyzer), escapeData(f.Message)); err != nil {
+			fmt.Fprintln(os.Stderr, "ghannotate:", err)
+			os.Exit(2)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "ghannotate:", err)
+		os.Exit(2)
+	}
+}
