@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-pipeline repro csv lint lint-baseline race sanitize serve-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke bench-pipeline bench-ingest repro csv lint lint-baseline race sanitize serve-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -74,6 +74,11 @@ obs-smoke:
 # BENCH_pipeline.json; fails if overhead exceeds the 2% budget.
 bench-pipeline:
 	./scripts/bench-pipeline.sh
+
+# Measure in-process and HTTP ingest throughput, regenerate
+# BENCH_ingest.json, and gate allocs/op against the committed file.
+bench-ingest:
+	./scripts/bench-ingest.sh
 
 # Short fuzz sessions over the parsers and the grammar invariant.
 fuzz:

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/online"
+)
+
+// benchScale mirrors the root package's BENCH_SCALE knob so
+// scripts/bench-ingest.sh can size the in-process and over-the-wire
+// benchmarks identically.
+func benchScale() int {
+	if s := os.Getenv("BENCH_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 60_000
+}
+
+// BenchmarkHTTPIngest measures the full over-the-wire ingest path: HTTP
+// request handling, batched decode straight off the body, and the
+// per-session engine loop, one whole upload per iteration into a fresh
+// session. records/op divided by ns/op gives sustained records per
+// nanosecond at the service boundary — the number BENCH_ingest.json
+// tracks against the 5M rec/s wire target.
+func BenchmarkHTTPIngest(b *testing.B) {
+	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	defer ts.Close()
+	buf := genTrace(b, "boxsim", benchScale(), 1)
+	enc := encodeEvents(b, buf.Events())
+	client := ts.Client()
+
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("%s/v1/ingest?session=bench%d", ts.URL, i)
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Drain so the keep-alive connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "records/op")
+}

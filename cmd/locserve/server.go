@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // metrics is the serving process's observability registry: locserve
@@ -58,17 +60,173 @@ func init() {
 	})
 }
 
-// session is one ingest stream's analysis state. Engines are
-// single-threaded by design; the mutex serializes requests targeting the
-// same session while distinct sessions proceed in parallel on the HTTP
-// server's own goroutines.
+// Ingest batching parameters: each upload is decoded into batches of
+// batchLen events and fed to the session's engine goroutine through a
+// queue of queueDepth batches. The bounded queue is the backpressure
+// mechanism — a client that uploads faster than the engine ingests
+// blocks in its own handler, never in anyone else's.
+const (
+	batchLen   = 4096
+	queueDepth = 8
+)
+
+// ingestBatch is one unit of decoded upload: a chunk of events, or (when
+// flush is non-nil) a barrier marker the engine loop acknowledges by
+// closing the channel, so a handler can wait for its batches to land.
+type ingestBatch struct {
+	events []trace.Event
+	n      int
+	flush  chan struct{}
+}
+
+// newBatch allocates a batch buffer.
+//
+//lint:coldpath batch-buffer allocation; runs only until the per-session recycling pool warms up, never per record in steady state
+func newBatch() *ingestBatch {
+	return &ingestBatch{events: make([]trace.Event, batchLen)}
+}
+
+// session is one ingest stream's analysis state. The engine is
+// single-threaded by design: every mutation runs on the session's own
+// ingest-loop goroutine (fed through the bounded batch queue) or under
+// sess.mu (snapshots, status reads — the loop takes the mutex per
+// batch). HTTP handlers decode uploads and enqueue without ever holding
+// a lock across a network read, so one slow uploader cannot stall
+// status endpoints or other clients.
 type session struct {
 	mu     sync.Mutex
 	name   string
 	engine *online.Engine
+	// closed is set (under mu) by closeSession: an ingest that resolved
+	// the session pointer before a concurrent close removed it from the
+	// registry observes the flag and reports 410 Gone instead of
+	// appending records into an orphaned engine.
+	closed bool
 	// lastEvictions tracks the engine's cumulative eviction count at the
-	// end of the previous ingest, so the global counter sees deltas.
+	// end of the previous batch, so the global counter sees deltas.
 	lastEvictions uint64
+
+	// queue feeds decoded batches to the ingest loop; free recycles
+	// their buffers back to decoding handlers.
+	queue chan *ingestBatch
+	free  chan *ingestBatch
+	// ingestWG counts in-flight ingest requests admitted past the closed
+	// check; loopWG tracks the ingest-loop goroutine. closeSession waits
+	// on both (in that order) before snapshotting.
+	ingestWG sync.WaitGroup
+	loopWG   sync.WaitGroup
+}
+
+// markClosed flips the session's closed flag under the lock: after it
+// returns, beginIngest admits no further uploads.
+func (sess *session) markClosed() {
+	sess.mu.Lock()
+	sess.closed = true
+	sess.mu.Unlock()
+}
+
+// beginIngest admits one upload into the session, or reports that the
+// session is closed. Admitted uploads hold a slot in ingestWG, so a
+// concurrent close drains them before dismantling the engine: records a
+// 200 response vouches for are in the final snapshot.
+func (sess *session) beginIngest() bool {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return false
+	}
+	sess.ingestWG.Add(1)
+	sess.mu.Unlock()
+	return true
+}
+
+// getBatch returns a recycled batch buffer, allocating only while the
+// pool is cold.
+func (sess *session) getBatch() *ingestBatch {
+	select {
+	case b := <-sess.free:
+		return b
+	default:
+		return newBatch()
+	}
+}
+
+// putBatch recycles a batch buffer, dropping it if the pool is full.
+func (sess *session) putBatch(b *ingestBatch) {
+	b.n = 0
+	select {
+	case sess.free <- b:
+	default:
+	}
+}
+
+// waitFlush enqueues a barrier and waits for the ingest loop to reach
+// it: every batch enqueued before the call has been ingested when it
+// returns, so the handler's status response is exact.
+//
+//lint:coldpath request completion barrier; runs once per POST, after the decode loop has drained
+func (sess *session) waitFlush() {
+	flush := make(chan struct{})
+	sess.queue <- &ingestBatch{flush: flush}
+	<-flush
+}
+
+// ingestBody decodes one upload straight off the request body into
+// batches and feeds them to the session's ingest loop. It returns the
+// number of events decoded and the first decode error; decoded events
+// are ingested (and flushed) even when the tail of the upload is
+// corrupt. No lock is held anywhere in this function — the network
+// reads, the decode, and the (possibly blocking, backpressured) queue
+// sends all run lock-free.
+//
+//lint:hotpath serves the live upload stream; runs per POST with the decode loop inside
+func (sess *session) ingestBody(body io.Reader) (uint64, error) {
+	tr := trace.NewReader(body)
+	var total uint64
+	var derr error
+	for {
+		b := sess.getBatch()
+		m, err := tr.ReadChunk(b.events)
+		if m > 0 {
+			b.n = m
+			total += uint64(m)
+			sess.queue <- b
+		} else {
+			sess.putBatch(b)
+		}
+		if err != nil {
+			if err != io.EOF {
+				derr = err
+			}
+			break
+		}
+	}
+	sess.waitFlush()
+	return total, derr
+}
+
+// ingestLoop is the session's engine goroutine: the only place engine
+// mutations happen, one batch at a time in arrival order. It takes
+// sess.mu per batch (so snapshots and status reads interleave at batch
+// granularity) and never blocks while holding it. The loop exits when
+// closeSession closes the queue after draining in-flight uploads.
+//
+//lint:hotpath per-batch engine loop; every uploaded record flows through here
+func (sess *session) ingestLoop() {
+	for b := range sess.queue {
+		if b.flush != nil {
+			close(b.flush)
+			continue
+		}
+		sess.mu.Lock()
+		sess.engine.Ingest(b.events[:b.n])
+		ev := sess.engine.Evictions()
+		delta := ev - sess.lastEvictions
+		sess.lastEvictions = ev
+		sess.mu.Unlock()
+		mEvictions.Add(delta)
+		sess.putBatch(b)
+	}
 }
 
 // server is the locality service: a registry of per-session online
@@ -138,7 +296,17 @@ func (s *server) getSession(name string, create bool) *session {
 //
 //lint:coldpath session construction; runs once per session name, not per record
 func (s *server) newSession(name string) *session {
-	sess := &session{name: name, engine: online.NewEngine(s.opts)}
+	sess := &session{
+		name:   name,
+		engine: online.NewEngine(s.opts),
+		queue:  make(chan *ingestBatch, queueDepth),
+		free:   make(chan *ingestBatch, queueDepth+2),
+	}
+	sess.loopWG.Add(1)
+	go func() {
+		defer sess.loopWG.Done()
+		sess.ingestLoop()
+	}()
 	s.sessions[name] = sess
 	mSessions.Add(1)
 	return sess
@@ -206,13 +374,18 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.getSession(name, true)
+	if !sess.beginIngest() {
+		// A concurrent close finalized the session after we resolved the
+		// pointer: the engine (and its final snapshot) is gone, so
+		// appending would silently drop these records from history.
+		httpError(w, http.StatusGone, "session "+name+" is closed")
+		return
+	}
+	defer sess.ingestWG.Done()
 
-	sess.mu.Lock()
-	n, err := sess.engine.IngestReader(r.Body)
+	n, err := sess.ingestBody(r.Body)
 	mRecords.Add(n)
-	ev := sess.engine.Evictions()
-	mEvictions.Add(ev - sess.lastEvictions)
-	sess.lastEvictions = ev
+	sess.mu.Lock()
 	status := sess.statusLocked()
 	sess.mu.Unlock()
 
@@ -358,7 +531,10 @@ type closeResult struct {
 
 // closeSession snapshots and removes one session, persisting the final
 // snapshot when a store is attached. The session is removed from the
-// registry first, so concurrent requests see a consistent "gone" state.
+// registry first, so concurrent requests see a consistent "gone" state;
+// the closed flag then catches ingests that resolved the pointer before
+// the removal (they get 410). In-flight uploads drain before the final
+// snapshot — every record a 200 ingest response vouched for is in it.
 func (s *server) closeSession(name string) (closeResult, bool, error) {
 	s.mu.Lock()
 	sess := s.sessions[name]
@@ -367,6 +543,15 @@ func (s *server) closeSession(name string) (closeResult, bool, error) {
 	if sess == nil {
 		return closeResult{}, false, nil
 	}
+	sess.markClosed()
+	// Drain, holding no lock across the waits: admitted uploads finish
+	// (each ends with an acknowledged flush barrier, so their batches are
+	// ingested), then the engine loop exits. beginIngest cannot re-admit:
+	// it checks closed under mu, and closed was set under mu above.
+	sess.ingestWG.Wait()
+	close(sess.queue)
+	sess.loopWG.Wait()
+
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	mSnapshots.Add(1)

@@ -203,176 +203,235 @@ func (s *Streamer) Excluded() (stackRefs, unknownRefs uint64) {
 	return s.st.res.StackRefs, s.st.res.UnknownRefs
 }
 
+// objChunkLen is the Object slab chunk size: heap-map entries are handed
+// out as pointers into fixed-size chunks, so pointer identity is stable
+// while allocation cost amortizes to one chunk per objChunkLen objects.
+const objChunkLen = 1024
+
 // state carries the online abstraction machinery over one event stream.
+// It was formerly a bundle of closures; the flat struct-plus-methods
+// form keeps the per-event path visible to the static callgraph (the
+// hotalloc analyzer) and free of closure-environment indirection.
 type state struct {
-	a       *Abstractor
-	res     *Result
-	emit    func(name uint64, pc, addr uint32)
-	process func(e trace.Event)
+	a    *Abstractor
+	res  *Result
+	emit func(name uint64, pc, addr uint32)
+
+	live    []interval // live-object intervals sorted by base
+	nextID  uint64     // next dense name
+	counter uint64     // global allocation counter (birth IDs)
+	// siteNames dedupes names in SiteOnly mode.
+	siteNames map[uint32]uint64
+	// ctxNames dedupes names in SiteContext mode (key: context hash).
+	ctxNames map[uint64]uint64
+	// addrNames dedupes names in RawAddress mode and for unknown
+	// references.
+	addrNames map[uint32]uint64
+	// callStack tracks activations for SiteContext naming.
+	callStack []uint32
+	// objChunk is the current Object slab chunk; a fresh chunk replaces
+	// it when full (newObject), so heap-map entries cost zero per-record
+	// heap allocations in steady state.
+	objChunk []Object
 }
 
-// newState builds the closures that carry one abstraction pass. The
-// constructor itself runs once per stream, but the st.process closure it
-// returns IS the per-event inner loop — and because it is invoked
-// through a function-valued field, the static callgraph cannot follow
-// calls into it. The hotpath marker below roots this function directly
-// so the closure bodies stay under per-record allocation scrutiny.
+// newState builds one abstraction pass's state. It runs once per stream;
+// the per-event inner loop is the process method.
 //
-//lint:hotpath the st.process closure defined here runs once per trace event
+//lint:coldpath stream constructor; one allocation bundle per abstraction pass, never per record
 func (a *Abstractor) newState(hint int) *state {
-	res := &Result{
-		Names:   make([]uint64, 0, hint),
-		PCs:     make([]uint32, 0, hint),
-		Addrs:   make([]uint32, 0, hint),
-		Objects: make(map[uint64]*Object),
-		Mode:    a.mode,
+	return &state{
+		a: a,
+		res: &Result{
+			Names:   make([]uint64, 0, hint),
+			PCs:     make([]uint32, 0, hint),
+			Addrs:   make([]uint32, 0, hint),
+			Objects: make(map[uint64]*Object),
+			Mode:    a.mode,
+		},
+		nextID:    1,
+		siteNames: map[uint32]uint64{},
+		ctxNames:  map[uint64]uint64{},
+		addrNames: map[uint32]uint64{},
 	}
-	var (
-		live    []interval // sorted by base
-		nextID  uint64     = 1
-		counter uint64
-		// siteNames dedupes names in SiteOnly mode.
-		siteNames = map[uint32]uint64{}
-		// ctxNames dedupes names in SiteContext mode (key: context hash).
-		ctxNames = map[uint64]uint64{}
-		// addrNames dedupes names in RawAddress mode and for unknown
-		// references.
-		addrNames = map[uint32]uint64{}
-		// callStack tracks activations for SiteContext naming.
-		callStack []uint32
+}
+
+// grow replaces the exhausted Object slab chunk.
+//
+//lint:coldpath amortized slab growth; runs once per objChunkLen objects, never per record
+func (st *state) grow() {
+	st.objChunk = make([]Object, 0, objChunkLen)
+}
+
+// newObject hands out a zero Object from the slab.
+func (st *state) newObject() *Object {
+	if len(st.objChunk) == cap(st.objChunk) {
+		st.grow()
+	}
+	st.objChunk = append(st.objChunk, Object{})
+	return &st.objChunk[len(st.objChunk)-1]
+}
+
+// contextHash mixes the allocation site with the innermost depth-1 call
+// sites (FNV-1a) for SiteContext naming.
+func (st *state) contextHash(site uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
 	)
-	contextHash := func(site uint32) uint64 {
-		const (
-			offset64 = 14695981039346656037
-			prime64  = 1099511628211
-		)
-		h := uint64(offset64)
-		mix := func(v uint32) {
-			for s := 0; s < 32; s += 8 {
-				h ^= uint64(v>>s) & 0xFF
-				h *= prime64
-			}
+	h := uint64(offset64)
+	mix := func(v uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(v>>s) & 0xFF
+			h *= prime64
 		}
-		mix(site)
-		for i, d := len(callStack)-1, 1; i >= 0 && d < a.depth; i, d = i-1, d+1 {
-			mix(callStack[i])
-		}
-		return h
 	}
-	findLive := func(addr uint32) *Object {
-		i := sort.Search(len(live), func(i int) bool { return live[i].base > addr })
-		if i == 0 {
-			return nil
+	mix(site)
+	for i, d := len(st.callStack)-1, 1; i >= 0 && d < st.a.depth; i, d = i-1, d+1 {
+		mix(st.callStack[i])
+	}
+	return h
+}
+
+// findLive returns the live object containing addr, or nil. The binary
+// search is hand-rolled: sort.Search's per-iteration closure call was a
+// measurable slice of the per-reference cost.
+func (st *state) findLive(addr uint32) *Object {
+	lo, hi := 0, len(st.live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.live[mid].base > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		iv := live[i-1]
-		if addr < iv.limit {
-			return iv.obj
-		}
+	}
+	if lo == 0 {
 		return nil
 	}
-	insertLive := func(iv interval) {
-		i := sort.Search(len(live), func(i int) bool { return live[i].base >= iv.base })
-		live = append(live, interval{})
-		copy(live[i+1:], live[i:])
-		live[i] = iv
+	iv := st.live[lo-1]
+	if addr < iv.limit {
+		return iv.obj
 	}
-	removeLive := func(base uint32) {
-		i := sort.Search(len(live), func(i int) bool { return live[i].base >= base })
-		if i < len(live) && live[i].base == base {
-			live = append(live[:i], live[i+1:]...)
-		}
+	return nil
+}
+
+// insertLive inserts an interval keeping the slice sorted by base.
+func (st *state) insertLive(iv interval) {
+	i := sort.Search(len(st.live), func(i int) bool { return st.live[i].base >= iv.base })
+	st.live = append(st.live, interval{})
+	copy(st.live[i+1:], st.live[i:])
+	st.live[i] = iv
+}
+
+// removeLive drops the interval starting at base, if present.
+func (st *state) removeLive(base uint32) {
+	i := sort.Search(len(st.live), func(i int) bool { return st.live[i].base >= base })
+	if i < len(st.live) && st.live[i].base == base {
+		st.live = append(st.live[:i], st.live[i+1:]...)
 	}
-	nameForAddr := func(addr uint32) uint64 {
-		if n, ok := addrNames[addr]; ok {
-			return n
-		}
-		n := nextID
-		nextID++
-		addrNames[addr] = n
-		res.Objects[n] = &Object{Name: n, Base: addr, Size: 4, Heap: trace.RegionOf(addr) == trace.RegionHeap}
+}
+
+// nameForAddr names a raw address (RawAddress mode and unknown
+// references), registering a synthetic 4-byte object on first touch.
+func (st *state) nameForAddr(addr uint32) uint64 {
+	if n, ok := st.addrNames[addr]; ok {
 		return n
 	}
+	n := st.nextID
+	st.nextID++
+	st.addrNames[addr] = n
+	obj := st.newObject()
+	obj.Name = n
+	obj.Base = addr
+	obj.Size = 4
+	obj.Heap = trace.RegionOf(addr) == trace.RegionHeap
+	st.res.Objects[n] = obj
+	return n
+}
 
-	st := &state{a: a, res: res}
-	st.process = func(e trace.Event) {
-		switch e.Kind {
-		case trace.Call:
-			callStack = append(callStack, e.PC)
-		case trace.Return:
-			if len(callStack) > 0 {
-				callStack = callStack[:len(callStack)-1]
-			}
-		case trace.Alloc:
-			counter++
-			if a.mode == RawAddress {
-				// Raw mode ignores object structure entirely: no heap
-				// map is built, every address is its own name.
-				return
-			}
-			obj := &Object{
-				Base:  e.Addr,
-				Size:  e.Size,
-				Site:  e.PC,
-				Birth: counter,
-				Heap:  trace.RegionOf(e.Addr) == trace.RegionHeap,
-			}
-			switch a.mode {
-			case RawAddress:
-				// Unreachable: raw mode returned before building obj.
-			case BirthID:
-				obj.Name = nextID
-				nextID++
-			case SiteOnly:
-				if n, ok := siteNames[e.PC]; ok {
-					obj.Name = n
-				} else {
-					obj.Name = nextID
-					nextID++
-					siteNames[e.PC] = obj.Name
-				}
-			case SiteContext:
-				key := contextHash(e.PC)
-				if n, ok := ctxNames[key]; ok {
-					obj.Name = n
-				} else {
-					obj.Name = nextID
-					nextID++
-					ctxNames[key] = obj.Name
-				}
-			}
-			if _, dup := res.Objects[obj.Name]; !dup || a.mode == BirthID {
-				res.Objects[obj.Name] = obj
-			}
-			// Clobber any stale overlapping interval (address reuse).
-			removeLive(e.Addr)
-			insertLive(interval{base: e.Addr, limit: e.Addr + e.Size, obj: obj})
-		case trace.Free:
-			removeLive(e.Addr)
-		case trace.Load, trace.Store:
-			if trace.RegionOf(e.Addr) == trace.RegionStack {
-				res.StackRefs++
-				return
-			}
-			var name uint64
-			if a.mode == RawAddress {
-				name = nameForAddr(e.Addr)
-			} else if obj := findLive(e.Addr); obj != nil {
-				name = obj.Name
-			} else {
-				res.UnknownRefs++
-				name = nameForAddr(e.Addr)
-			}
-			if st.emit != nil {
-				st.emit(name, e.PC, e.Addr)
-				return
-			}
-			res.Names = append(res.Names, name)
-			res.PCs = append(res.PCs, e.PC)
-			res.Addrs = append(res.Addrs, e.Addr)
-		case trace.Path:
-			// Path records belong to the WPP side of the analysis
-			// (internal/wpp); abstraction sees no data reference in them.
+// process consumes one event in trace order: the per-event inner loop of
+// every abstraction pass (batch, streaming, and online ingest).
+//
+//lint:hotpath runs once per trace event; the abstraction half of the ingest inner loop
+func (st *state) process(e trace.Event) {
+	a := st.a
+	res := st.res
+	switch e.Kind {
+	case trace.Call:
+		st.callStack = append(st.callStack, e.PC)
+	case trace.Return:
+		if len(st.callStack) > 0 {
+			st.callStack = st.callStack[:len(st.callStack)-1]
 		}
+	case trace.Alloc:
+		st.counter++
+		if a.mode == RawAddress {
+			// Raw mode ignores object structure entirely: no heap
+			// map is built, every address is its own name.
+			return
+		}
+		obj := st.newObject()
+		obj.Base = e.Addr
+		obj.Size = e.Size
+		obj.Site = e.PC
+		obj.Birth = st.counter
+		obj.Heap = trace.RegionOf(e.Addr) == trace.RegionHeap
+		switch a.mode {
+		case RawAddress:
+			// Unreachable: raw mode returned before building obj.
+		case BirthID:
+			obj.Name = st.nextID
+			st.nextID++
+		case SiteOnly:
+			if n, ok := st.siteNames[e.PC]; ok {
+				obj.Name = n
+			} else {
+				obj.Name = st.nextID
+				st.nextID++
+				st.siteNames[e.PC] = obj.Name
+			}
+		case SiteContext:
+			key := st.contextHash(e.PC)
+			if n, ok := st.ctxNames[key]; ok {
+				obj.Name = n
+			} else {
+				obj.Name = st.nextID
+				st.nextID++
+				st.ctxNames[key] = obj.Name
+			}
+		}
+		if _, dup := res.Objects[obj.Name]; !dup || a.mode == BirthID {
+			res.Objects[obj.Name] = obj
+		}
+		// Clobber any stale overlapping interval (address reuse).
+		st.removeLive(e.Addr)
+		st.insertLive(interval{base: e.Addr, limit: e.Addr + e.Size, obj: obj})
+	case trace.Free:
+		st.removeLive(e.Addr)
+	case trace.Load, trace.Store:
+		if trace.RegionOf(e.Addr) == trace.RegionStack {
+			res.StackRefs++
+			return
+		}
+		var name uint64
+		if a.mode == RawAddress {
+			name = st.nameForAddr(e.Addr)
+		} else if obj := st.findLive(e.Addr); obj != nil {
+			name = obj.Name
+		} else {
+			res.UnknownRefs++
+			name = st.nameForAddr(e.Addr)
+		}
+		if st.emit != nil {
+			st.emit(name, e.PC, e.Addr)
+			return
+		}
+		res.Names = append(res.Names, name)
+		res.PCs = append(res.PCs, e.PC)
+		res.Addrs = append(res.Addrs, e.Addr)
+	case trace.Path:
+		// Path records belong to the WPP side of the analysis
+		// (internal/wpp); abstraction sees no data reference in them.
 	}
-	return st
 }

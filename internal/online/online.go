@@ -90,7 +90,13 @@ func (o *Options) normalize() {
 		o.MinStreamLen = 2
 	}
 	if o.MaxStreamLen < o.MinStreamLen {
+		// The paper's default cap is 100, but a caller that raised only
+		// the floor must not end up with an inverted [min, max] window:
+		// clamp the cap to the floor in that case.
 		o.MaxStreamLen = 100
+		if o.MaxStreamLen < o.MinStreamLen {
+			o.MaxStreamLen = o.MinStreamLen
+		}
 	}
 	if o.CoverageTarget <= 0 || o.CoverageTarget > 1 {
 		o.CoverageTarget = 0.90

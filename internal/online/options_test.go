@@ -1,0 +1,55 @@
+package online
+
+import "testing"
+
+// TestOptionsNormalize pins the defaulting rules over degenerate option
+// combinations. The MinStreamLen=150 row is the regression case: before
+// the clamp, a caller that raised only the floor got an inverted window
+// (MaxStreamLen=100 < MinStreamLen=150) and detection silently found
+// nothing.
+func TestOptionsNormalize(t *testing.T) {
+	cases := []struct {
+		name             string
+		in               Options
+		wantMin, wantMax int
+	}{
+		{"zero value", Options{}, 2, 100},
+		{"paper defaults kept", Options{MinStreamLen: 2, MaxStreamLen: 100}, 2, 100},
+		{"floor above default cap", Options{MinStreamLen: 150}, 150, 150},
+		{"floor above explicit smaller cap", Options{MinStreamLen: 150, MaxStreamLen: 80}, 150, 150},
+		{"negative floor", Options{MinStreamLen: -5}, 2, 100},
+		{"negative both", Options{MinStreamLen: -5, MaxStreamLen: -1}, 2, 100},
+		{"cap below default floor", Options{MaxStreamLen: 1}, 2, 100},
+		{"floor equals cap", Options{MinStreamLen: 7, MaxStreamLen: 7}, 7, 7},
+		{"wide explicit window", Options{MinStreamLen: 3, MaxStreamLen: 5000}, 3, 5000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.in
+			o.normalize()
+			if o.MinStreamLen != tc.wantMin || o.MaxStreamLen != tc.wantMax {
+				t.Fatalf("normalize(%+v) stream window = [%d, %d], want [%d, %d]",
+					tc.in, o.MinStreamLen, o.MaxStreamLen, tc.wantMin, tc.wantMax)
+			}
+			if o.MaxStreamLen < o.MinStreamLen {
+				t.Fatalf("normalize(%+v) left inverted window [%d, %d]",
+					tc.in, o.MinStreamLen, o.MaxStreamLen)
+			}
+			if o.CoverageTarget <= 0 || o.CoverageTarget > 1 {
+				t.Fatalf("normalize(%+v) coverage target = %v", tc.in, o.CoverageTarget)
+			}
+			if o.BlockSize <= 0 || o.MaxRules < 0 {
+				t.Fatalf("normalize(%+v) block size = %d, max rules = %d",
+					tc.in, o.BlockSize, o.MaxRules)
+			}
+		})
+	}
+
+	// End to end: an engine built with only the floor raised must be able
+	// to detect streams at all (the window is not inverted).
+	e := NewEngine(Options{MinStreamLen: 150})
+	if e.opts.MaxStreamLen < e.opts.MinStreamLen {
+		t.Fatalf("NewEngine left inverted window [%d, %d]",
+			e.opts.MinStreamLen, e.opts.MaxStreamLen)
+	}
+}

@@ -1,0 +1,136 @@
+package sequitur
+
+// This file implements the grammar's arena allocator: chunked slabs of
+// symbols and rules with per-grammar free lists, so steady-state Append
+// performs zero per-record heap allocations (the "10× the ingest hot
+// path" ROADMAP item; the hotalloc analyzer enforces the property).
+//
+// Symbols and rules die constantly during construction — every digram
+// promotion discards two symbols, rule-utility inlining deletes rules,
+// and cold-rule eviction (evict.go) dismantles whole right-hand sides —
+// so both object kinds are recycled through free lists threaded through
+// the objects themselves (a dead symbol's next pointer and a dead rule's
+// guard pointer are repurposed as the list links). Fresh objects come
+// from fixed-size slab chunks; a chunk is allocated at most once per
+// symChunkLen allocations, off the per-record path. Slabs belong to the
+// grammar and are never returned to the Go heap individually: a
+// grammar's memory is freed when the grammar itself becomes garbage.
+//
+// Recycling is safe because every structure that can point at a symbol
+// drops its pointer before the symbol is freed: the digram table's
+// entries are removed at every death site (remove, expand, evictRule,
+// inlineCopy all call deleteDigram before freeing — the sanitizer's
+// "correctly keyed" invariant guarantees the delete finds the entry),
+// and rule references are counted, so a rule is only freed when nothing
+// links to it. CheckInvariants and the fuzz targets police exactly this.
+
+// symChunkLen is the slab chunk size: large enough to amortize chunk
+// allocation to noise, small enough that a short-lived grammar does not
+// strand much memory.
+const symChunkLen = 1024
+
+type symChunk struct {
+	syms [symChunkLen]symbol
+	used int
+}
+
+type ruleChunk struct {
+	rules [symChunkLen]Rule
+	used  int
+}
+
+// arena is the grammar's allocator state.
+type arena struct {
+	symChunks  []*symChunk
+	ruleChunks []*ruleChunk
+	freeSym    *symbol // free list threaded through symbol.next
+	freeRules  []*Rule // free list of rules (slice-backed: rules are rare)
+}
+
+// growSyms adds a fresh symbol chunk.
+//
+//lint:coldpath amortized slab growth; runs once per symChunkLen symbol allocations, never per record
+func (a *arena) growSyms() *symChunk {
+	c := &symChunk{}
+	a.symChunks = append(a.symChunks, c)
+	return c
+}
+
+// growRules adds a fresh rule chunk.
+//
+//lint:coldpath amortized slab growth; runs once per symChunkLen rule allocations, never per record
+func (a *arena) growRules() *ruleChunk {
+	c := &ruleChunk{}
+	a.ruleChunks = append(a.ruleChunks, c)
+	return c
+}
+
+// growFreeRules grows the rule free list's backing slice.
+//
+//lint:coldpath amortized append growth; runs per freed rule, not per record, and reuses capacity
+func (a *arena) growFreeRules(r *Rule) {
+	a.freeRules = append(a.freeRules, r)
+}
+
+// allocSymbol hands out a zeroed symbol from the free list or the
+// current slab chunk.
+func (a *arena) allocSymbol() *symbol {
+	if s := a.freeSym; s != nil {
+		a.freeSym = s.next
+		s.next = nil
+		return s
+	}
+	var c *symChunk
+	if n := len(a.symChunks); n > 0 {
+		c = a.symChunks[n-1]
+	}
+	if c == nil || c.used == symChunkLen {
+		c = a.growSyms()
+	}
+	s := &c.syms[c.used]
+	c.used++
+	return s
+}
+
+// freeSymbol recycles a dead symbol. The caller must have unlinked it
+// from its rule and removed any digram-table entry pointing at it.
+func (a *arena) freeSymbol(s *symbol) {
+	s.prev = nil
+	s.r = nil
+	s.value = 0
+	s.next = a.freeSym
+	a.freeSym = s
+}
+
+// allocRule hands out a zeroed rule.
+func (a *arena) allocRule() *Rule {
+	if n := len(a.freeRules); n > 0 {
+		r := a.freeRules[n-1]
+		a.freeRules = a.freeRules[:n-1]
+		return r
+	}
+	var c *ruleChunk
+	if n := len(a.ruleChunks); n > 0 {
+		c = a.ruleChunks[n-1]
+	}
+	if c == nil || c.used == symChunkLen {
+		c = a.growRules()
+	}
+	r := &c.rules[c.used]
+	c.used++
+	return r
+}
+
+// freeRule recycles a dead rule and its guard symbol. The caller must
+// have deleted the rule from the rule table and dismantled its
+// right-hand side (nothing may reference the rule anymore).
+func (a *arena) freeRule(r *Rule) {
+	if g := r.guard; g != nil {
+		a.freeSymbol(g)
+	}
+	r.guard = nil
+	r.uses = 0
+	r.expLen = 0
+	r.id = 0
+	a.growFreeRules(r)
+}

@@ -167,7 +167,7 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 	rules := make([]*Rule, nRules)
 	for i := range rules {
 		r := &Rule{id: uint64(i)}
-		guard := &symbol{r: r, guard: true}
+		guard := &symbol{r: r, value: ntBit | guardBit | r.id}
 		guard.next, guard.prev = guard, guard
 		r.guard = guard
 		rules[i] = r
@@ -202,7 +202,7 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 				if idx >= i {
 					return nil, fmt.Errorf("sequitur: rule %d at offset %d references rule %d out of postorder", i, at, idx)
 				}
-				s = &symbol{r: rules[idx]}
+				s = &symbol{r: rules[idx], value: ntBit | rules[idx].id}
 				rules[idx].uses++
 			} else {
 				s = &symbol{value: sv >> 1}
@@ -220,7 +220,7 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 	lens := make([]uint64, nRules)
 	for i := uint64(0); i < nRules; i++ {
 		var n uint64
-		for s := rules[i].first(); !s.guard; s = s.next {
+		for s := rules[i].first(); !s.isGuard(); s = s.next {
 			if s.r != nil {
 				n += lens[s.r.id]
 			} else {

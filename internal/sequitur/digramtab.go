@@ -1,0 +1,224 @@
+package sequitur
+
+// This file implements the digram index as a specialized open-addressing
+// hash table. The generic map[digram]*symbol was the ingest hot path's
+// dominant cost: every Append performs several digram operations, each
+// paying a 128-bit runtime hash plus generic map machinery. The
+// specialized table keys on the two uint64 halves directly with a
+// multiply-xor mix, probes linearly in a power-of-two slot array, and
+// deletes with backward shifting (no tombstones, so probe chains never
+// degrade). check's lookup-then-insert becomes a single probe
+// (lookupOrInsert). Slots are 32 bytes (key, value, cached hash), so a
+// probe touches a single cache line and the common chain of length one
+// resolves with one memory access; a split control-byte layout was
+// measured slower here because hit-heavy probing paid three cache lines
+// instead of one.
+//
+// Invariants: an occupied slot has s != nil and caches its key's hash in
+// h (backward-shift deletion re-derives home slots from the cache
+// instead of rehashing); n counts occupied slots; load is kept at or
+// below 1/2 so linear probe chains stay short (a denser 3/4 table was
+// measured slower: backward-shift deletion cost grows with chain
+// length faster than the footprint shrinks).
+
+// dslot is one table slot. Empty slots have s == nil.
+type dslot struct {
+	d digram
+	s *symbol
+	h uint64 // cached hash(d)
+}
+
+// digramTable is the open-addressing digram index. The zero value is not
+// ready for use; call init first.
+type digramTable struct {
+	slots []dslot
+	mask  uint64
+	n     int
+}
+
+// init sizes the table to hold hint entries without growing. Capacity is
+// the next power of two at least 2× the hint (load factor 1/2).
+//
+//lint:coldpath table construction; runs once per grammar
+func (t *digramTable) init(hint int) {
+	size := 8
+	for size < hint*2 {
+		size *= 2
+	}
+	t.slots = make([]dslot, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+}
+
+// hash mixes both digram halves (an xmxmx finalizer over a combined
+// word): digram keys are low-entropy (small sequential names, small rule
+// IDs with the top bit set), so low bits must depend on every input bit.
+func (t *digramTable) hash(d digram) uint64 {
+	h := d.a*0x9E3779B97F4A7C15 + d.b
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return h
+}
+
+// len returns the number of live entries.
+func (t *digramTable) len() int { return t.n }
+
+// lookup returns the symbol recorded for d, or nil.
+func (t *digramTable) lookup(d digram) *symbol {
+	i := t.hash(d) & t.mask
+	for {
+		sl := &t.slots[i]
+		if sl.s == nil {
+			return nil
+		}
+		if sl.d == d {
+			return sl.s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// lookupOrInsert returns the existing entry for d, or records s under d
+// and returns nil — check's lookup-then-insert in one probe sequence.
+func (t *digramTable) lookupOrInsert(d digram, s *symbol) *symbol {
+	h := t.hash(d)
+	i := h & t.mask
+	for {
+		sl := &t.slots[i]
+		if sl.s == nil {
+			sl.d = d
+			sl.s = s
+			sl.h = h
+			t.n++
+			t.maybeGrow()
+			return nil
+		}
+		if sl.d == d {
+			return sl.s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// set records s under d, overwriting any existing entry.
+func (t *digramTable) set(d digram, s *symbol) {
+	h := t.hash(d)
+	i := h & t.mask
+	for {
+		sl := &t.slots[i]
+		if sl.s == nil {
+			sl.d = d
+			sl.s = s
+			sl.h = h
+			t.n++
+			t.maybeGrow()
+			return
+		}
+		if sl.d == d {
+			sl.s = s
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// delIf removes the entry for d only when it records s (deleteDigram's
+// point-at-me semantics).
+func (t *digramTable) delIf(d digram, s *symbol) {
+	i := t.hash(d) & t.mask
+	for {
+		sl := &t.slots[i]
+		if sl.s == nil {
+			return
+		}
+		if sl.d == d {
+			if sl.s == s {
+				t.deleteAt(i)
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// del removes the entry for d, if present.
+func (t *digramTable) del(d digram) {
+	i := t.hash(d) & t.mask
+	for {
+		sl := &t.slots[i]
+		if sl.s == nil {
+			return
+		}
+		if sl.d == d {
+			t.deleteAt(i)
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// deleteAt empties slot i and backward-shifts the following probe chain:
+// each subsequent entry whose home position does not lie strictly after
+// the hole moves into it. No tombstones, so chains stay as short as the
+// live entries require.
+func (t *digramTable) deleteAt(i uint64) {
+	t.n--
+	for {
+		t.slots[i] = dslot{}
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			sl := &t.slots[j]
+			if sl.s == nil {
+				return
+			}
+			home := sl.h & t.mask
+			// Movable iff the hole lies within this entry's probe path:
+			// the cyclic distance home→j spans the distance i→j.
+			if (j-home)&t.mask >= (j-i)&t.mask {
+				t.slots[i] = *sl
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// all calls f for every entry until f returns false. Iteration order is
+// unspecified; f must not mutate the table.
+func (t *digramTable) all(f func(d digram, s *symbol) bool) {
+	for i := range t.slots {
+		if t.slots[i].s != nil && !f(t.slots[i].d, t.slots[i].s) {
+			return
+		}
+	}
+}
+
+// maybeGrow doubles the table when load exceeds 1/2.
+func (t *digramTable) maybeGrow() {
+	if t.n*2 > len(t.slots) {
+		t.grow()
+	}
+}
+
+// grow rehashes into a table twice the size, reusing the cached hashes.
+//
+//lint:coldpath amortized table growth; runs per doubling, never per record
+func (t *digramTable) grow() {
+	old := t.slots
+	t.slots = make([]dslot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	for k := range old {
+		if old[k].s == nil {
+			continue
+		}
+		i := old[k].h & t.mask
+		for t.slots[i].s != nil {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = old[k]
+	}
+}

@@ -64,7 +64,7 @@ func (g *Grammar) coldestRule() *Rule {
 			continue
 		}
 		n := 0
-		for s := r.first(); !s.guard; s = s.next {
+		for s := r.first(); !s.isGuard(); s = s.next {
 			n++
 		}
 		if best == nil ||
@@ -82,7 +82,7 @@ func (g *Grammar) evictRule(r *Rule) {
 	// Drop the digram-table entries that point into r's RHS first, so
 	// the first inlined copy re-registers those digrams at a surviving
 	// location.
-	for s := r.first(); !s.guard; s = s.next {
+	for s := r.first(); !s.isGuard(); s = s.next {
 		g.deleteDigram(s)
 	}
 
@@ -96,7 +96,7 @@ func (g *Grammar) evictRule(r *Rule) {
 	slices.Sort(ids)
 	var uses []*symbol
 	for _, id := range ids {
-		for s := g.rules[id].first(); !s.guard; s = s.next {
+		for s := g.rules[id].first(); !s.isGuard(); s = s.next {
 			if s.r == r {
 				uses = append(uses, s)
 			}
@@ -108,16 +108,20 @@ func (g *Grammar) evictRule(r *Rule) {
 
 	// Dismantle r's RHS, releasing its references to other rules. The
 	// inlined copies hold their own references, so every rule r referred
-	// to nets uses + (r.uses at entry) - 1 >= +1.
-	for s := r.first(); !s.guard; {
+	// to nets uses + (r.uses at entry) - 1 >= +1. The dismantled symbols,
+	// the rule, and its guard are dead and recycled into the arena (the
+	// digram sweep above dropped every table entry pointing into the RHS).
+	for s := r.first(); !s.isGuard(); {
 		next := s.next
 		if s.r != nil {
 			s.r.uses--
 		}
 		s.next, s.prev, s.r = nil, nil, nil
+		g.arena.freeSymbol(s)
 		s = next
 	}
 	g.deleteRule(r)
+	g.arena.freeRule(r)
 }
 
 // inlineCopy replaces the nonterminal s (a use of rule r) with a fresh
@@ -131,7 +135,7 @@ func (g *Grammar) inlineCopy(s *symbol, r *Rule) {
 	g.deleteDigram(s)    // (s, right); no-op when right is the guard
 
 	var first, last *symbol
-	for t := r.first(); !t.guard; t = t.next {
+	for t := r.first(); !t.isGuard(); t = t.next {
 		c := g.copySymbol(t)
 		if c.r != nil {
 			c.r.uses++
@@ -146,6 +150,7 @@ func (g *Grammar) inlineCopy(s *symbol, r *Rule) {
 	}
 	r.uses--
 	s.next, s.prev, s.r = nil, nil, nil
+	g.arena.freeSymbol(s)
 
 	left.next, first.prev = first, left
 	last.next, right.prev = right, last
@@ -160,13 +165,10 @@ func (g *Grammar) inlineCopy(s *symbol, r *Rule) {
 // the key is already present (pointing elsewhere): the relaxed-mode
 // counterpart of the strict index maintained by check.
 func (g *Grammar) registerIfAbsent(s *symbol) {
-	if s.guard || s.next == nil || s.next.guard {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
 		return
 	}
-	d := digram{s.key(), s.next.key()}
-	if _, ok := g.digrams[d]; !ok {
-		g.digrams[d] = s
-	}
+	g.digrams.lookupOrInsert(digram{s.key(), s.next.key()}, s)
 }
 
 // ResetAnalysisCaches clears the per-rule expansion-length caches the

@@ -71,7 +71,7 @@ func CheckInvariants(g *Grammar) error {
 		if r.id != id {
 			return fmt.Errorf("sequitur: rule table key %d holds rule with id %d", id, r.id)
 		}
-		if r.guard == nil || !r.guard.guard || r.guard.r != r {
+		if r.guard == nil || !r.guard.isGuard() || r.guard.r != r {
 			return fmt.Errorf("sequitur: rule %d guard node corrupt", id)
 		}
 		n := 0
@@ -80,7 +80,7 @@ func CheckInvariants(g *Grammar) error {
 			if s == nil {
 				return fmt.Errorf("sequitur: rule %d: nil symbol after %d right-hand-side positions", id, n)
 			}
-			if s.guard {
+			if s.isGuard() {
 				if s != r.guard {
 					return fmt.Errorf("sequitur: rule %d right-hand side reaches rule %d's guard", id, s.r.id)
 				}
@@ -99,11 +99,11 @@ func CheckInvariants(g *Grammar) error {
 				} else if live != s.r {
 					return fmt.Errorf("sequitur: rule %d references a stale copy of rule %d", id, s.r.id)
 				}
-			} else if s.value&ntBit != 0 {
+			} else if s.value&(ntBit|guardBit) != 0 {
 				return fmt.Errorf("sequitur: rule %d: terminal %#x uses the reserved nonterminal bit", id, s.value)
 			}
 			linked[s] = true
-			if !s.next.guard && g.pending == nil && !g.relaxed {
+			if !s.next.isGuard() && g.pending == nil && !g.relaxed {
 				d := digram{s.key(), s.next.key()}
 				if prev, dup := seen[d]; dup {
 					// Overlapping same-symbol digrams within a run are
@@ -127,25 +127,28 @@ func CheckInvariants(g *Grammar) error {
 
 	// Digram table checks apply only to appendable grammars; ReadBinary
 	// leaves the table nil.
-	if g.digrams != nil {
-		for d, s := range g.digrams {
-			if s == nil || s.guard {
-				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at a guard or nil symbol", d.a, d.b)
-			}
-			if !linked[s] {
-				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at an unlinked symbol", d.a, d.b)
-			}
-			if s.next == nil || s.next.guard {
-				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at a rule's last symbol", d.a, d.b)
-			}
-			if s.key() != d.a || s.next.key() != d.b {
-				return fmt.Errorf("sequitur: digram table entry (%x,%x) points at digram (%x,%x)",
+	if g.digrams.slots != nil {
+		var derr error
+		g.digrams.all(func(d digram, s *symbol) bool {
+			switch {
+			case s.isGuard():
+				derr = fmt.Errorf("sequitur: digram table entry (%x,%x) points at a guard symbol", d.a, d.b)
+			case !linked[s]:
+				derr = fmt.Errorf("sequitur: digram table entry (%x,%x) points at an unlinked symbol", d.a, d.b)
+			case s.next == nil || s.next.isGuard():
+				derr = fmt.Errorf("sequitur: digram table entry (%x,%x) points at a rule's last symbol", d.a, d.b)
+			case s.key() != d.a || s.next.key() != d.b:
+				derr = fmt.Errorf("sequitur: digram table entry (%x,%x) points at digram (%x,%x)",
 					d.a, d.b, s.key(), s.next.key())
 			}
+			return derr == nil
+		})
+		if derr != nil {
+			return derr
 		}
 		if g.pending == nil && !g.relaxed {
 			for d, rid := range seen {
-				if _, ok := g.digrams[d]; !ok {
+				if g.digrams.lookup(d) == nil {
 					return fmt.Errorf("sequitur: digram (%x,%x) in rule %d missing from the digram table", d.a, d.b, rid)
 				}
 			}
@@ -182,7 +185,7 @@ func CheckInvariants(g *Grammar) error {
 		}
 		state[r.id] = 1
 		var total uint64
-		for s := r.guard.next; !s.guard; s = s.next {
+		for s := r.guard.next; !s.isGuard(); s = s.next {
 			if s.r != nil {
 				n, err := lenOf(s.r)
 				if err != nil {

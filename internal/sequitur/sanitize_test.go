@@ -37,6 +37,21 @@ func nonRoot(t *testing.T, g *Grammar) *Rule {
 	return nil
 }
 
+// firstDigram returns an arbitrary digram-table entry.
+func firstDigram(t *testing.T, g *Grammar) (digram, *symbol) {
+	t.Helper()
+	var d digram
+	var s *symbol
+	g.digrams.all(func(dd digram, ss *symbol) bool {
+		d, s = dd, ss
+		return false
+	})
+	if s == nil {
+		t.Fatal("empty digram table")
+	}
+	return d, s
+}
+
 func TestCheckInvariantsCleanGrammars(t *testing.T) {
 	g := buildTestGrammar(t)
 	if err := CheckInvariants(g); err != nil {
@@ -94,34 +109,25 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 		{
 			name: "stale digram table key",
 			corrupt: func(t *testing.T, g *Grammar) {
-				for d, s := range g.digrams {
-					delete(g.digrams, d)
-					g.digrams[digram{d.a ^ 0x5a5a, d.b}] = s
-					return
-				}
-				t.Fatal("empty digram table")
+				d, s := firstDigram(t, g)
+				g.digrams.del(d)
+				g.digrams.set(digram{d.a ^ 0x5a5a, d.b}, s)
 			},
 			want: "digram table entry",
 		},
 		{
 			name: "digram table dropout",
 			corrupt: func(t *testing.T, g *Grammar) {
-				for d := range g.digrams {
-					delete(g.digrams, d)
-					return
-				}
-				t.Fatal("empty digram table")
+				d, _ := firstDigram(t, g)
+				g.digrams.del(d)
 			},
 			want: "missing from the digram table",
 		},
 		{
 			name: "unlinked digram table entry",
 			corrupt: func(t *testing.T, g *Grammar) {
-				for d := range g.digrams {
-					g.digrams[d] = &symbol{value: d.a, next: &symbol{value: d.b}}
-					return
-				}
-				t.Fatal("empty digram table")
+				d, _ := firstDigram(t, g)
+				g.digrams.set(d, &symbol{value: d.a, next: &symbol{value: d.b}})
 			},
 			want: "unlinked symbol",
 		},
@@ -158,7 +164,7 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 			name: "reserved terminal bit",
 			corrupt: func(t *testing.T, g *Grammar) {
 				for _, r := range g.rules {
-					for s := r.first(); !s.guard; s = s.next {
+					for s := r.first(); !s.isGuard(); s = s.next {
 						if s.r == nil {
 							s.value |= ntBit
 							return

@@ -26,15 +26,24 @@ import "fmt"
 
 // A symbol is a node in the doubly-linked list forming a rule's right-hand
 // side. A symbol is either a terminal (r == nil), a nonterminal referencing
-// a rule (r != nil, guard false), or a rule's guard node (guard true). Guard
-// nodes make every RHS circular: guard.next is the first symbol, guard.prev
-// the last.
+// a rule (r != nil, guardBit clear), or a rule's guard node (guardBit set
+// in value). Guard nodes make every RHS circular: guard.next is the first
+// symbol, guard.prev the last.
 type symbol struct {
 	next, prev *symbol
-	value      uint64 // terminal value; unused for nonterminals and guards
-	r          *Rule  // referenced rule (nonterminal) or owning rule (guard)
-	guard      bool
+	// value caches the symbol's digram key: the terminal value, or the
+	// referenced rule's ID with ntBit set. Guard nodes additionally carry
+	// guardBit (over the owning rule's ID), so guardhood is a bit test
+	// rather than a dedicated field and the symbol fits in 32 bytes —
+	// two per cache line in the arena slabs the hot path chases through.
+	// Every site that assigns r keeps value in sync, making key() a
+	// single load on the Append hot path.
+	value uint64
+	r     *Rule // referenced rule (nonterminal) or owning rule (guard)
 }
+
+// isGuard reports whether s is a rule's guard node.
+func (s *symbol) isGuard() bool { return s.value&guardBit != 0 }
 
 // Rule is a grammar production. Rule 0 is the root (the whole sequence);
 // every other rule is referenced at least twice.
@@ -58,18 +67,17 @@ func (r *Rule) first() *symbol { return r.guard.next }
 func (r *Rule) last() *symbol  { return r.guard.prev }
 
 // nonterminal bit distinguishes rule IDs from terminal values in digram
-// keys. Terminals must therefore stay below 1<<63, which the WPS symbol
-// space guarantees.
-const ntBit = uint64(1) << 63
+// keys, and the guard bit marks guard nodes. Terminals must therefore
+// stay below 1<<62, which the WPS symbol space guarantees.
+const (
+	ntBit    = uint64(1) << 63
+	guardBit = uint64(1) << 62
+)
 
 // key returns the digram-table key for a symbol: the terminal value, or the
-// rule ID with the nonterminal bit set.
-func (s *symbol) key() uint64 {
-	if s.r != nil {
-		return ntBit | s.r.id
-	}
-	return s.value
-}
+// rule ID with the nonterminal bit set (cached in value by every site that
+// assigns r).
+func (s *symbol) key() uint64 { return s.value }
 
 type digram struct{ a, b uint64 }
 
@@ -88,7 +96,7 @@ type Options struct {
 // Grammar is a SEQUITUR grammar under construction or analysis.
 type Grammar struct {
 	root    *Rule
-	digrams map[digram]*symbol
+	digrams digramTable
 	rules   map[uint64]*Rule
 	nextID  uint64
 	input   uint64 // number of terminals appended
@@ -103,6 +111,9 @@ type Grammar struct {
 	// pending counts sightings of digrams not yet promoted to rules when
 	// MinRuleOccurrences > 2.
 	pending map[digram]int
+	// arena is the slab allocator symbols and rules come from (arena.go);
+	// it keeps steady-state Append free of per-record heap allocations.
+	arena arena
 }
 
 // New returns an empty grammar using the classic algorithm.
@@ -114,10 +125,10 @@ func NewWithOptions(opts Options) *Grammar {
 		opts.MinRuleOccurrences = 2
 	}
 	g := &Grammar{
-		digrams: make(map[digram]*symbol, 1<<12),
-		rules:   make(map[uint64]*Rule, 1<<8),
-		opts:    opts,
+		rules: make(map[uint64]*Rule, 1<<8),
+		opts:  opts,
 	}
+	g.digrams.init(1 << 10)
 	if opts.MinRuleOccurrences > 2 {
 		g.pending = make(map[digram]int)
 	}
@@ -126,9 +137,12 @@ func NewWithOptions(opts Options) *Grammar {
 }
 
 func (g *Grammar) newRule() *Rule {
-	r := &Rule{id: g.nextID}
+	r := g.arena.allocRule()
+	r.id = g.nextID
 	g.nextID++
-	guard := &symbol{r: r, guard: true}
+	guard := g.arena.allocSymbol()
+	guard.r = r
+	guard.value = ntBit | guardBit | r.id
 	guard.next = guard
 	guard.prev = guard
 	r.guard = guard
@@ -136,6 +150,9 @@ func (g *Grammar) newRule() *Rule {
 	return r
 }
 
+// deleteRule unregisters a rule from the rule table. The rule's storage
+// is recycled separately (arena.freeRule) once its right-hand side has
+// been dismantled or relinked and nothing references it.
 func (g *Grammar) deleteRule(r *Rule) { delete(g.rules, r.id) }
 
 // Root returns the root rule, whose expansion is the input sequence.
@@ -147,7 +164,7 @@ func (g *Grammar) InputLen() uint64 { return g.input }
 // NumRules returns the number of live rules, including the root.
 func (g *Grammar) NumRules() int { return len(g.rules) }
 
-// Append feeds one terminal to the grammar. Values must be below 1<<63.
+// Append feeds one terminal to the grammar. Values must be below 1<<62.
 // It panics on grammars loaded with ReadBinary, which are read-only.
 //
 //lint:hotpath called once per trace event; the paper's online SEQUITUR inner loop
@@ -155,11 +172,12 @@ func (g *Grammar) Append(v uint64) {
 	if g.frozen {
 		panic(ErrFrozen)
 	}
-	if v&ntBit != 0 {
+	if v&(ntBit|guardBit) != 0 {
 		panic("sequitur: terminal value uses reserved nonterminal bit")
 	}
 	g.input++
-	s := &symbol{value: v}
+	s := g.arena.allocSymbol()
+	s.value = v
 	g.insertAfter(g.root.last(), s)
 	g.check(s.prev)
 	if sanitizeHot && (g.input <= sanitizeDense || g.input%sanitizeStride == 0) {
@@ -186,11 +204,11 @@ func (g *Grammar) join(left, right *symbol) {
 
 		if right.prev != nil && right.next != nil &&
 			right.key() == right.prev.key() && right.key() == right.next.key() {
-			g.digrams[digram{right.key(), right.next.key()}] = right
+			g.digrams.set(digram{right.key(), right.next.key()}, right)
 		}
 		if left.prev != nil && left.next != nil &&
 			left.key() == left.next.key() && left.key() == left.prev.key() {
-			g.digrams[digram{left.prev.key(), left.key()}] = left.prev
+			g.digrams.set(digram{left.prev.key(), left.key()}, left.prev)
 		}
 	}
 	left.next = right
@@ -199,7 +217,7 @@ func (g *Grammar) join(left, right *symbol) {
 
 // insertAfter places a fresh symbol s after position pos.
 func (g *Grammar) insertAfter(pos, s *symbol) {
-	if s.r != nil && !s.guard {
+	if s.r != nil && !s.isGuard() {
 		s.r.uses++
 	}
 	g.join(s, pos.next)
@@ -207,41 +225,36 @@ func (g *Grammar) insertAfter(pos, s *symbol) {
 }
 
 // remove unlinks s from its rule, cleaning up the digram table and rule
-// reference counts. It must not be called on guards.
+// reference counts, and recycles the symbol. It must not be called on
+// guards, and the caller must not touch s afterwards.
 func (g *Grammar) remove(s *symbol) {
 	g.join(s.prev, s.next)
 	g.deleteDigram(s)
-	if s.r != nil && !s.guard {
+	if s.r != nil && !s.isGuard() {
 		s.r.uses--
 	}
 	s.next, s.prev = nil, nil
+	g.arena.freeSymbol(s)
 }
 
 // deleteDigram removes the digram starting at s from the table if the table
 // entry points at s.
 func (g *Grammar) deleteDigram(s *symbol) {
-	if s.guard || s.next == nil || s.next.guard {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
 		return
 	}
-	d := digram{s.key(), s.next.key()}
-	if g.digrams[d] == s {
-		delete(g.digrams, d)
-	}
+	g.digrams.delIf(digram{s.key(), s.next.key()}, s)
 }
 
 // check enforces digram uniqueness for the digram beginning at s. It
 // returns true if the grammar changed.
 func (g *Grammar) check(s *symbol) bool {
-	if s == nil || s.guard || s.next == nil || s.next.guard {
+	if s == nil || s.isGuard() || s.next == nil || s.next.isGuard() {
 		return false
 	}
 	d := digram{s.key(), s.next.key()}
-	found, ok := g.digrams[d]
-	if !ok {
-		g.digrams[d] = s
-		return false
-	}
-	if found == s {
+	found := g.digrams.lookupOrInsert(d, s)
+	if found == nil || found == s {
 		return false
 	}
 	if found.next != s {
@@ -257,7 +270,7 @@ func (g *Grammar) check(s *symbol) bool {
 // occurrence recorded in the table.
 func (g *Grammar) match(s, m *symbol) {
 	var r *Rule
-	if m.prev.guard && m.next.next.guard {
+	if m.prev.isGuard() && m.next.next.isGuard() {
 		// The matching digram is the entire RHS of an existing rule:
 		// reuse it.
 		r = m.prev.r
@@ -271,7 +284,7 @@ func (g *Grammar) match(s, m *symbol) {
 			d := digram{s.key(), s.next.key()}
 			if g.pending[d]+2 < g.opts.MinRuleOccurrences {
 				g.pending[d]++
-				g.digrams[d] = s // remember the most recent occurrence
+				g.digrams.set(d, s) // remember the most recent occurrence
 				return
 			}
 			delete(g.pending, d)
@@ -281,11 +294,11 @@ func (g *Grammar) match(s, m *symbol) {
 		g.insertAfter(r.last(), g.copySymbol(s.next))
 		g.substitute(m, r)
 		g.substitute(s, r)
-		g.digrams[digram{r.first().key(), r.first().next.key()}] = r.first()
+		g.digrams.set(digram{r.first().key(), r.first().next.key()}, r.first())
 	}
 	// Rule utility: if the rule's first symbol is a nonterminal used only
 	// once, inline it.
-	if f := r.first(); f.r != nil && !f.guard && f.r.uses == 1 {
+	if f := r.first(); f.r != nil && !f.isGuard() && f.r.uses == 1 {
 		g.expand(f)
 	}
 }
@@ -293,10 +306,10 @@ func (g *Grammar) match(s, m *symbol) {
 // copySymbol returns a fresh symbol with the same content as s, without
 // touching reference counts (insertAfter handles those).
 func (g *Grammar) copySymbol(s *symbol) *symbol {
-	if s.r != nil {
-		return &symbol{r: s.r}
-	}
-	return &symbol{value: s.value}
+	c := g.arena.allocSymbol()
+	c.value = s.value
+	c.r = s.r
+	return c
 }
 
 // substitute replaces the digram starting at s with a nonterminal
@@ -305,14 +318,19 @@ func (g *Grammar) substitute(s *symbol, r *Rule) {
 	q := s.prev
 	g.remove(q.next)
 	g.remove(q.next)
-	g.insertAfter(q, &symbol{r: r})
+	nt := g.arena.allocSymbol()
+	nt.r = r
+	nt.value = ntBit | r.id
+	g.insertAfter(q, nt)
 	if !g.check(q) {
 		g.check(q.next)
 	}
 }
 
 // expand inlines the rule referenced by nonterminal s (which must be its
-// only use), deleting the rule.
+// only use), deleting the rule. The nonterminal, the rule, and its guard
+// are dead afterwards and recycled; the rule's right-hand-side symbols
+// live on, spliced into s's rule.
 func (g *Grammar) expand(s *symbol) {
 	left := s.prev
 	right := s.next
@@ -328,9 +346,15 @@ func (g *Grammar) expand(s *symbol) {
 	g.join(left, f)
 	g.join(l, right)
 
-	if !l.guard && !l.next.guard {
-		g.digrams[digram{l.key(), l.next.key()}] = l
+	if !l.isGuard() && !l.next.isGuard() {
+		g.digrams.set(digram{l.key(), l.next.key()}, l)
 	}
+
+	// Nothing points at s, r, or r's guard anymore: the joins relinked
+	// f.prev and l.next away from the guard, deleteDigram dropped the
+	// only table entry that could point at s, and r's sole use was s.
+	g.arena.freeSymbol(s)
+	g.arena.freeRule(r)
 }
 
 // RHS describes one rule's right-hand side for analysis: for each position,
@@ -348,7 +372,7 @@ func (h RHS) Len() int { return len(h.Refs) }
 // RHS materializes the rule's right-hand side.
 func (r *Rule) RHS() RHS {
 	var h RHS
-	for s := r.first(); !s.guard; s = s.next {
+	for s := r.first(); !s.isGuard(); s = s.next {
 		if s.r != nil {
 			h.Refs = append(h.Refs, s.r)
 			h.Terminals = append(h.Terminals, 0)
@@ -390,7 +414,7 @@ func (g *Grammar) Walk(yield func(v uint64) bool) {
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		s := top.s
-		if s.guard {
+		if s.isGuard() {
 			stack = stack[:len(stack)-1]
 			continue
 		}

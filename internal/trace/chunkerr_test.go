@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// These tests pin the partial-error contract of the batched ReadChunk
+// decode path: corruption mid-batch must report the exact byte offset of
+// the offending record, preserve every event decoded before it, and
+// match errors.Is(ErrCorrupt). The online engine's IngestReader and the
+// locserve upload handler both lean on exactly these semantics to retain
+// the decoded prefix of a corrupt upload and report where it broke.
+
+// mixedFixture builds a buffer whose encoding mixes 9-byte and 13-byte
+// records, so batch decoding cannot assume a uniform stride.
+func mixedFixture(n int) *Buffer {
+	b := NewBuffer(0)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			b.Alloc(uint32(0x100+i), HeapBase+uint32(16*i), 16)
+		case 1, 2:
+			b.Load(uint32(0x300+i), HeapBase+uint32(16*(i-1)))
+		default:
+			b.Store(uint32(0x400+i), HeapBase+uint32(16*(i-3)))
+		}
+	}
+	return b
+}
+
+// encodedSize returns the on-disk size of one event.
+func encodedSize(e Event) uint64 {
+	if e.Kind == Alloc {
+		return allocRecordSize
+	}
+	return refRecordSize
+}
+
+func TestReadChunkMidBatchUnknownKind(t *testing.T) {
+	b := mixedFixture(50)
+	enc := encode(t, b)
+	badOff := uint64(len(enc))
+	enc = append(enc, 7) // kind 7 is unassigned
+	enc = append(enc, encode(t, mixedFixture(3))...)
+
+	tr := NewReader(bytes.NewReader(enc))
+	dst := make([]Event, b.Len()+10)
+	n, err := tr.ReadChunk(dst)
+	if n != b.Len() {
+		t.Fatalf("decoded %d events before the bad byte, want %d", n, b.Len())
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != b.Events()[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, dst[i], b.Events()[i])
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *CorruptError", err)
+	}
+	if !ce.Unknown || ce.Byte != 7 || ce.Offset != badOff {
+		t.Fatalf("CorruptError = %+v, want Unknown byte 7 at offset %d", ce, badOff)
+	}
+	// The bad byte is consumed; the records after it are reachable.
+	if got := tr.Offset(); got != badOff+1 {
+		t.Fatalf("Offset after unknown kind = %d, want %d", got, badOff+1)
+	}
+	m, err := tr.ReadChunk(dst)
+	if m != 3 {
+		t.Fatalf("decoded %d events after skipping the bad byte, want 3 (err %v)", m, err)
+	}
+}
+
+func TestReadChunkMidBatchTruncated(t *testing.T) {
+	b := mixedFixture(40)
+	enc := encode(t, b)
+	last := b.Events()[b.Len()-1]
+	lastSize := encodedSize(last)
+	lastOff := uint64(len(enc)) - lastSize
+
+	for cut := uint64(1); cut < lastSize; cut++ {
+		tr := NewReader(bytes.NewReader(enc[:lastOff+cut]))
+		dst := make([]Event, b.Len())
+		n, err := tr.ReadChunk(dst)
+		if n != b.Len()-1 {
+			t.Fatalf("cut=%d: decoded %d events, want %d", cut, n, b.Len()-1)
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != b.Events()[i] {
+				t.Fatalf("cut=%d: event %d = %+v, want %+v", cut, i, dst[i], b.Events()[i])
+			}
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: err = %v, want ErrCorrupt", cut, err)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("cut=%d: err = %T, want *CorruptError", cut, err)
+		}
+		if ce.Unknown || ce.Kind != last.Kind || ce.Offset != lastOff {
+			t.Fatalf("cut=%d: CorruptError = %+v, want truncated %v at offset %d",
+				cut, ce, last.Kind, lastOff)
+		}
+		// io.ReadFull's convention for the record body: io.EOF when the
+		// stream ended right after the kind byte, io.ErrUnexpectedEOF
+		// after a partial body.
+		want := io.ErrUnexpectedEOF
+		if cut == 1 {
+			want = io.EOF
+		}
+		if ce.Err != want {
+			t.Fatalf("cut=%d: CorruptError.Err = %v, want %v", cut, ce.Err, want)
+		}
+	}
+}
+
+// TestReadChunkFragmentedSource forces the refill/compaction slow path
+// on every byte: a one-byte-at-a-time source must still yield the exact
+// event sequence.
+func TestReadChunkFragmentedSource(t *testing.T) {
+	b := mixedFixture(200)
+	enc := encode(t, b)
+	tr := NewReader(iotest.OneByteReader(bytes.NewReader(enc)))
+	var got []Event
+	chunk := make([]Event, 17)
+	for {
+		n, err := tr.ReadChunk(chunk)
+		got = append(got, chunk[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != b.Len() {
+		t.Fatalf("decoded %d events, want %d", len(got), b.Len())
+	}
+	for i, e := range got {
+		if e != b.Events()[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, e, b.Events()[i])
+		}
+	}
+	if want := uint64(len(enc)); tr.Offset() != want {
+		t.Fatalf("Offset = %d, want %d", tr.Offset(), want)
+	}
+}
+
+// TestReadChunkOffsetsAcrossRefills checks Offset bookkeeping when
+// records straddle the internal buffer boundary: enough records to force
+// several 64 KiB refills, verified against a running sum of record
+// sizes.
+func TestReadChunkOffsetsAcrossRefills(t *testing.T) {
+	b := mixedFixture(3 * readerBufSize / refRecordSize)
+	enc := encode(t, b)
+	if len(enc) <= 2*readerBufSize {
+		t.Fatalf("fixture too small to straddle refills: %d bytes", len(enc))
+	}
+	tr := NewReader(bytes.NewReader(enc))
+	chunk := make([]Event, 1000)
+	var events, bytesSeen uint64
+	for {
+		n, err := tr.ReadChunk(chunk)
+		for _, e := range chunk[:n] {
+			bytesSeen += encodedSize(e)
+		}
+		events += uint64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Offset() != bytesSeen {
+			t.Fatalf("Offset = %d after %d events, want %d", tr.Offset(), events, bytesSeen)
+		}
+	}
+	if events != uint64(b.Len()) || bytesSeen != uint64(len(enc)) {
+		t.Fatalf("decoded %d events / %d bytes, want %d / %d",
+			events, bytesSeen, b.Len(), len(enc))
+	}
+}

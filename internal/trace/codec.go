@@ -125,12 +125,28 @@ func (tw *Writer) Flush() error {
 	return tw.err
 }
 
-// Reader decodes events from an underlying stream.
+// readerBufSize is the Reader's decode-buffer size: one read syscall (or
+// one connection-buffer drain) per 64 KiB of trace, ~7 000 records per
+// refill.
+const readerBufSize = 1 << 16
+
+// Reader decodes events from an underlying stream. It owns its buffer:
+// records are decoded in place from the buffered region (straight off
+// the connection buffer on the network paths, with no intermediate
+// copy), and ReadChunk decodes whole buffered regions with one bounds
+// check per record batch instead of a per-record readFull.
 type Reader struct {
-	r *bufio.Reader
-	// off is the byte offset of the next unread record, reported in
-	// corruption errors so a damaged trace file can be located with
-	// dd/xxd rather than by re-counting records.
+	src io.Reader
+	buf []byte
+	// pos/lim delimit the unconsumed buffered bytes: buf[pos:lim].
+	pos, lim int
+	// srcErr is the sticky terminal condition of src (io.EOF included):
+	// once set, no further src.Read calls are made.
+	srcErr error
+	// off is the byte offset of the next unread record (= stream offset
+	// of buf[pos]), reported in corruption errors so a damaged trace
+	// file can be located with dd/xxd rather than by re-counting
+	// records.
 	off uint64
 
 	// Decode instrumentation. Handles are resolved once at construction
@@ -152,7 +168,7 @@ const obsFlushEvery = 4096
 //
 //lint:coldpath stream constructor; one allocation per upload, not per record
 func NewReader(r io.Reader) *Reader {
-	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	tr := &Reader{src: r, buf: make([]byte, readerBufSize)}
 	if reg := obs.Default(); reg != nil {
 		tr.obsRecords = reg.Counter("trace.records")
 		tr.obsBytes = reg.Counter("trace.bytes")
@@ -171,68 +187,91 @@ func (tr *Reader) flushObs() {
 // Offset returns the byte offset of the next record to be decoded.
 func (tr *Reader) Offset() uint64 { return tr.off }
 
-// readFull fills buf from the buffered reader, with io.ReadFull's
-// contract (io.EOF only with nothing read, io.ErrUnexpectedEOF after a
-// partial fill). Calling the *bufio.Reader directly avoids re-boxing it
-// into an io.Reader parameter on every record decode.
-func (tr *Reader) readFull(buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		m, err := tr.r.Read(buf[n:])
-		n += m
+// fill compacts the unconsumed tail to the front of the buffer and reads
+// more bytes from the source. Like bufio, it performs at most one
+// successful src.Read — a network source hands over whatever is in the
+// connection buffer without blocking for a full 64 KiB. On source error
+// (io.EOF included) it records the error and stops reading for good.
+func (tr *Reader) fill() {
+	if tr.srcErr != nil {
+		return
+	}
+	if tr.pos > 0 {
+		copy(tr.buf, tr.buf[tr.pos:tr.lim])
+		tr.lim -= tr.pos
+		tr.pos = 0
+	}
+	for tr.lim < len(tr.buf) {
+		m, err := tr.src.Read(tr.buf[tr.lim:])
+		tr.lim += m
 		if err != nil {
-			if err == io.EOF && n > 0 {
-				err = io.ErrUnexpectedEOF
-			}
-			return n, err
+			tr.srcErr = err
+			return
+		}
+		if m > 0 {
+			return
 		}
 	}
-	return n, nil
 }
 
 // Read decodes the next event. It returns io.EOF at a clean end of stream
 // and ErrCorrupt if the stream ends mid-record or contains an unknown
 // kind; corruption errors carry the byte offset of the offending record.
 func (tr *Reader) Read() (Event, error) {
-	start := tr.off
-	k, err := tr.r.ReadByte()
-	if err != nil {
+	for tr.lim == tr.pos && tr.srcErr == nil {
+		tr.fill()
+	}
+	if tr.lim == tr.pos {
 		if tr.obsRecords != nil {
 			tr.flushObs()
 		}
-		if err == io.EOF {
-			return Event{}, io.EOF
-		}
-		return Event{}, err
+		return Event{}, tr.srcErr
 	}
-	tr.off++
+	start := tr.off
+	k := tr.buf[tr.pos]
 	kind := Kind(k & 7)
-	thread := k >> 3
 	if kind > Path {
+		// The bad kind byte is consumed: a caller that chooses to skip
+		// past the corruption resumes at the next byte.
+		tr.pos++
+		tr.off++
 		return Event{}, errUnknownKind(k&7, start)
 	}
-	n := refRecordSize - 1
+	sz := refRecordSize
 	if kind == Alloc {
-		n = allocRecordSize - 1
+		sz = allocRecordSize
 	}
-	var buf [allocRecordSize - 1]byte
-	got, err := tr.readFull(buf[:n])
-	tr.off += uint64(got)
-	if err != nil {
+	for tr.lim-tr.pos < sz && tr.srcErr == nil {
+		tr.fill()
+	}
+	if avail := tr.lim - tr.pos; avail < sz {
+		// Truncated record: the stream ended (or broke) mid-record.
+		// Consume the fragment; errors follow io.ReadFull's convention
+		// for the record body (io.EOF with zero body bytes read,
+		// io.ErrUnexpectedEOF after a partial body).
+		tr.pos = tr.lim
+		tr.off += uint64(avail)
+		err := tr.srcErr
+		if err == io.EOF && avail > 1 {
+			err = io.ErrUnexpectedEOF
+		}
 		if tr.obsRecords != nil {
 			tr.flushObs()
 		}
 		return Event{}, errTruncated(kind, start, err)
 	}
+	b := tr.buf[tr.pos:]
 	e := Event{
 		Kind:   kind,
-		Thread: thread,
-		PC:     binary.LittleEndian.Uint32(buf[0:4]),
-		Addr:   binary.LittleEndian.Uint32(buf[4:8]),
+		Thread: k >> 3,
+		PC:     binary.LittleEndian.Uint32(b[1:5]),
+		Addr:   binary.LittleEndian.Uint32(b[5:9]),
 	}
 	if kind == Alloc {
-		e.Size = binary.LittleEndian.Uint32(buf[8:12])
+		e.Size = binary.LittleEndian.Uint32(b[9:13])
 	}
+	tr.pos += sz
+	tr.off += uint64(sz)
 	if tr.obsRecords != nil {
 		if tr.pendRecs++; tr.pendRecs >= obsFlushEvery {
 			tr.flushObs()

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 )
@@ -21,19 +22,23 @@ var ErrStop = errors.New("trace: stop iteration")
 // not ready for use; call NewStatsAccum.
 type StatsAccum struct {
 	s     Stats
-	addrs map[uint32]struct{}
-	pcs   map[uint32]struct{}
+	addrs u32set
+	pcs   u32set
 }
 
 // NewStatsAccum returns an empty accumulator.
+//
+//lint:coldpath accumulator construction; runs once per session or pass
 func NewStatsAccum() *StatsAccum {
-	return &StatsAccum{
-		addrs: make(map[uint32]struct{}, 1<<16),
-		pcs:   make(map[uint32]struct{}, 1<<12),
-	}
+	a := &StatsAccum{}
+	a.addrs.initSet(1 << 14)
+	a.pcs.initSet(1 << 10)
+	return a
 }
 
 // Add accumulates one event.
+//
+//lint:hotpath per-event statistics; runs once per record on batch and online paths
 func (a *StatsAccum) Add(e Event) {
 	switch e.Kind {
 	case Load, Store:
@@ -51,8 +56,8 @@ func (a *StatsAccum) Add(e Event) {
 		case RegionStack, RegionOther:
 			// Counted in Refs but attributed to no tracked region.
 		}
-		a.addrs[e.Addr] = struct{}{}
-		a.pcs[e.PC] = struct{}{}
+		a.addrs.add(e.Addr)
+		a.pcs.add(e.PC)
 		a.s.TraceBytes += refRecordSize
 	case Alloc:
 		a.s.Allocs++
@@ -69,8 +74,8 @@ func (a *StatsAccum) Add(e Event) {
 // Stats returns the statistics accumulated so far.
 func (a *StatsAccum) Stats() Stats {
 	s := a.s
-	s.Addresses = uint64(len(a.addrs))
-	s.PCs = uint64(len(a.pcs))
+	s.Addresses = uint64(a.addrs.len())
+	s.PCs = uint64(a.pcs.len())
 	return s
 }
 
@@ -117,7 +122,54 @@ func Decode(r io.Reader, fn func(Event) error) error {
 //
 //lint:hotpath chunked decode loop feeding online ingest
 func (tr *Reader) ReadChunk(dst []Event) (int, error) {
-	for n := range dst {
+	n := 0
+	for n < len(dst) {
+		// Fast path: while the buffered region is guaranteed to contain a
+		// whole record of either size, decode in place with one bounds
+		// check per record (the loop condition) — no refill checks, no
+		// per-record copy out of the buffer.
+		if tr.lim-tr.pos >= allocRecordSize {
+			buf, pos := tr.buf, tr.pos
+			lim := tr.lim - (allocRecordSize - 1)
+			start := pos
+			recs := uint64(0)
+			for n < len(dst) && pos < lim {
+				k := buf[pos]
+				kind := Kind(k & 7)
+				if kind > Path {
+					break
+				}
+				b := buf[pos:]
+				e := Event{
+					Kind:   kind,
+					Thread: k >> 3,
+					PC:     binary.LittleEndian.Uint32(b[1:5]),
+					Addr:   binary.LittleEndian.Uint32(b[5:9]),
+				}
+				if kind == Alloc {
+					e.Size = binary.LittleEndian.Uint32(b[9:13])
+					pos += allocRecordSize
+				} else {
+					pos += refRecordSize
+				}
+				dst[n] = e
+				n++
+				recs++
+			}
+			tr.pos = pos
+			tr.off += uint64(pos - start)
+			if tr.obsRecords != nil {
+				if tr.pendRecs += recs; tr.pendRecs >= obsFlushEvery {
+					tr.flushObs()
+				}
+			}
+			if n == len(dst) {
+				break
+			}
+		}
+		// Slow path: fewer than allocRecordSize buffered bytes (refill /
+		// stream tail) or a bad kind byte — Read handles refills, EOF and
+		// the exact corruption semantics, then the fast loop resumes.
 		e, err := tr.Read()
 		if err != nil {
 			if err == io.EOF && n > 0 {
@@ -126,8 +178,9 @@ func (tr *Reader) ReadChunk(dst []Event) (int, error) {
 			return n, err
 		}
 		dst[n] = e
+		n++
 	}
-	return len(dst), nil
+	return n, nil
 }
 
 // StreamStats computes Table-1 statistics directly from an encoded

@@ -1,0 +1,101 @@
+package trace
+
+// u32set is an insert-only open-addressing set of uint32 keys, the
+// specialized replacement for map[uint32]struct{} in StatsAccum: the
+// unique-address and unique-PC sets are updated once per reference on
+// the ingest hot path, where generic map-assign machinery (hashing,
+// group probing, growth bookkeeping) dominated the accumulator's cost.
+// Zero is stored out of band (an all-zero slot marks "empty"), probing
+// is linear in a power-of-two slot array, and load is kept at or below
+// 1/2 so probe chains stay short. Sets never shrink and support no
+// deletion — Stats only ever needs cardinality.
+type u32set struct {
+	slots []uint32
+	mask  uint32
+	n     int
+	zero  bool   // key 0 present (slot value 0 means "empty")
+	last  uint32 // most recently added nonzero key (references repeat)
+}
+
+// initSet sizes the set to hold hint entries without growing.
+//
+//lint:coldpath set construction; runs once per accumulator
+func (t *u32set) initSet(hint int) {
+	size := 8
+	for size < hint*2 {
+		size *= 2
+	}
+	t.slots = make([]uint32, size)
+	t.mask = uint32(size - 1)
+}
+
+// hash is a multiply-xorshift mix: keys are addresses and PCs, whose low
+// bits carry alignment structure that must not map straight to slots.
+func (t *u32set) hash(k uint32) uint32 {
+	h := k * 0x9E3779B9
+	h ^= h >> 16
+	h *= 0x85EBCA6B
+	h ^= h >> 13
+	return h
+}
+
+// add inserts k if absent. Consecutive references frequently touch the
+// same word, so the previous key short-circuits before any probe.
+func (t *u32set) add(k uint32) {
+	if k == 0 {
+		if !t.zero {
+			t.zero = true
+			t.n++
+		}
+		return
+	}
+	if k == t.last {
+		return
+	}
+	t.last = k
+	i := t.hash(k) & t.mask
+	for {
+		v := t.slots[i]
+		if v == 0 {
+			t.slots[i] = k
+			t.n++
+			t.maybeGrow()
+			return
+		}
+		if v == k {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// len returns the number of distinct keys added.
+func (t *u32set) len() int { return t.n }
+
+// maybeGrow doubles the slot array when load exceeds 1/2. The out-of-band
+// zero key occupies no slot but is counted in n; the off-by-one is noise
+// against the 1/2 threshold.
+func (t *u32set) maybeGrow() {
+	if t.n*2 > len(t.slots) {
+		t.grow()
+	}
+}
+
+// grow rehashes into a slot array twice the size.
+//
+//lint:coldpath amortized set growth; runs per doubling, never per record
+func (t *u32set) grow() {
+	old := t.slots
+	t.slots = make([]uint32, 2*len(old))
+	t.mask = uint32(len(t.slots) - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := t.hash(k) & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = k
+	}
+}

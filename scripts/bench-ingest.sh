@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Benchmark the ingest hot path and emit BENCH_ingest.json: in-process
+# engine throughput (BenchmarkOnlineIngest/exact) and end-to-end HTTP
+# ingest throughput (BenchmarkHTTPIngest), each as minimum ns/op across
+# BENCH_COUNT runs, converted to records/s. The JSON records the PR-3
+# baseline (the committed BENCH_pipeline.json ingest number before the
+# arena/batched-decode work) and the 10M records/s north-star target, so
+# the trajectory across PRs stays auditable.
+#
+# The script is also the allocation regression gate: if a committed
+# BENCH_ingest.json exists at the repository root, the freshly measured
+# allocs/op for each path must not exceed the committed value by more
+# than ALLOC_SLACK_PCT percent (plus a small absolute slack for run
+# jitter). A per-record allocation regression moves allocs/op by orders
+# of magnitude, so the gate holds at any BENCH_SCALE — CI runs it at a
+# reduced scale as a smoke.
+#
+# Environment:
+#   BENCH_COUNT (default 5)      runs per benchmark; the minimum is kept
+#   BENCH_SCALE (default 60000)  references per generated workload
+#   OUT         (default BENCH_ingest.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+count=${BENCH_COUNT:-5}
+scale=${BENCH_SCALE:-60000}
+out=${OUT:-BENCH_ingest.json}
+committed=BENCH_ingest.json
+alloc_slack_pct=${ALLOC_SLACK_PCT:-20}
+alloc_slack_abs=16
+
+# PR-3 ingest baseline, from the BENCH_pipeline.json committed by the
+# stage-pipeline PR: 72962998 ns/op over 65015 records (boxsim, scale
+# 60000) — about 0.89M records/s — measured before the arena allocator,
+# the specialized digram table, and the batched decode path.
+baseline_ns=72962998
+baseline_records=65015
+target_rec_s=10000000
+
+# Read the committed allocs/op gate values before OUT (which may be the
+# same file) is rewritten.
+committed_allocs() { # $1 = section name (in_process | http)
+  [ -f "$committed" ] || return 0
+  awk -v sec="\"$1\"" '
+    index($0, sec) { insec = 1 }
+    insec && /"allocs_op"/ { gsub(/[^0-9]/, ""); print; exit }' "$committed"
+}
+gate_inproc=$(committed_allocs in_process)
+gate_http=$(committed_allocs http)
+
+raw_inproc=$(mktemp)
+raw_http=$(mktemp)
+trap 'rm -f "$raw_inproc" "$raw_http"' EXIT
+
+BENCH_SCALE=$scale go test -run '^$' -count="$count" -benchmem \
+  -bench 'BenchmarkOnlineIngest/exact$' . | tee "$raw_inproc"
+BENCH_SCALE=$scale go test -run '^$' -count="$count" -benchmem \
+  -bench 'BenchmarkHTTPIngest$' ./cmd/locserve/ | tee "$raw_http"
+
+# Minimum value of one benchmark metric across runs (noise only ever
+# inflates a run). Benchmark names carry a -GOMAXPROCS suffix only when
+# it is not 1; strip it and compare exactly.
+pick() { # $1 = file, $2 = benchmark name, $3 = unit
+  awk -v name="$2" -v unit="$3" '
+    /ns\/op/ {
+      n = $1
+      sub(/-[0-9]+$/, "", n)
+      if (n != name) next
+      v = ""
+      for (i = 3; i < NF; i += 2) if ($(i + 1) == unit) v = $i + 0
+      if (v != "" && (best == "" || v < best)) best = v
+    }
+    END { print best }' "$1"
+}
+
+ip_ns=$(pick "$raw_inproc" 'BenchmarkOnlineIngest/exact' 'ns/op')
+ip_records=$(pick "$raw_inproc" 'BenchmarkOnlineIngest/exact' 'records/op')
+ip_allocs=$(pick "$raw_inproc" 'BenchmarkOnlineIngest/exact' 'allocs/op')
+ht_ns=$(pick "$raw_http" 'BenchmarkHTTPIngest' 'ns/op')
+ht_records=$(pick "$raw_http" 'BenchmarkHTTPIngest' 'records/op')
+ht_allocs=$(pick "$raw_http" 'BenchmarkHTTPIngest' 'allocs/op')
+
+for v in "$ip_ns" "$ip_records" "$ip_allocs" "$ht_ns" "$ht_records" "$ht_allocs"; do
+  [ -n "$v" ] || { echo "bench-ingest: missing benchmark result" >&2; exit 1; }
+done
+
+rec_s() { awk -v ns="$1" -v rec="$2" 'BEGIN { printf "%.0f", rec / ns * 1e9 }'; }
+speedup() { awk -v s="$1" -v b="$2" 'BEGIN { printf "%.2f", s / b }'; }
+
+baseline_rec_s=$(rec_s "$baseline_ns" "$baseline_records")
+ip_rec_s=$(rec_s "$ip_ns" "$ip_records")
+ht_rec_s=$(rec_s "$ht_ns" "$ht_records")
+ip_speedup=$(speedup "$ip_rec_s" "$baseline_rec_s")
+ht_speedup=$(speedup "$ht_rec_s" "$baseline_rec_s")
+
+cat > "$out" <<EOF
+{
+  "benchmark": "ingest-hot-path",
+  "scale": $scale,
+  "count": $count,
+  "target_rec_per_s": $target_rec_s,
+  "baseline": {
+    "source": "BENCH_pipeline.json ingest obs_off_ns_op (pre-arena seed)",
+    "ns_op": $baseline_ns,
+    "records_op": $baseline_records,
+    "rec_per_s": $baseline_rec_s
+  },
+  "in_process": {
+    "ns_op": $ip_ns,
+    "records_op": $ip_records,
+    "rec_per_s": $ip_rec_s,
+    "allocs_op": $ip_allocs,
+    "speedup_vs_baseline": $ip_speedup
+  },
+  "http": {
+    "ns_op": $ht_ns,
+    "records_op": $ht_records,
+    "rec_per_s": $ht_rec_s,
+    "allocs_op": $ht_allocs,
+    "speedup_vs_baseline": $ht_speedup
+  }
+}
+EOF
+echo "bench-ingest: in-process ${ip_rec_s} rec/s (${ip_speedup}x), http ${ht_rec_s} rec/s (${ht_speedup}x) -> $out"
+
+gate() { # $1 = label, $2 = measured allocs, $3 = committed allocs
+  [ -n "$3" ] || return 0
+  awk -v m="$2" -v c="$3" -v pct="$alloc_slack_pct" -v abs="$alloc_slack_abs" '
+    BEGIN { exit m > c * (1 + pct / 100) + abs ? 1 : 0 }' || {
+    echo "bench-ingest: $1 allocs/op regressed: $2 > committed $3 (+${alloc_slack_pct}%)" >&2
+    exit 1
+  }
+}
+gate "in-process" "$ip_allocs" "$gate_inproc"
+gate "http" "$ht_allocs" "$gate_http"
