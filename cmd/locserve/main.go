@@ -55,6 +55,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/online"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -88,7 +89,7 @@ func main() {
 		}
 	}
 
-	srv := newServer(opts, *workers, st)
+	srv := serve.New(opts, *workers, st)
 
 	// The listener runs in a goroutine joined through errCh; main owns
 	// shutdown. On SIGINT/SIGTERM it closes (and, with -store, persists)
@@ -96,7 +97,7 @@ func main() {
 	// unblocks the goroutine.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
 		errCh <- hs.ListenAndServe()
@@ -110,7 +111,7 @@ func main() {
 	case <-sig:
 	}
 
-	closed := srv.closeAll()
+	closed := srv.CloseAll()
 	fmt.Fprintf(os.Stderr, "locserve: shutting down, closed %d sessions\n", len(closed))
 	for _, c := range closed {
 		if c.Artifact != "" {

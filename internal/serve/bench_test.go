@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -32,7 +32,7 @@ func benchScale() int {
 // nanosecond at the service boundary — the number BENCH_ingest.json
 // tracks against the 5M rec/s wire target.
 func BenchmarkHTTPIngest(b *testing.B) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 	buf := genTrace(b, "boxsim", benchScale(), 1)
 	enc := encodeEvents(b, buf.Events())

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -18,7 +18,7 @@ import (
 // these exact names, so renaming one is a breaking change that must
 // show up in review as an edit to this list.
 func TestMetricNamesStable(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 
 	b := genTrace(t, "boxsim", 5_000, 1)

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -29,7 +29,7 @@ type ingestResponse struct {
 // otherwise get 410 Gone. Run under -race, this also exercises the
 // drain ordering between beginIngest, the engine loop, and close.
 func TestCloseVsIngestRace(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 
 	b := genTrace(t, "boxsim", 4000, 7)
@@ -61,7 +61,7 @@ func TestCloseVsIngestRace(t *testing.T) {
 		if closeCode != http.StatusOK {
 			t.Fatalf("round %d: close status %d: %s", round, closeCode, closeBody)
 		}
-		var closed closeResult
+		var closed CloseResult
 		if err := json.Unmarshal(closeBody, &closed); err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func TestCloseVsIngestRace(t *testing.T) {
 			if code != http.StatusOK {
 				t.Fatalf("round %d: successor close status %d: %s", round, code, body)
 			}
-			var succ closeResult
+			var succ CloseResult
 			if err := json.Unmarshal(body, &succ); err != nil {
 				t.Fatal(err)
 			}
@@ -112,7 +112,7 @@ func TestCloseVsIngestRace(t *testing.T) {
 // body, so status endpoints must answer while an upload sits stalled
 // mid-record.
 func TestSlowClientDoesNotBlockStatus(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 
 	b := genTrace(t, "boxsim", 2000, 5)
@@ -193,7 +193,7 @@ func TestSlowClientDoesNotBlockStatus(t *testing.T) {
 // close semantics: an ingest that starts after close completed creates
 // a new session under the same name rather than 410ing forever.
 func TestIngestAfterCloseCreatesFreshSession(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 
 	b := genTrace(t, "boxsim", 1500, 11)

@@ -1,4 +1,10 @@
-package main
+// Package serve implements the locserve HTTP service: a registry of
+// per-session online analysis engines behind JSON endpoints, factored
+// out of cmd/locserve so the sharded gateway (internal/cluster) can
+// spin up real shards in-process for its equivalence and scale tests.
+// The metric names stay under "locserve." — the process serving them
+// is still locserve, whether standalone or as a shard behind locgate.
+package serve
 
 import (
 	"encoding/json"
@@ -44,13 +50,13 @@ var (
 // grammar rules across every session of every server.
 var registry struct {
 	mu      sync.Mutex
-	servers []*server
+	servers []*Server
 }
 
 func init() {
 	metrics.GaugeFunc("locserve.rules", func() int64 {
 		registry.mu.Lock()
-		servers := append([]*server(nil), registry.servers...)
+		servers := append([]*Server(nil), registry.servers...)
 		registry.mu.Unlock()
 		var total int64
 		for _, s := range servers {
@@ -229,10 +235,10 @@ func (sess *session) ingestLoop() {
 	}
 }
 
-// server is the locality service: a registry of per-session online
+// Server is the locality service: a registry of per-session online
 // analysis engines behind JSON endpoints. With a store attached, closed
 // sessions persist their final snapshot as a history artifact.
-type server struct {
+type Server struct {
 	opts    online.Options
 	workers int
 	st      *store.Store // nil: sessions are ephemeral
@@ -241,8 +247,8 @@ type server struct {
 	sessions map[string]*session
 }
 
-func newServer(opts online.Options, workers int, st *store.Store) *server {
-	s := &server{
+func New(opts online.Options, workers int, st *store.Store) *Server {
+	s := &Server{
 		opts:     opts,
 		workers:  parallel.Workers(workers),
 		st:       st,
@@ -256,7 +262,7 @@ func newServer(opts online.Options, workers int, st *store.Store) *server {
 
 // handler builds the service mux: the v1 API plus expvar and pprof
 // diagnostics.
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/close", s.handleClose)
@@ -282,7 +288,7 @@ func (s *server) handler() http.Handler {
 }
 
 // getSession returns the named session, creating it if create is set.
-func (s *server) getSession(name string, create bool) *session {
+func (s *Server) getSession(name string, create bool) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess := s.sessions[name]
@@ -295,7 +301,7 @@ func (s *server) getSession(name string, create bool) *session {
 // newSession builds and registers a session. Callers hold s.mu.
 //
 //lint:coldpath session construction; runs once per session name, not per record
-func (s *server) newSession(name string) *session {
+func (s *Server) newSession(name string) *session {
 	sess := &session{
 		name:   name,
 		engine: online.NewEngine(s.opts),
@@ -313,7 +319,7 @@ func (s *server) newSession(name string) *session {
 }
 
 // sessionNames returns the session names in sorted order.
-func (s *server) sessionNames() []string {
+func (s *Server) sessionNames() []string {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.sessions))
 	for n := range s.sessions {
@@ -324,7 +330,7 @@ func (s *server) sessionNames() []string {
 	return names
 }
 
-func (s *server) totalRules() int64 {
+func (s *Server) totalRules() int64 {
 	var total int64
 	for _, name := range s.sessionNames() {
 		if sess := s.getSession(name, false); sess != nil {
@@ -363,7 +369,7 @@ func (sess *session) statusLocked() sessionStatus {
 // in arrival order.
 //
 //lint:hotpath serves the live upload stream; runs per POST with the decode loop inside
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -425,7 +431,7 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSessions lists every session: GET /v1/sessions.
-func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -446,7 +452,7 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 
 // snapshotSession runs online detection for one session. The session
 // lock covers the whole snapshot: the engine is single-threaded.
-func (s *server) snapshotSession(name string) (*online.Snapshot, bool) {
+func (s *Server) snapshotSession(name string) (*online.Snapshot, bool) {
 	sess := s.getSession(name, false)
 	if sess == nil {
 		return nil, false
@@ -462,7 +468,7 @@ func (s *server) snapshotSession(name string) (*online.Snapshot, bool) {
 // to locserve -batch over the same records when eviction is off), or GET
 // /v1/snapshot for every session keyed by name, the per-session
 // detections fanned out across the worker pool.
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -497,7 +503,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // sectionHandler serves one snapshot section for a required session.
-func (s *server) sectionHandler(section func(*online.Snapshot) any) http.HandlerFunc {
+func (s *Server) sectionHandler(section func(*online.Snapshot) any) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -517,9 +523,9 @@ func (s *server) sectionHandler(section func(*online.Snapshot) any) http.Handler
 	}
 }
 
-// closeResult is the /v1/close response body (and one row of the
+// CloseResult is the /v1/close response body (and one row of the
 // close-all summary at shutdown).
-type closeResult struct {
+type CloseResult struct {
 	Session string `json:"session"`
 	Events  uint64 `json:"events"`
 	Refs    uint64 `json:"refs"`
@@ -535,13 +541,13 @@ type closeResult struct {
 // the closed flag then catches ingests that resolved the pointer before
 // the removal (they get 410). In-flight uploads drain before the final
 // snapshot — every record a 200 ingest response vouched for is in it.
-func (s *server) closeSession(name string) (closeResult, bool, error) {
+func (s *Server) closeSession(name string) (CloseResult, bool, error) {
 	s.mu.Lock()
 	sess := s.sessions[name]
 	delete(s.sessions, name)
 	s.mu.Unlock()
 	if sess == nil {
-		return closeResult{}, false, nil
+		return CloseResult{}, false, nil
 	}
 	sess.markClosed()
 	// Drain, holding no lock across the waits: admitted uploads finish
@@ -556,7 +562,7 @@ func (s *server) closeSession(name string) (closeResult, bool, error) {
 	defer sess.mu.Unlock()
 	mSnapshots.Add(1)
 	snap := sess.engine.Snapshot()
-	res := closeResult{Session: name, Events: sess.engine.Events(), Refs: sess.engine.Refs()}
+	res := CloseResult{Session: name, Events: sess.engine.Events(), Refs: sess.engine.Refs()}
 	if s.st == nil {
 		return res, true, nil
 	}
@@ -585,8 +591,8 @@ func (s *server) closeSession(name string) (closeResult, bool, error) {
 
 // closeAll closes every live session (used at graceful shutdown so a
 // store-backed server persists everything it learned).
-func (s *server) closeAll() []closeResult {
-	var out []closeResult
+func (s *Server) CloseAll() []CloseResult {
+	var out []CloseResult
 	for _, name := range s.sessionNames() {
 		if res, ok, err := s.closeSession(name); ok {
 			if err != nil {
@@ -602,7 +608,7 @@ func (s *server) closeAll() []closeResult {
 // last snapshot, persists it to the store (when configured), and removes
 // the session's engine. The response reports the history artifact so a
 // client (or CI job) can hand the ref straight to locdiff.
-func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -636,7 +642,7 @@ type historyEntry struct {
 // handleHistory serves persisted snapshots: GET /v1/history lists every
 // history artifact; GET /v1/history?name=history/S/0001 returns the
 // stored snapshot JSON byte-for-byte.
-func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -128,7 +128,7 @@ func batchSnapshot(t testing.TB, b *trace.Buffer) []byte {
 // shell).
 func TestServedSnapshotMatchesBatch(t *testing.T) {
 	b := genTrace(t, "boxsim", 20_000, 1)
-	ts := httptest.NewServer(newServer(online.Options{}, 2, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 2, nil).Handler())
 	defer ts.Close()
 
 	for _, part := range chunkEvents(b.Events(), 3) {
@@ -154,7 +154,7 @@ func TestServedSnapshotMatchesBatch(t *testing.T) {
 // reference — concurrency must not leak records across sessions.
 func TestConcurrentIngestHammer(t *testing.T) {
 	const sessions = 8
-	ts := httptest.NewServer(newServer(online.Options{}, 0, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 0, nil).Handler())
 	defer ts.Close()
 
 	recordsBefore := counter(t, "locserve.records")
@@ -251,7 +251,7 @@ func TestConcurrentIngestHammer(t *testing.T) {
 // TestAllSessionsSnapshot checks the aggregate endpoint fans detection
 // across sessions and keys results by name.
 func TestAllSessionsSnapshot(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 2, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 2, nil).Handler())
 	defer ts.Close()
 	for i := 0; i < 3; i++ {
 		b := genTrace(t, "boxsim", 4_000, int64(i+1))
@@ -279,7 +279,7 @@ func TestAllSessionsSnapshot(t *testing.T) {
 }
 
 func TestSectionEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 	b := genTrace(t, "boxsim", 5_000, 1)
 	if code, body := post(t, ts.URL+"/v1/ingest?session=s", encodeEvents(t, b.Events())); code != http.StatusOK {
@@ -310,7 +310,7 @@ func TestSectionEndpoints(t *testing.T) {
 }
 
 func TestEndpointErrors(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 	if code, _ := get(t, ts.URL+"/v1/ingest?session=x"); code != http.StatusMethodNotAllowed {
 		t.Errorf("GET ingest: status %d, want 405", code)
@@ -347,7 +347,7 @@ func TestEndpointErrors(t *testing.T) {
 // gauge respects the cap and the eviction counter advances.
 func TestEvictionBoundsServer(t *testing.T) {
 	const cap = 64
-	ts := httptest.NewServer(newServer(online.Options{MaxRules: cap}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{MaxRules: cap}, 1, nil).Handler())
 	defer ts.Close()
 	evBefore := counter(t, "locserve.evictions")
 	b := genTrace(t, "176.gcc", 20_000, 1)
@@ -391,7 +391,7 @@ func TestCloseAndHistory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(online.Options{}, 1, st).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, st).Handler())
 	defer ts.Close()
 	b := genTrace(t, "boxsim", 6000, 3)
 	if code, body := post(t, ts.URL+"/v1/ingest?session=run", encodeEvents(t, b.Events())); code != http.StatusOK {
@@ -403,7 +403,7 @@ func TestCloseAndHistory(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("close: status %d: %s", code, body)
 	}
-	var res closeResult
+	var res CloseResult
 	if err := json.Unmarshal(body, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -456,14 +456,14 @@ func TestCloseSequenceNumbers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(online.Options{}, 1, st).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, st).Handler())
 	defer ts.Close()
 	for i, seed := range []int64{1, 9} {
 		b := genTrace(t, "boxsim", 3000, seed)
 		if code, body := post(t, ts.URL+"/v1/ingest?session=nightly", encodeEvents(t, b.Events())); code != http.StatusOK {
 			t.Fatalf("ingest %d: status %d: %s", i, code, body)
 		}
-		var res closeResult
+		var res CloseResult
 		_, body := post(t, ts.URL+"/v1/close?session=nightly", nil)
 		if err := json.Unmarshal(body, &res); err != nil {
 			t.Fatal(err)
@@ -481,7 +481,7 @@ func TestCloseSequenceNumbers(t *testing.T) {
 // TestCloseWithoutStore: ephemeral servers still close sessions; history
 // is explicitly unavailable.
 func TestCloseWithoutStore(t *testing.T) {
-	ts := httptest.NewServer(newServer(online.Options{}, 1, nil).handler())
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
 	defer ts.Close()
 	b := genTrace(t, "boxsim", 2000, 1)
 	if code, body := post(t, ts.URL+"/v1/ingest?session=tmp", encodeEvents(t, b.Events())); code != http.StatusOK {
@@ -491,7 +491,7 @@ func TestCloseWithoutStore(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("close: status %d: %s", code, body)
 	}
-	var res closeResult
+	var res CloseResult
 	if err := json.Unmarshal(body, &res); err != nil {
 		t.Fatal(err)
 	}
