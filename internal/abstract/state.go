@@ -1,0 +1,377 @@
+package abstract
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// State codec for sink-mode Streamers: the abstraction-layer piece of
+// online-engine session handoff (internal/online WriteState/ReadEngine).
+// Everything future Process calls depend on is captured — the naming
+// maps, the live-object intervals, the allocation counter, the call
+// stack — so a restored streamer names the rest of the stream exactly
+// as the original would have. Only sink-mode streamers (SinkStreamer)
+// serialize: batch streamers retain per-reference arrays, which belong
+// in snapshot artifacts, not handoff state.
+//
+// Live intervals may reference Object instances that are absent from
+// the Objects map (in SiteOnly/SiteContext modes the map keeps the
+// first object per name while later same-named allocations live only
+// in their interval), so each interval serializes its object inline;
+// an interval's base/limit are derivable from the object's Base/Size.
+// Objects are immutable after creation, so restoring value copies
+// preserves behaviour.
+
+var absStateMagic = [4]byte{'A', 'B', 'S', '1'}
+
+// WriteState encodes the streamer's full state, returning the bytes
+// written. Only sink-mode streamers (built with SinkStreamer) can be
+// serialized.
+func (s *Streamer) WriteState(w io.Writer) (int64, error) {
+	st := s.st
+	if st.emit == nil {
+		return 0, errors.New("abstract: only sink-mode streamers serialize state")
+	}
+	bw := bufio.NewWriter(w)
+	var total int64
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		m, err := bw.Write(buf[:n])
+		total += int64(m)
+		return err
+	}
+	putObj := func(o *Object) error {
+		heap := uint64(0)
+		if o.Heap {
+			heap = 1
+		}
+		for _, v := range []uint64{o.Name, uint64(o.Base), uint64(o.Size), uint64(o.Site), o.Birth, heap} {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n, err := bw.Write(absStateMagic[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, v := range []uint64{uint64(st.a.mode), uint64(st.a.depth), st.counter, st.nextID, st.res.StackRefs, st.res.UnknownRefs} {
+		if err := put(v); err != nil {
+			return total, err
+		}
+	}
+	// Heap map, sorted by name for a deterministic encoding.
+	names := make([]uint64, 0, len(st.res.Objects))
+	for name := range st.res.Objects {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	if err := put(uint64(len(names))); err != nil {
+		return total, err
+	}
+	for _, name := range names {
+		if err := putObj(st.res.Objects[name]); err != nil {
+			return total, err
+		}
+	}
+	// Live intervals, already canonically ordered (sorted by base,
+	// bases unique).
+	if err := put(uint64(len(st.live))); err != nil {
+		return total, err
+	}
+	for _, iv := range st.live {
+		if err := putObj(iv.obj); err != nil {
+			return total, err
+		}
+	}
+	// Naming maps, each sorted by key.
+	siteKeys := make([]uint32, 0, len(st.siteNames))
+	for k := range st.siteNames {
+		siteKeys = append(siteKeys, k)
+	}
+	sort.Slice(siteKeys, func(i, j int) bool { return siteKeys[i] < siteKeys[j] })
+	if err := put(uint64(len(siteKeys))); err != nil {
+		return total, err
+	}
+	for _, k := range siteKeys {
+		if err := put(uint64(k)); err != nil {
+			return total, err
+		}
+		if err := put(st.siteNames[k]); err != nil {
+			return total, err
+		}
+	}
+	ctxKeys := make([]uint64, 0, len(st.ctxNames))
+	for k := range st.ctxNames {
+		ctxKeys = append(ctxKeys, k)
+	}
+	sort.Slice(ctxKeys, func(i, j int) bool { return ctxKeys[i] < ctxKeys[j] })
+	if err := put(uint64(len(ctxKeys))); err != nil {
+		return total, err
+	}
+	for _, k := range ctxKeys {
+		if err := put(k); err != nil {
+			return total, err
+		}
+		if err := put(st.ctxNames[k]); err != nil {
+			return total, err
+		}
+	}
+	addrKeys := make([]uint32, 0, len(st.addrNames))
+	for k := range st.addrNames {
+		addrKeys = append(addrKeys, k)
+	}
+	sort.Slice(addrKeys, func(i, j int) bool { return addrKeys[i] < addrKeys[j] })
+	if err := put(uint64(len(addrKeys))); err != nil {
+		return total, err
+	}
+	for _, k := range addrKeys {
+		if err := put(uint64(k)); err != nil {
+			return total, err
+		}
+		if err := put(st.addrNames[k]); err != nil {
+			return total, err
+		}
+	}
+	// Call stack, in push order.
+	if err := put(uint64(len(st.callStack))); err != nil {
+		return total, err
+	}
+	for _, pc := range st.callStack {
+		if err := put(uint64(pc)); err != nil {
+			return total, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// Mode reports the streamer's heap-naming mode.
+func (s *Streamer) Mode() Mode { return s.st.a.mode }
+
+// ContextDepth reports the streamer's calling-context depth (meaningful
+// in SiteContext mode).
+func (s *Streamer) ContextDepth() int { return s.st.a.depth }
+
+// ReadStreamer decodes a sink-mode streamer written by WriteState,
+// forwarding future abstracted references to emit. The abstractor
+// configuration (mode, context depth) travels with the state; callers
+// holding expectations about it should check Mode/ContextDepth.
+func ReadStreamer(r io.Reader, emit func(name uint64, pc, addr uint32)) (*Streamer, error) {
+	if emit == nil {
+		return nil, errors.New("abstract: ReadStreamer requires an emit sink")
+	}
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("abstract: reading state magic: %w", err)
+	}
+	if magic != absStateMagic {
+		return nil, fmt.Errorf("abstract: bad state magic %q", magic[:])
+	}
+	get := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("abstract: state %s: %w", what, err)
+		}
+		return v, nil
+	}
+	getU32 := func(what string) (uint32, error) {
+		v, err := get(what)
+		if err != nil {
+			return 0, err
+		}
+		if v > 1<<32-1 {
+			return 0, fmt.Errorf("abstract: state %s %d overflows uint32", what, v)
+		}
+		return uint32(v), nil
+	}
+	getObj := func(what string) (Object, error) {
+		var o Object
+		var err error
+		if o.Name, err = get(what + " name"); err != nil {
+			return o, err
+		}
+		if o.Base, err = getU32(what + " base"); err != nil {
+			return o, err
+		}
+		if o.Size, err = getU32(what + " size"); err != nil {
+			return o, err
+		}
+		if o.Site, err = getU32(what + " site"); err != nil {
+			return o, err
+		}
+		if o.Birth, err = get(what + " birth"); err != nil {
+			return o, err
+		}
+		heap, err := get(what + " heap flag")
+		if err != nil {
+			return o, err
+		}
+		if heap > 1 {
+			return o, fmt.Errorf("abstract: state %s heap flag %d", what, heap)
+		}
+		o.Heap = heap == 1
+		return o, nil
+	}
+
+	mode, err := get("mode")
+	if err != nil {
+		return nil, err
+	}
+	if Mode(mode) > SiteContext {
+		return nil, fmt.Errorf("abstract: state names unknown mode %d", mode)
+	}
+	depth, err := get("context depth")
+	if err != nil {
+		return nil, err
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("abstract: state context depth %d", depth)
+	}
+	a := &Abstractor{mode: Mode(mode), depth: int(depth)}
+	st := a.newState(0)
+	st.emit = emit
+	if st.counter, err = get("allocation counter"); err != nil {
+		return nil, err
+	}
+	if st.nextID, err = get("next name"); err != nil {
+		return nil, err
+	}
+	if st.res.StackRefs, err = get("stack refs"); err != nil {
+		return nil, err
+	}
+	if st.res.UnknownRefs, err = get("unknown refs"); err != nil {
+		return nil, err
+	}
+
+	const maxEntries = 1 << 31
+	nObjs, err := get("object count")
+	if err != nil {
+		return nil, err
+	}
+	if nObjs > maxEntries {
+		return nil, fmt.Errorf("abstract: implausible state object count %d", nObjs)
+	}
+	for i := uint64(0); i < nObjs; i++ {
+		o, err := getObj(fmt.Sprintf("object %d", i))
+		if err != nil {
+			return nil, err
+		}
+		if o.Name == 0 || o.Name >= st.nextID {
+			return nil, fmt.Errorf("abstract: state object name %d outside [1,%d)", o.Name, st.nextID)
+		}
+		if _, dup := st.res.Objects[o.Name]; dup {
+			return nil, fmt.Errorf("abstract: state object name %d duplicated", o.Name)
+		}
+		obj := st.newObject()
+		*obj = o
+		st.res.Objects[o.Name] = obj
+	}
+
+	nLive, err := get("live interval count")
+	if err != nil {
+		return nil, err
+	}
+	if nLive > maxEntries {
+		return nil, fmt.Errorf("abstract: implausible state live count %d", nLive)
+	}
+	prevBase, havePrev := uint32(0), false
+	for i := uint64(0); i < nLive; i++ {
+		o, err := getObj(fmt.Sprintf("live interval %d", i))
+		if err != nil {
+			return nil, err
+		}
+		if havePrev && o.Base <= prevBase {
+			return nil, fmt.Errorf("abstract: state live intervals out of order at %d", i)
+		}
+		prevBase, havePrev = o.Base, true
+		obj := st.newObject()
+		*obj = o
+		// Reuse the heap-map instance when it is the same object, so
+		// pointer identity matches the original where it held there.
+		if m := st.res.Objects[o.Name]; m != nil && *m == o {
+			obj = m
+		}
+		st.live = append(st.live, interval{base: o.Base, limit: o.Base + o.Size, obj: obj})
+	}
+
+	nSites, err := get("site name count")
+	if err != nil {
+		return nil, err
+	}
+	if nSites > maxEntries {
+		return nil, fmt.Errorf("abstract: implausible state site-name count %d", nSites)
+	}
+	for i := uint64(0); i < nSites; i++ {
+		k, err := getU32(fmt.Sprintf("site name %d key", i))
+		if err != nil {
+			return nil, err
+		}
+		v, err := get(fmt.Sprintf("site name %d value", i))
+		if err != nil {
+			return nil, err
+		}
+		st.siteNames[k] = v
+	}
+	nCtx, err := get("context name count")
+	if err != nil {
+		return nil, err
+	}
+	if nCtx > maxEntries {
+		return nil, fmt.Errorf("abstract: implausible state context-name count %d", nCtx)
+	}
+	for i := uint64(0); i < nCtx; i++ {
+		k, err := get(fmt.Sprintf("context name %d key", i))
+		if err != nil {
+			return nil, err
+		}
+		v, err := get(fmt.Sprintf("context name %d value", i))
+		if err != nil {
+			return nil, err
+		}
+		st.ctxNames[k] = v
+	}
+	nAddrs, err := get("address name count")
+	if err != nil {
+		return nil, err
+	}
+	if nAddrs > maxEntries {
+		return nil, fmt.Errorf("abstract: implausible state address-name count %d", nAddrs)
+	}
+	for i := uint64(0); i < nAddrs; i++ {
+		k, err := getU32(fmt.Sprintf("address name %d key", i))
+		if err != nil {
+			return nil, err
+		}
+		v, err := get(fmt.Sprintf("address name %d value", i))
+		if err != nil {
+			return nil, err
+		}
+		st.addrNames[k] = v
+	}
+	nStack, err := get("call stack depth")
+	if err != nil {
+		return nil, err
+	}
+	if nStack > maxEntries {
+		return nil, fmt.Errorf("abstract: implausible state call-stack depth %d", nStack)
+	}
+	for i := uint64(0); i < nStack; i++ {
+		pc, err := getU32(fmt.Sprintf("call stack entry %d", i))
+		if err != nil {
+			return nil, err
+		}
+		st.callStack = append(st.callStack, pc)
+	}
+	return &Streamer{st: st}, nil
+}

@@ -1,0 +1,185 @@
+package abstract
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// absStateEvents builds a stream exercising every path the codec must
+// preserve: allocs/frees with address reuse, live-object hits, unknown
+// and stack references, and call/return records for context naming.
+func absStateEvents(n int, seed int64) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var out []trace.Event
+	var liveAddrs []uint32
+	nextAddr := trace.HeapBase
+	for len(out) < n {
+		switch rng.Intn(12) {
+		case 0:
+			out = append(out, trace.Event{Kind: trace.Call, PC: uint32(0x400 + rng.Intn(8))})
+		case 1:
+			out = append(out, trace.Event{Kind: trace.Return})
+		case 2, 3:
+			size := uint32(8 + 8*rng.Intn(8))
+			addr := nextAddr
+			if len(liveAddrs) > 0 && rng.Intn(4) == 0 {
+				addr = liveAddrs[rng.Intn(len(liveAddrs))] // address reuse
+			} else {
+				nextAddr += 64
+				liveAddrs = append(liveAddrs, addr)
+			}
+			out = append(out, trace.Event{Kind: trace.Alloc, PC: uint32(0x100 + rng.Intn(4)), Addr: addr, Size: size})
+		case 4:
+			if len(liveAddrs) > 0 {
+				i := rng.Intn(len(liveAddrs))
+				out = append(out, trace.Event{Kind: trace.Free, Addr: liveAddrs[i]})
+				liveAddrs = append(liveAddrs[:i], liveAddrs[i+1:]...)
+			}
+		case 5:
+			// Stack reference (excluded) or unknown global.
+			if rng.Intn(2) == 0 {
+				out = append(out, trace.Event{Kind: trace.Load, PC: 0x99, Addr: trace.GlobalBase - 4})
+			} else {
+				out = append(out, trace.Event{Kind: trace.Load, PC: 0x98, Addr: trace.GlobalBase + uint32(rng.Intn(64))*4})
+			}
+		default:
+			kind := trace.Load
+			if rng.Intn(3) == 0 {
+				kind = trace.Store
+			}
+			var addr uint32
+			if len(liveAddrs) > 0 && rng.Intn(8) != 0 {
+				addr = liveAddrs[rng.Intn(len(liveAddrs))] + uint32(rng.Intn(2))*4
+			} else {
+				addr = trace.HeapBase + uint32(rng.Intn(1<<12))*4 // often unknown
+			}
+			out = append(out, trace.Event{Kind: kind, PC: uint32(0x200 + rng.Intn(16)), Addr: addr})
+		}
+	}
+	return out[:n]
+}
+
+type emitRec struct {
+	name uint64
+	pc   uint32
+	addr uint32
+}
+
+func newAbstractor(t *testing.T, mode Mode) *Abstractor {
+	t.Helper()
+	if mode == SiteContext {
+		return NewContext(3)
+	}
+	return New(mode)
+}
+
+// TestStreamerStateRoundTrip pins the handoff invariant for every
+// naming mode: serialize mid-stream, restore, process the rest — the
+// emitted name sequence and re-serialized state must be identical to an
+// uninterrupted streamer's.
+func TestStreamerStateRoundTrip(t *testing.T) {
+	events := absStateEvents(3000, 17)
+	for _, mode := range []Mode{BirthID, SiteOnly, RawAddress, SiteContext} {
+		for _, split := range []int{0, 1, 1500, 2999, 3000} {
+			var fullOut []emitRec
+			full := newAbstractor(t, mode).SinkStreamer(func(name uint64, pc, addr uint32) {
+				fullOut = append(fullOut, emitRec{name, pc, addr})
+			})
+			for _, e := range events {
+				full.Process(e)
+			}
+
+			var halfOut []emitRec
+			half := newAbstractor(t, mode).SinkStreamer(func(name uint64, pc, addr uint32) {
+				halfOut = append(halfOut, emitRec{name, pc, addr})
+			})
+			for _, e := range events[:split] {
+				half.Process(e)
+			}
+			var buf bytes.Buffer
+			n, err := half.WriteState(&buf)
+			if err != nil {
+				t.Fatalf("%v split=%d: WriteState: %v", mode, split, err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("%v split=%d: WriteState reported %d bytes, wrote %d", mode, split, n, buf.Len())
+			}
+			contOut := append([]emitRec(nil), halfOut...)
+			restored, err := ReadStreamer(bytes.NewReader(buf.Bytes()), func(name uint64, pc, addr uint32) {
+				contOut = append(contOut, emitRec{name, pc, addr})
+			})
+			if err != nil {
+				t.Fatalf("%v split=%d: ReadStreamer: %v", mode, split, err)
+			}
+			if restored.Mode() != mode {
+				t.Fatalf("%v split=%d: restored mode %v", mode, split, restored.Mode())
+			}
+			for _, e := range events[split:] {
+				restored.Process(e)
+			}
+			if !reflect.DeepEqual(contOut, fullOut) {
+				t.Fatalf("%v split=%d: emitted sequence diverged after restore", mode, split)
+			}
+			stack, unknown := restored.Excluded()
+			wstack, wunknown := full.Excluded()
+			if stack != wstack || unknown != wunknown {
+				t.Fatalf("%v split=%d: excluded counters (%d,%d) != (%d,%d)", mode, split, stack, unknown, wstack, wunknown)
+			}
+			var a, b bytes.Buffer
+			if _, err := full.WriteState(&a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := restored.WriteState(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("%v split=%d: continued state bytes differ from uninterrupted", mode, split)
+			}
+			if len(restored.Objects()) != len(full.Objects()) {
+				t.Fatalf("%v split=%d: object counts differ", mode, split)
+			}
+		}
+	}
+}
+
+// TestStreamerStateSinkOnly: batch streamers (which retain Names/PCs/
+// Addrs) do not serialize.
+func TestStreamerStateSinkOnly(t *testing.T) {
+	s := New(BirthID).Streamer(16)
+	if _, err := s.WriteState(new(bytes.Buffer)); err == nil {
+		t.Fatal("WriteState on batch streamer: want error, got nil")
+	}
+}
+
+// TestStreamerStateErrors exercises decode validation.
+func TestStreamerStateErrors(t *testing.T) {
+	s := New(BirthID).SinkStreamer(func(uint64, uint32, uint32) {})
+	for _, e := range absStateEvents(200, 5) {
+		s.Process(e)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	sink := func(uint64, uint32, uint32) {}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE1234")},
+		{"truncated", good[:len(good)/2]},
+	} {
+		if _, err := ReadStreamer(bytes.NewReader(tc.data), sink); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if _, err := ReadStreamer(bytes.NewReader(good), nil); err == nil {
+		t.Error("nil emit: want error, got nil")
+	}
+}

@@ -1,0 +1,252 @@
+package online
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/abstract"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// Engine state codec: the serialization behind session handoff in the
+// sharded deployment (drain on the old owner, rehydrate on the new).
+// Unlike Snapshot — a lossy analysis result — WriteState captures the
+// complete live state of all three incremental passes (statistics
+// accumulator, abstraction streamer, SEQUITUR grammar) plus the ingest
+// counters, so ingesting the remainder of a stream into a restored
+// engine yields snapshots byte-identical to an engine that saw the
+// whole stream uninterrupted. That exactness holds for every engine,
+// including evicting ones (MaxRules > 0): each layer's codec preserves
+// its history-dependent structures explicitly.
+//
+// The analysis-relevant options travel with the state and are verified
+// against the options supplied at restore: silently continuing a
+// session under different analysis parameters would poison the
+// equivalence guarantee, so a mismatch is an error, not a merge.
+
+var engineStateMagic = [4]byte{'O', 'E', 'N', 'G'}
+
+const engineStateVersion = 1
+
+// WriteState encodes the engine's full live state, returning the bytes
+// written. The engine remains usable afterwards.
+func (e *Engine) WriteState(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	var vbuf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(vbuf[:], v)
+		m, err := bw.Write(vbuf[:n])
+		total += int64(m)
+		return err
+	}
+	n, err := bw.Write(engineStateMagic[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	o := e.opts
+	for _, v := range []uint64{
+		engineStateVersion,
+		uint64(o.HeapNaming),
+		uint64(o.MinStreamLen), uint64(o.MaxStreamLen),
+		math.Float64bits(o.CoverageTarget),
+		o.FixedHeatMultiple,
+		uint64(o.BlockSize),
+		uint64(o.Sequitur.MinRuleOccurrences),
+		uint64(o.MaxRules),
+		e.events, e.chunks, e.evictions,
+	} {
+		if err := put(v); err != nil {
+			return total, err
+		}
+	}
+	// Each layer's state is framed with its length so the sub-codecs'
+	// buffered readers cannot consume into the next section.
+	var blob bytes.Buffer
+	writeBlob := func(what string, enc func(io.Writer) (int64, error)) error {
+		blob.Reset()
+		if _, err := enc(&blob); err != nil {
+			return fmt.Errorf("online: encoding %s state: %w", what, err)
+		}
+		if err := put(uint64(blob.Len())); err != nil {
+			return err
+		}
+		m, err := bw.Write(blob.Bytes())
+		total += int64(m)
+		return err
+	}
+	if err := writeBlob("statistics", e.acc.WriteState); err != nil {
+		return total, err
+	}
+	if err := writeBlob("abstraction", e.abs.WriteState); err != nil {
+		return total, err
+	}
+	if err := writeBlob("grammar", e.g.WriteState); err != nil {
+		return total, err
+	}
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// ReadEngine decodes an engine from its live-state form. opts must
+// describe the same analysis configuration the engine was serialized
+// under (observability wiring — Obs — is per-process and may differ);
+// a mismatch is an error. The returned engine continues ingesting
+// exactly where the original stopped.
+func ReadEngine(r io.Reader, opts Options) (*Engine, error) {
+	opts.normalize()
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("online: reading engine state magic: %w", err)
+	}
+	if magic != engineStateMagic {
+		return nil, fmt.Errorf("online: bad engine state magic %q", magic[:])
+	}
+	get := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("online: engine state %s: %w", what, err)
+		}
+		return v, nil
+	}
+	version, err := get("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != engineStateVersion {
+		return nil, fmt.Errorf("online: engine state version %d, this build supports %d", version, engineStateVersion)
+	}
+	var enc struct {
+		heapNaming                 uint64
+		minStreamLen, maxStreamLen uint64
+		coverageBits               uint64
+		fixedHeatMultiple          uint64
+		blockSize                  uint64
+		minRuleOccurrences         uint64
+		maxRules                   uint64
+	}
+	for _, f := range []struct {
+		name string
+		dst  *uint64
+	}{
+		{"heap naming", &enc.heapNaming},
+		{"min stream length", &enc.minStreamLen},
+		{"max stream length", &enc.maxStreamLen},
+		{"coverage target", &enc.coverageBits},
+		{"fixed heat multiple", &enc.fixedHeatMultiple},
+		{"block size", &enc.blockSize},
+		{"min rule occurrences", &enc.minRuleOccurrences},
+		{"max rules", &enc.maxRules},
+	} {
+		v, err := get(f.name)
+		if err != nil {
+			return nil, err
+		}
+		*f.dst = v
+	}
+	mismatch := func(what string, got, want any) error {
+		return fmt.Errorf("online: engine state was serialized with %s %v, restore requested %v", what, got, want)
+	}
+	if abstract.Mode(enc.heapNaming) != opts.HeapNaming {
+		return nil, mismatch("heap naming", abstract.Mode(enc.heapNaming), opts.HeapNaming)
+	}
+	if int(enc.minStreamLen) != opts.MinStreamLen {
+		return nil, mismatch("min stream length", enc.minStreamLen, opts.MinStreamLen)
+	}
+	if int(enc.maxStreamLen) != opts.MaxStreamLen {
+		return nil, mismatch("max stream length", enc.maxStreamLen, opts.MaxStreamLen)
+	}
+	if math.Float64frombits(enc.coverageBits) != opts.CoverageTarget {
+		return nil, mismatch("coverage target", math.Float64frombits(enc.coverageBits), opts.CoverageTarget)
+	}
+	if enc.fixedHeatMultiple != opts.FixedHeatMultiple {
+		return nil, mismatch("fixed heat multiple", enc.fixedHeatMultiple, opts.FixedHeatMultiple)
+	}
+	if int(enc.blockSize) != opts.BlockSize {
+		return nil, mismatch("block size", enc.blockSize, opts.BlockSize)
+	}
+	if int(enc.minRuleOccurrences) != opts.Sequitur.MinRuleOccurrences {
+		return nil, mismatch("min rule occurrences", enc.minRuleOccurrences, opts.Sequitur.MinRuleOccurrences)
+	}
+	if int(enc.maxRules) != opts.MaxRules {
+		return nil, mismatch("max rules", enc.maxRules, opts.MaxRules)
+	}
+
+	e := &Engine{opts: opts}
+	if e.events, err = get("event count"); err != nil {
+		return nil, err
+	}
+	if e.chunks, err = get("chunk count"); err != nil {
+		return nil, err
+	}
+	if e.evictions, err = get("eviction count"); err != nil {
+		return nil, err
+	}
+
+	readBlob := func(what string, dec func(io.Reader) error) error {
+		n, err := get(what + " state length")
+		if err != nil {
+			return err
+		}
+		lr := io.LimitReader(br, int64(n))
+		if err := dec(lr); err != nil {
+			return fmt.Errorf("online: decoding %s state: %w", what, err)
+		}
+		// The decoder's buffered reader may not have drained its frame;
+		// skip to the frame boundary.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return fmt.Errorf("online: draining %s state: %w", what, err)
+		}
+		return nil
+	}
+	if err := readBlob("statistics", func(r io.Reader) error {
+		acc, err := trace.ReadStatsAccum(r)
+		if err != nil {
+			return err
+		}
+		e.acc = acc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readBlob("abstraction", func(r io.Reader) error {
+		abs, err := abstract.ReadStreamer(r, func(name uint64, pc, addr uint32) {
+			e.g.Append(name)
+		})
+		if err != nil {
+			return err
+		}
+		e.abs = abs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if e.abs.Mode() != opts.HeapNaming {
+		return nil, mismatch("abstraction mode", e.abs.Mode(), opts.HeapNaming)
+	}
+	if err := readBlob("grammar", func(r io.Reader) error {
+		g, err := sequitur.ReadState(r)
+		if err != nil {
+			return err
+		}
+		e.g = g
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	reg := opts.registry()
+	e.obsEvents = reg.Counter("online.events")
+	e.obsChunks = reg.Counter("online.chunks")
+	e.obsEvict = reg.Counter("online.evictions")
+	return e, nil
+}

@@ -1,0 +1,448 @@
+package sequitur
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file implements the live-grammar state codec: the serialization
+// behind session handoff in the sharded deployment. Unlike the WPS1
+// binary form (codec.go), which renumbers rules in postorder and drops
+// the digram index (loaded grammars are frozen), the state form
+// preserves everything Append's future behaviour depends on — original
+// rule IDs, the next-ID counter, the digram table, the SEQUITUR(k)
+// pending-digram counts, and the relaxed flag — so a grammar restored
+// on another shard continues exactly where the source left off:
+// appending a sequence to the restored grammar produces structure
+// identical to appending it to the original. That holds for every live
+// grammar, including relaxed (evicted) ones, because the digram table
+// is serialized explicitly rather than rebuilt.
+//
+// Why explicit: for a canonical MinRuleOccurrences=2 grammar the table
+// is a pure function of structure (digram uniqueness; overlapping runs
+// register their first pair) and could be rebuilt by scanning rule
+// bodies. But SEQUITUR(k) deferral re-points entries at the most
+// recent sighting and leaves un-substituted early sightings behind,
+// and eviction unregisters digrams without structural trace — in both
+// regimes the table is history the structure cannot reproduce. Each
+// entry therefore travels as (digram, rule ID, position).
+
+var stateMagic = [4]byte{'W', 'P', 'S', 'L'} // "L" for live
+
+const stateVersion = 1
+
+// stateWriter tracks bytes written for the (int64, error) contract.
+type stateWriter struct {
+	bw    *bufio.Writer
+	total int64
+	buf   [binary.MaxVarintLen64]byte
+}
+
+func (w *stateWriter) write(p []byte) error {
+	n, err := w.bw.Write(p)
+	w.total += int64(n)
+	return err
+}
+
+func (w *stateWriter) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	return w.write(w.buf[:n])
+}
+
+// symPos names one symbol occurrence: its owning rule and zero-based
+// position within that rule's right-hand side.
+type symPos struct{ rule, idx uint64 }
+
+// symbolPositions indexes every RHS symbol by identity.
+func (g *Grammar) symbolPositions() map[*symbol]symPos {
+	where := make(map[*symbol]symPos, int(g.input))
+	for id, r := range g.rules {
+		i := uint64(0)
+		for s := r.first(); !s.isGuard(); s = s.next {
+			where[s] = symPos{id, i}
+			i++
+		}
+	}
+	return where
+}
+
+// WriteState encodes the grammar's full live state, returning the
+// number of bytes written. Frozen grammars (loaded with ReadBinary)
+// have no live state to write and are rejected.
+func (g *Grammar) WriteState(w io.Writer) (int64, error) {
+	if g.frozen {
+		return 0, errors.New("sequitur: frozen grammar has no live state")
+	}
+	sw := &stateWriter{bw: bufio.NewWriter(w)}
+	if err := sw.write(stateMagic[:]); err != nil {
+		return sw.total, err
+	}
+	var flags uint64
+	if g.relaxed {
+		flags |= 1
+	}
+	for _, v := range []uint64{stateVersion, uint64(g.opts.MinRuleOccurrences), flags, g.input, g.nextID, g.root.id, uint64(len(g.rules))} {
+		if err := sw.uvarint(v); err != nil {
+			return sw.total, err
+		}
+	}
+	ids := make([]uint64, 0, len(g.rules))
+	for id := range g.rules {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := g.rules[id]
+		rhs := r.RHS()
+		if err := sw.uvarint(id); err != nil {
+			return sw.total, err
+		}
+		if err := sw.uvarint(uint64(rhs.Len())); err != nil {
+			return sw.total, err
+		}
+		for i, ref := range rhs.Refs {
+			var sym uint64
+			if ref != nil {
+				sym = ref.id<<1 | 1
+			} else {
+				sym = rhs.Terminals[i] << 1
+			}
+			if err := sw.uvarint(sym); err != nil {
+				return sw.total, err
+			}
+		}
+	}
+	// Pending digram sightings (SEQUITUR(k) only), sorted for a
+	// deterministic encoding; keys embed rule IDs, which the rule
+	// section above preserves verbatim.
+	pend := make([]digram, 0, len(g.pending))
+	for d := range g.pending {
+		pend = append(pend, d)
+	}
+	sortDigrams(pend)
+	if err := sw.uvarint(uint64(len(pend))); err != nil {
+		return sw.total, err
+	}
+	for _, d := range pend {
+		for _, v := range []uint64{d.a, d.b, uint64(g.pending[d])} {
+			if err := sw.uvarint(v); err != nil {
+				return sw.total, err
+			}
+		}
+	}
+	// The digram table: every entry as (digram, occurrence locator),
+	// sorted by digram for determinism.
+	where := g.symbolPositions()
+	type tabEntry struct {
+		d digram
+		p symPos
+	}
+	entries := make([]tabEntry, 0, g.digrams.len())
+	var badEntry *digram
+	g.digrams.all(func(d digram, s *symbol) bool {
+		p, ok := where[s]
+		if !ok {
+			badEntry = &d
+			return false
+		}
+		entries = append(entries, tabEntry{d, p})
+		return true
+	})
+	if badEntry != nil {
+		return sw.total, fmt.Errorf("sequitur: digram table entry (%d,%d) points at an unlinked symbol", badEntry.a, badEntry.b)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].d.a != entries[j].d.a {
+			return entries[i].d.a < entries[j].d.a
+		}
+		return entries[i].d.b < entries[j].d.b
+	})
+	if err := sw.uvarint(uint64(len(entries))); err != nil {
+		return sw.total, err
+	}
+	for _, e := range entries {
+		for _, v := range []uint64{e.d.a, e.d.b, e.p.rule, e.p.idx} {
+			if err := sw.uvarint(v); err != nil {
+				return sw.total, err
+			}
+		}
+	}
+	if err := sw.bw.Flush(); err != nil {
+		return sw.total, err
+	}
+	return sw.total, nil
+}
+
+func sortDigrams(ds []digram) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].a != ds[j].a {
+			return ds[i].a < ds[j].a
+		}
+		return ds[i].b < ds[j].b
+	})
+}
+
+// ReadState decodes a grammar from its live-state form. The result is
+// fully appendable and behaves exactly like the grammar WriteState
+// captured: rules keep their original IDs, the digram table points at
+// the same occurrences, and pending SEQUITUR(k) counts are restored.
+func ReadState(r io.Reader) (*Grammar, error) {
+	cr := &countReader{br: bufio.NewReader(r)}
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("sequitur: reading state magic: %w", noEOF(err))
+	}
+	if magic != stateMagic {
+		return nil, fmt.Errorf("sequitur: bad state magic %q", magic[:])
+	}
+	uv := func(what string) (uint64, error) {
+		at := cr.off
+		v, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return 0, fmt.Errorf("sequitur: state %s at offset %d: %w", what, at, noEOF(err))
+		}
+		return v, nil
+	}
+	version, err := uv("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != stateVersion {
+		return nil, fmt.Errorf("sequitur: state version %d, this build supports %d", version, stateVersion)
+	}
+	minOcc, err := uv("min-rule-occurrences")
+	if err != nil {
+		return nil, err
+	}
+	flags, err := uv("flags")
+	if err != nil {
+		return nil, err
+	}
+	input, err := uv("input length")
+	if err != nil {
+		return nil, err
+	}
+	nextID, err := uv("next rule id")
+	if err != nil {
+		return nil, err
+	}
+	rootID, err := uv("root id")
+	if err != nil {
+		return nil, err
+	}
+	nRules, err := uv("rule count")
+	if err != nil {
+		return nil, err
+	}
+	const maxRules = 1 << 28
+	if nRules == 0 || nRules > maxRules {
+		return nil, fmt.Errorf("sequitur: implausible state rule count %d", nRules)
+	}
+	if int(minOcc) < 2 {
+		minOcc = 2
+	}
+	g := &Grammar{
+		rules:   make(map[uint64]*Rule, nRules),
+		opts:    Options{MinRuleOccurrences: int(minOcc)},
+		relaxed: flags&1 != 0,
+		nextID:  nextID,
+	}
+	if minOcc > 2 {
+		g.pending = make(map[digram]int)
+	}
+
+	// Pass 1: decode every rule's ID and raw symbol list; rule bodies may
+	// reference rules in either direction, so all rules materialize
+	// before any RHS links.
+	ids := make([]uint64, nRules)
+	bodies := make([][]uint64, nRules)
+	var totalSyms uint64
+	for i := uint64(0); i < nRules; i++ {
+		id, err := uv(fmt.Sprintf("rule %d id", i))
+		if err != nil {
+			return nil, err
+		}
+		if id >= nextID {
+			return nil, fmt.Errorf("sequitur: state rule id %d >= next id %d", id, nextID)
+		}
+		if _, dup := g.rules[id]; dup {
+			return nil, fmt.Errorf("sequitur: state rule id %d duplicated", id)
+		}
+		rhsLen, err := uv(fmt.Sprintf("rule %d length", i))
+		if err != nil {
+			return nil, err
+		}
+		if rhsLen == 0 && id != rootID {
+			return nil, fmt.Errorf("sequitur: state rule %d has empty right-hand side", id)
+		}
+		body := make([]uint64, rhsLen)
+		for j := range body {
+			sv, err := uv(fmt.Sprintf("rule %d symbol %d", id, j))
+			if err != nil {
+				return nil, err
+			}
+			body[j] = sv
+		}
+		totalSyms += rhsLen
+		ids[i] = id
+		bodies[i] = body
+		r := g.arena.allocRule()
+		r.id = id
+		guard := g.arena.allocSymbol()
+		guard.r = r
+		guard.value = ntBit | guardBit | r.id
+		guard.next, guard.prev = guard, guard
+		r.guard = guard
+		g.rules[id] = r
+	}
+	root, ok := g.rules[rootID]
+	if !ok {
+		return nil, fmt.Errorf("sequitur: state root rule %d missing", rootID)
+	}
+	g.root = root
+
+	// Pass 2: link right-hand sides and count uses.
+	for i, id := range ids {
+		r := g.rules[id]
+		for j, sv := range bodies[i] {
+			s := g.arena.allocSymbol()
+			if sv&1 == 1 {
+				ref, ok := g.rules[sv>>1]
+				if !ok {
+					return nil, fmt.Errorf("sequitur: state rule %d references unknown rule %d", id, sv>>1)
+				}
+				s.r = ref
+				s.value = ntBit | ref.id
+				ref.uses++
+			} else {
+				if v := sv >> 1; v&(ntBit|guardBit) != 0 {
+					return nil, fmt.Errorf("sequitur: state rule %d symbol %d: terminal uses reserved bits", id, j)
+				}
+				s.value = sv >> 1
+			}
+			last := r.guard.prev
+			last.next = s
+			s.prev = last
+			s.next = r.guard
+			r.guard.prev = s
+		}
+	}
+	if root.uses != 0 {
+		return nil, fmt.Errorf("sequitur: state root rule %d is referenced %d times", rootID, root.uses)
+	}
+
+	// Pending digram counts.
+	nPend, err := uv("pending count")
+	if err != nil {
+		return nil, err
+	}
+	if nPend > 0 && g.pending == nil {
+		return nil, fmt.Errorf("sequitur: state has %d pending digrams but min-rule-occurrences %d", nPend, minOcc)
+	}
+	for i := uint64(0); i < nPend; i++ {
+		a, err := uv("pending digram a")
+		if err != nil {
+			return nil, err
+		}
+		b, err := uv("pending digram b")
+		if err != nil {
+			return nil, err
+		}
+		c, err := uv("pending digram count")
+		if err != nil {
+			return nil, err
+		}
+		g.pending[digram{a, b}] = int(c)
+	}
+
+	// Digram table: each entry re-points at the recorded occurrence,
+	// validated against the linked structure.
+	nTab, err := uv("digram table size")
+	if err != nil {
+		return nil, err
+	}
+	if nTab > totalSyms {
+		return nil, fmt.Errorf("sequitur: state digram table has %d entries for %d symbols", nTab, totalSyms)
+	}
+	g.digrams.init(int(totalSyms))
+	for i := uint64(0); i < nTab; i++ {
+		a, err := uv("digram entry a")
+		if err != nil {
+			return nil, err
+		}
+		b, err := uv("digram entry b")
+		if err != nil {
+			return nil, err
+		}
+		rid, err := uv("digram entry rule")
+		if err != nil {
+			return nil, err
+		}
+		idx, err := uv("digram entry position")
+		if err != nil {
+			return nil, err
+		}
+		r, ok := g.rules[rid]
+		if !ok {
+			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) names unknown rule %d", a, b, rid)
+		}
+		s := r.first()
+		for j := uint64(0); j < idx && !s.isGuard(); j++ {
+			s = s.next
+		}
+		if s.isGuard() || s.next.isGuard() {
+			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) position %d out of range in rule %d", a, b, idx, rid)
+		}
+		d := digram{a, b}
+		if (digram{s.key(), s.next.key()}) != d {
+			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) names a different digram at rule %d position %d", a, b, rid, idx)
+		}
+		if g.digrams.lookup(d) != nil {
+			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) duplicated", a, b)
+		}
+		g.digrams.set(d, s)
+	}
+
+	// The root's expansion must reproduce the recorded input length; a
+	// mismatch means the encoding (or its producer) is damaged.
+	lens := make(map[uint64]uint64, nRules)
+	var lenOf func(r *Rule) (uint64, error)
+	seen := make(map[uint64]int, nRules)
+	lenOf = func(r *Rule) (uint64, error) {
+		switch seen[r.id] {
+		case 1:
+			return 0, fmt.Errorf("sequitur: state rule %d participates in a reference cycle", r.id)
+		case 2:
+			return lens[r.id], nil
+		}
+		seen[r.id] = 1
+		var total uint64
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.r != nil {
+				n, err := lenOf(s.r)
+				if err != nil {
+					return 0, err
+				}
+				total += n
+			} else {
+				total++
+			}
+		}
+		seen[r.id] = 2
+		lens[r.id] = total
+		return total, nil
+	}
+	rootLen, err := lenOf(root)
+	if err != nil {
+		return nil, err
+	}
+	if rootLen != input {
+		return nil, fmt.Errorf("sequitur: state root expands to %d terminals, header says %d", rootLen, input)
+	}
+	g.input = input
+	return g, nil
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func statsTestEvents(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Event, n)
+	for i := range out {
+		switch rng.Intn(10) {
+		case 0:
+			out[i] = Event{Kind: Alloc, PC: uint32(rng.Intn(1 << 16)), Addr: HeapBase + uint32(rng.Intn(1<<20))*8, Size: uint32(8 + rng.Intn(256))}
+		case 1:
+			out[i] = Event{Kind: Free, PC: uint32(rng.Intn(1 << 16)), Addr: HeapBase + uint32(rng.Intn(1<<20))*8}
+		default:
+			kind := Load
+			if rng.Intn(3) == 0 {
+				kind = Store
+			}
+			base := HeapBase
+			if rng.Intn(4) == 0 {
+				base = GlobalBase
+			}
+			out[i] = Event{Kind: kind, PC: uint32(rng.Intn(1 << 12)), Addr: base + uint32(rng.Intn(1<<16))*4}
+		}
+	}
+	return out
+}
+
+// TestStatsAccumStateRoundTrip pins the handoff invariant: serialize
+// mid-stream, restore, add the rest — final Stats identical to an
+// uninterrupted accumulator, and re-serialized state byte-identical.
+func TestStatsAccumStateRoundTrip(t *testing.T) {
+	events := statsTestEvents(5000, 11)
+	for _, split := range []int{0, 1, 2500, 4999, 5000} {
+		full := NewStatsAccum()
+		for _, e := range events {
+			full.Add(e)
+		}
+
+		half := NewStatsAccum()
+		for _, e := range events[:split] {
+			half.Add(e)
+		}
+		var buf bytes.Buffer
+		n, err := half.WriteState(&buf)
+		if err != nil {
+			t.Fatalf("split=%d: WriteState: %v", split, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("split=%d: WriteState reported %d bytes, wrote %d", split, n, buf.Len())
+		}
+		restored, err := ReadStatsAccum(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("split=%d: ReadStatsAccum: %v", split, err)
+		}
+		if got, want := restored.Stats(), half.Stats(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("split=%d: restored stats %+v != %+v", split, got, want)
+		}
+		for _, e := range events[split:] {
+			restored.Add(e)
+		}
+		if got, want := restored.Stats(), full.Stats(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("split=%d: continued stats %+v != %+v", split, got, want)
+		}
+		var a, b bytes.Buffer
+		if _, err := full.WriteState(&a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.WriteState(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("split=%d: continued state bytes differ from uninterrupted", split)
+		}
+	}
+}
+
+// TestStatsAccumStateZeroKey pins the out-of-band zero key (address 0
+// and PC 0 are representable) through the round trip.
+func TestStatsAccumStateZeroKey(t *testing.T) {
+	a := NewStatsAccum()
+	a.Add(Event{Kind: Load, PC: 0, Addr: 0})
+	a.Add(Event{Kind: Store, PC: 5, Addr: HeapBase})
+	var buf bytes.Buffer
+	if _, err := a.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadStatsAccum(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Stats(), a.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats %+v != %+v", got, want)
+	}
+	if r.Stats().Addresses != 2 || r.Stats().PCs != 2 {
+		t.Fatalf("expected 2 addresses and 2 PCs, got %+v", r.Stats())
+	}
+}
+
+// TestStatsAccumStateErrors exercises the decode validation paths.
+func TestStatsAccumStateErrors(t *testing.T) {
+	a := NewStatsAccum()
+	for _, e := range statsTestEvents(100, 3) {
+		a.Add(e)
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("XXXX1234")},
+		{"truncated", good[:len(good)-2]},
+	} {
+		if _, err := ReadStatsAccum(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
