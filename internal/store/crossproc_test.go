@@ -1,0 +1,145 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// putNamed stores content as a blob and records it under name.
+func putNamed(t *testing.T, s *Store, name, content string) Artifact {
+	t.Helper()
+	d, n, err := s.PutBytes([]byte(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Artifact{Kind: KindState, Digest: d, Size: n}
+	if err := s.Put(name, a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestCrossHandleManifestMerge pins the lost-update fix the sharded
+// deployment relies on: two Store handles over one directory (the
+// in-process stand-in for two shard processes) interleave Puts, and
+// neither write may clobber the other's manifest entries.
+func TestCrossHandleManifestMerge(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir)
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	putNamed(t, s1, "state/alpha", "alpha-state")
+	// Before the reload-merge fix, s2's in-memory manifest (loaded
+	// empty) would overwrite the file and drop state/alpha here.
+	putNamed(t, s2, "state/beta", "beta-state")
+
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"state/alpha", "state/beta"} {
+		if _, ok := fresh.Get(name); !ok {
+			t.Errorf("artifact %q lost to a cross-handle manifest race", name)
+		}
+	}
+
+	// Deletes merge the same way.
+	if err := s1.Delete("state/alpha"); err != nil {
+		t.Fatal(err)
+	}
+	putNamed(t, s2, "state/gamma", "gamma-state")
+	fresh, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get("state/alpha"); ok {
+		t.Error("state/alpha resurrected by a later writer")
+	}
+	for _, name := range []string{"state/beta", "state/gamma"} {
+		if _, ok := fresh.Get(name); !ok {
+			t.Errorf("artifact %q missing after delete merge", name)
+		}
+	}
+}
+
+// TestRefreshSeesOtherHandlesWrites: the rehydrate path's visibility
+// requirement — a handle refreshed after another handle's Put sees the
+// new artifact without reopening.
+func TestRefreshSeesOtherHandlesWrites(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir)
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putNamed(t, s1, "state/s1", "handoff")
+	if _, ok := s2.Get("state/s1"); ok {
+		t.Fatal("test setup: stale handle unexpectedly saw the write")
+	}
+	if err := s2.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := s2.Get("state/s1")
+	if !ok {
+		t.Fatal("Refresh did not surface the other handle's artifact")
+	}
+	if a.Kind != KindState {
+		t.Fatalf("artifact kind %q, want %q", a.Kind, KindState)
+	}
+	b, err := s2.ReadBlob(a.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "handoff" {
+		t.Fatalf("blob content %q", b)
+	}
+}
+
+// TestConcurrentCrossHandlePuts hammers two handles from many
+// goroutines; every artifact must survive.
+func TestConcurrentCrossHandlePuts(t *testing.T) {
+	dir := t.TempDir()
+	handles := make([]*Store, 4)
+	for i := range handles {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = s
+	}
+	const perHandle = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(handles)*perHandle)
+	for hi, s := range handles {
+		wg.Add(1)
+		go func(hi int, s *Store) {
+			defer wg.Done()
+			for j := 0; j < perHandle; j++ {
+				name := fmt.Sprintf("state/h%d-%d", hi, j)
+				d, n, err := s.PutBytes([]byte(name))
+				if err == nil {
+					err = s.Put(name, Artifact{Kind: KindState, Digest: d, Size: n})
+				}
+				if err != nil {
+					errs <- err
+				}
+			}
+		}(hi, s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fresh.Names("state/")); got != len(handles)*perHandle {
+		t.Fatalf("%d artifacts survived, want %d", got, len(handles)*perHandle)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix fallback: no advisory locking; cross-process manifest writes
+// are protected only by rename atomicity (pre-lock behaviour). The
+// sharded deployment targets unix hosts.
+func flockExclusive(*os.File) error { return nil }
+
+func flockUnlock(*os.File) {}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes an exclusive advisory lock on f, blocking until
+// it is available. Advisory flock is what coordinates the manifest
+// across processes sharing one store directory (gateway + shards);
+// within a process, Store.mu already serializes callers.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// flockUnlock releases the advisory lock. Closing the descriptor also
+// releases it, so an error here only shortens the hold, never extends it.
+func flockUnlock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -64,6 +64,7 @@ const (
 	KindTrace    = "trace"    // raw encoded trace records
 	KindGrammar  = "grammar"  // frozen WPS grammar, sequitur binary codec
 	KindSnapshot = "snapshot" // canonical online.Snapshot JSON
+	KindState    = "state"    // live engine state, online.Engine codec (session handoff)
 )
 
 // Artifact is one named manifest entry: a kind, the blob it points at,
@@ -86,8 +87,14 @@ type manifest struct {
 }
 
 // Store is an open artifact store. All methods are safe for concurrent
-// use within one process; cross-process writers are serialized only by
-// rename atomicity (last manifest write wins).
+// use within one process. Cross-process sharing is supported too — the
+// sharded deployment points several locserve shards and a gateway at
+// one store directory: every manifest mutation takes an advisory file
+// lock (manifest.lock), reloads the on-disk manifest, applies the one
+// change, and persists, so concurrent writers in different processes
+// cannot lose each other's entries. Readers that need to observe other
+// processes' writes call Refresh (the manifest is otherwise consulted
+// from memory).
 type Store struct {
 	root string
 
@@ -103,24 +110,9 @@ func Open(dir string) (*Store, error) {
 		}
 	}
 	s := &Store{root: dir, man: manifest{Version: manifestVersion, Artifacts: map[string]Artifact{}}}
-	b, err := os.ReadFile(s.manifestPath())
-	if errors.Is(err, os.ErrNotExist) {
-		return s, nil
+	if err := s.reloadLocked(); err != nil {
+		return nil, err
 	}
-	if err != nil {
-		return nil, fmt.Errorf("store: reading manifest: %w", err)
-	}
-	var m manifest
-	if err := json.Unmarshal(b, &m); err != nil {
-		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
-	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("store: manifest version %d, this build supports %d", m.Version, manifestVersion)
-	}
-	if m.Artifacts == nil {
-		m.Artifacts = map[string]Artifact{}
-	}
-	s.man = m
 	return s, nil
 }
 
@@ -229,8 +221,9 @@ func (s *Store) Put(name string, a Artifact) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.man.Artifacts[name] = a
-	return s.saveLocked()
+	return s.mutateLocked(func() {
+		s.man.Artifacts[name] = a
+	})
 }
 
 // Get returns the named artifact.
@@ -246,11 +239,78 @@ func (s *Store) Get(name string) (Artifact, bool) {
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.man.Artifacts[name]; !ok {
+	return s.mutateLocked(func() {
+		delete(s.man.Artifacts, name)
+	})
+}
+
+// Refresh reloads the manifest from disk, making artifacts written by
+// other processes visible to Get/Names. The sharded deployment's
+// rehydrate path refreshes before looking up handoff state another
+// shard persisted.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.withManifestLock(func() error {
+		return s.reloadLocked()
+	})
+}
+
+// mutateLocked applies one manifest change under both the process mutex
+// (held by the caller) and the cross-process file lock, reloading the
+// on-disk manifest first so concurrent writers in other processes never
+// lose entries to a read-modify-write race.
+func (s *Store) mutateLocked(apply func()) error {
+	return s.withManifestLock(func() error {
+		if err := s.reloadLocked(); err != nil {
+			return err
+		}
+		apply()
+		return s.saveLocked()
+	})
+}
+
+// reloadLocked replaces the in-memory manifest with the on-disk one.
+// Callers hold mu and the manifest file lock (Open, constructing the
+// store before it is shared, is exempt).
+func (s *Store) reloadLocked() error {
+	b, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		s.man = manifest{Version: manifestVersion, Artifacts: map[string]Artifact{}}
 		return nil
 	}
-	delete(s.man.Artifacts, name)
-	return s.saveLocked()
+	if err != nil {
+		return fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("store: manifest version %d, this build supports %d", m.Version, manifestVersion)
+	}
+	if m.Artifacts == nil {
+		m.Artifacts = map[string]Artifact{}
+	}
+	s.man = m
+	return nil
+}
+
+// withManifestLock runs fn holding the store's advisory cross-process
+// lock (manifest.lock). On platforms without flock support the lock
+// degrades to a no-op and only rename atomicity protects cross-process
+// writers, as before.
+func (s *Store) withManifestLock(fn func() error) error {
+	f, err := os.OpenFile(filepath.Join(s.root, "manifest.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening manifest lock: %w", err)
+	}
+	defer f.Close()
+	if err := flockExclusive(f); err != nil {
+		return fmt.Errorf("store: locking manifest: %w", err)
+	}
+	defer flockUnlock(f)
+	return fn()
 }
 
 // Names returns the artifact names with the given prefix ("" for all),
