@@ -42,6 +42,15 @@
 // /v1/history lists persisted snapshots and GET /v1/history?name=...
 // serves one byte-for-byte (a ready-made input for locdiff). On SIGINT/
 // SIGTERM every live session is closed and persisted before exit.
+//
+// The store also carries live sessions between processes: POST
+// /v1/close?session=S&state=1 (or POST /v1/drain for many sessions at
+// once) serializes the session's exact engine state as state/S instead
+// of finalizing it, and the next server that sees the session — this
+// one after a restart, or another shard sharing -store behind the
+// locgate gateway — rehydrates it transparently on first access and
+// continues the analysis with zero drift. -handoff makes the SIGTERM
+// path do the same, so a shard taken down mid-run loses nothing.
 package main
 
 import (
@@ -64,6 +73,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	batch := flag.String("batch", "", "batch mode: analyze a trace file and print the snapshot JSON, no server")
 	storeDir := flag.String("store", "", "artifact store directory: persist per-session snapshots on close (empty = ephemeral sessions)")
+	handoff := flag.Bool("handoff", false, "persist live engine state (not final snapshots) at shutdown so sessions resume exactly on restart or on another shard sharing -store")
 	maxRules := flag.Int("max-rules", 0, "bound the live grammar's rule table per session (0 = exact, unbounded)")
 	params := cliflags.AnalysisFlags(flag.CommandLine)
 	workers := cliflags.WorkersFlag(flag.CommandLine)
@@ -111,7 +121,7 @@ func main() {
 	case <-sig:
 	}
 
-	closed := srv.CloseAll()
+	closed := srv.CloseAll(*handoff && st != nil)
 	fmt.Fprintf(os.Stderr, "locserve: shutting down, closed %d sessions\n", len(closed))
 	for _, c := range closed {
 		if c.Artifact != "" {

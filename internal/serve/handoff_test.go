@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"repro/internal/online"
+	"repro/internal/store"
+)
+
+// openStore opens a store handle over dir, failing the test on error.
+// Handoff tests open several handles over one directory — the
+// in-process stand-in for shard processes sharing -store.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSessionsDeterministicOrder pins the listing and aggregate-snapshot
+// determinism the gateway's merge depends on: sessions created in
+// shuffled order list sorted, and repeated aggregate snapshots are
+// byte-identical.
+func TestSessionsDeterministicOrder(t *testing.T) {
+	ts := httptest.NewServer(New(online.Options{}, 2, nil).Handler())
+	defer ts.Close()
+	// Deliberately not in lexical order.
+	for _, name := range []string{"zeta", "alpha", "mu", "beta", "omega"} {
+		b := genTrace(t, "boxsim", 2_000, int64(len(name)))
+		if code, body := post(t, ts.URL+"/v1/ingest?session="+name, encodeEvents(t, b.Events())); code != 200 {
+			t.Fatalf("ingest %s: status %d: %s", name, code, body)
+		}
+	}
+
+	var listing struct {
+		Sessions []struct {
+			Session string `json:"session"`
+		} `json:"sessions"`
+	}
+	_, body := get(t, ts.URL+"/v1/sessions")
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(listing.Sessions))
+	for i, s := range listing.Sessions {
+		names[i] = s.Session
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("/v1/sessions not sorted: %v", names)
+	}
+	if len(names) != 5 {
+		t.Fatalf("listed %d sessions, want 5", len(names))
+	}
+
+	_, first := get(t, ts.URL+"/v1/snapshot")
+	_, second := get(t, ts.URL+"/v1/snapshot")
+	if !bytes.Equal(first, second) {
+		t.Error("aggregate snapshot not byte-stable across calls")
+	}
+	// The aggregate document's top-level keys must come out sorted —
+	// that, plus per-shard determinism, is what lets the gateway's
+	// merged document compare byte-for-byte against a single node.
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(first, &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("aggregate snapshot has %d sessions, want 5", len(keys))
+	}
+}
+
+// TestCloseStateRehydrate is the session-handoff round trip at the
+// service level: half a trace into server A, a state-persisting close,
+// the other half into server B sharing the store directory through its
+// own handle (as a different shard process would), and the final
+// snapshot must be byte-identical to the uninterrupted batch reference.
+func TestCloseStateRehydrate(t *testing.T) {
+	dir := t.TempDir()
+	b := genTrace(t, "boxsim", 12_000, 7)
+	parts := chunkEvents(b.Events(), 2)
+
+	tsA := httptest.NewServer(New(online.Options{}, 1, openStore(t, dir)).Handler())
+	defer tsA.Close()
+	if code, body := post(t, tsA.URL+"/v1/ingest?session=mv", encodeEvents(t, parts[0])); code != 200 {
+		t.Fatalf("ingest A: status %d: %s", code, body)
+	}
+	code, body := post(t, tsA.URL+"/v1/close?session=mv&state=1", nil)
+	if code != 200 {
+		t.Fatalf("state close: status %d: %s", code, body)
+	}
+	var res CloseResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifact != "state/mv" {
+		t.Errorf("state close artifact = %q, want state/mv", res.Artifact)
+	}
+	if res.Events != uint64(len(parts[0])) {
+		t.Errorf("state close events = %d, want %d", res.Events, len(parts[0]))
+	}
+	// The session is gone from A; a plain lookup does rehydrate it, so
+	// only the listing (which never rehydrates) shows the absence.
+	var listing struct {
+		Sessions []sessionStatus `json:"sessions"`
+	}
+	_, lb := get(t, tsA.URL+"/v1/sessions")
+	if err := json.Unmarshal(lb, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Sessions) != 0 {
+		t.Fatalf("sessions after drain: %+v", listing.Sessions)
+	}
+
+	stB := openStore(t, dir)
+	tsB := httptest.NewServer(New(online.Options{}, 1, stB).Handler())
+	defer tsB.Close()
+	if code, body := post(t, tsB.URL+"/v1/ingest?session=mv", encodeEvents(t, parts[1])); code != 200 {
+		t.Fatalf("ingest B: status %d: %s", code, body)
+	}
+	code, got := get(t, tsB.URL+"/v1/snapshot?session=mv")
+	if code != 200 {
+		t.Fatalf("snapshot B: status %d: %s", code, got)
+	}
+	if want := batchSnapshot(t, b); !bytes.Equal(got, want) {
+		t.Error("handoff snapshot differs from uninterrupted batch reference")
+	}
+
+	// The state artifact was consumed: a third server must not restore
+	// the session a second time.
+	stC := openStore(t, dir)
+	if _, ok := stC.Get("state/mv"); ok {
+		t.Error("state artifact survived rehydration; a second shard could double-restore")
+	}
+}
+
+// TestDrainRehydrateOnSnapshot drains a whole server and verifies the
+// new owner rehydrates on a read — a per-session snapshot with no
+// ingest first — with the exact pre-drain analysis.
+func TestDrainRehydrateOnSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	tsA := httptest.NewServer(New(online.Options{}, 1, openStore(t, dir)).Handler())
+	defer tsA.Close()
+
+	bufs := make(map[string][]byte)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("d%d", i)
+		b := genTrace(t, "boxsim", 4_000, int64(i+1))
+		if code, body := post(t, tsA.URL+"/v1/ingest?session="+name, encodeEvents(t, b.Events())); code != 200 {
+			t.Fatalf("ingest %s: status %d: %s", name, code, body)
+		}
+		bufs[name] = batchSnapshot(t, b)
+	}
+
+	code, body := post(t, tsA.URL+"/v1/drain", nil)
+	if code != 200 {
+		t.Fatalf("drain: status %d: %s", code, body)
+	}
+	var drained struct {
+		Drained []CloseResult `json:"drained"`
+	}
+	if err := json.Unmarshal(body, &drained); err != nil {
+		t.Fatal(err)
+	}
+	if len(drained.Drained) != 3 {
+		t.Fatalf("drained %d sessions, want 3", len(drained.Drained))
+	}
+	for _, res := range drained.Drained {
+		if res.Artifact != "state/"+res.Session {
+			t.Errorf("drain artifact = %q for session %s", res.Artifact, res.Session)
+		}
+	}
+
+	tsB := httptest.NewServer(New(online.Options{}, 1, openStore(t, dir)).Handler())
+	defer tsB.Close()
+	for name, want := range bufs {
+		code, got := get(t, tsB.URL+"/v1/snapshot?session="+name)
+		if code != 200 {
+			t.Fatalf("snapshot %s after drain: status %d: %s", name, code, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("session %s: post-drain snapshot differs from pre-drain analysis", name)
+		}
+	}
+}
+
+// TestDrainSelective drains only the named sessions, leaving the rest
+// live — the gateway's rebalance moves only the sessions whose ring
+// placement changed.
+func TestDrainSelective(t *testing.T) {
+	ts := httptest.NewServer(New(online.Options{}, 1, openStore(t, t.TempDir())).Handler())
+	defer ts.Close()
+	for _, name := range []string{"keep", "move1", "move2"} {
+		b := genTrace(t, "boxsim", 2_000, 1)
+		if code, body := post(t, ts.URL+"/v1/ingest?session="+name, encodeEvents(t, b.Events())); code != 200 {
+			t.Fatalf("ingest %s: status %d: %s", name, code, body)
+		}
+	}
+	code, body := post(t, ts.URL+"/v1/drain?session=move1&session=move2&session=ghost", nil)
+	if code != 200 {
+		t.Fatalf("selective drain: status %d: %s", code, body)
+	}
+	var drained struct {
+		Drained []CloseResult `json:"drained"`
+	}
+	if err := json.Unmarshal(body, &drained); err != nil {
+		t.Fatal(err)
+	}
+	// ghost never existed; it is skipped, not an error.
+	if len(drained.Drained) != 2 {
+		t.Fatalf("drained %d sessions, want 2: %+v", len(drained.Drained), drained.Drained)
+	}
+	var listing struct {
+		Sessions []sessionStatus `json:"sessions"`
+	}
+	_, lb := get(t, ts.URL+"/v1/sessions")
+	if err := json.Unmarshal(lb, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Sessions) != 1 || listing.Sessions[0].Session != "keep" {
+		t.Fatalf("sessions after selective drain: %+v", listing.Sessions)
+	}
+}
+
+// TestHandoffRequiresStore: state-persisting operations on an ephemeral
+// server are refused rather than silently downgraded.
+func TestHandoffRequiresStore(t *testing.T) {
+	ts := httptest.NewServer(New(online.Options{}, 1, nil).Handler())
+	defer ts.Close()
+	b := genTrace(t, "boxsim", 1_000, 1)
+	if code, body := post(t, ts.URL+"/v1/ingest?session=x", encodeEvents(t, b.Events())); code != 200 {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/v1/close?session=x&state=1", nil); code != 409 {
+		t.Errorf("state close without store: status %d, want 409", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/drain", nil); code != 409 {
+		t.Errorf("drain without store: status %d, want 409", code)
+	}
+	// The refusals must not have dismantled the session.
+	if code, _ := get(t, ts.URL+"/v1/snapshot?session=x"); code != 200 {
+		t.Errorf("session lost after refused handoff: status %d", code)
+	}
+}
+
+// TestCloseAllHandoff covers the -handoff shutdown path: CloseAll with
+// handoff persists state artifacts a restarted server resumes from.
+func TestCloseAllHandoff(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(online.Options{}, 1, openStore(t, dir))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	b := genTrace(t, "boxsim", 8_000, 5)
+	parts := chunkEvents(b.Events(), 2)
+	if code, body := post(t, ts.URL+"/v1/ingest?session=boot", encodeEvents(t, parts[0])); code != 200 {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	closed := srv.CloseAll(true)
+	if len(closed) != 1 || closed[0].Artifact != "state/boot" {
+		t.Fatalf("CloseAll(handoff) = %+v", closed)
+	}
+
+	// "Restart": a fresh server over the same directory continues.
+	ts2 := httptest.NewServer(New(online.Options{}, 1, openStore(t, dir)).Handler())
+	defer ts2.Close()
+	if code, body := post(t, ts2.URL+"/v1/ingest?session=boot", encodeEvents(t, parts[1])); code != 200 {
+		t.Fatalf("ingest after restart: status %d: %s", code, body)
+	}
+	code, got := get(t, ts2.URL+"/v1/snapshot?session=boot")
+	if code != 200 {
+		t.Fatalf("snapshot after restart: status %d", code)
+	}
+	if want := batchSnapshot(t, b); !bytes.Equal(got, want) {
+		t.Error("post-restart snapshot differs from uninterrupted batch reference")
+	}
+}

@@ -7,6 +7,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -266,6 +267,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/close", s.handleClose)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
 	mux.HandleFunc("/v1/history", s.handleHistory)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
@@ -287,24 +289,74 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// getSession returns the named session, creating it if create is set.
-func (s *Server) getSession(name string, create bool) *session {
+// getSession returns the named session. A session absent from memory is
+// first sought in the store as handoff state (state/<name>, persisted by
+// a drain on this or another shard) and rehydrated; only then, if create
+// is set, is a fresh session made. The error is non-nil only when
+// handoff state exists but cannot be restored — silently starting an
+// empty engine over a session that has state elsewhere would poison the
+// sharded deployment's equivalence guarantee.
+func (s *Server) getSession(name string, create bool) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess := s.sessions[name]
-	if sess == nil && create {
-		sess = s.newSession(name)
+	if sess == nil && s.st != nil {
+		var err error
+		if sess, err = s.rehydrateLocked(name); err != nil {
+			return nil, err
+		}
 	}
-	return sess
+	if sess == nil && create {
+		sess = s.newSession(name, online.NewEngine(s.opts))
+	}
+	return sess, nil
 }
 
-// newSession builds and registers a session. Callers hold s.mu.
+// stateArtifact names the handoff-state artifact for a session.
+func stateArtifact(name string) string { return "state/" + name }
+
+// rehydrateLocked restores a session from persisted handoff state, if
+// any. The artifact is consumed on success — the session now lives
+// here, and a second shard must not restore it too. Callers hold s.mu.
+//
+//lint:coldpath session handoff restore; runs once per rebalanced session, never per record
+func (s *Server) rehydrateLocked(name string) (*session, error) {
+	// Another process (the draining shard) wrote the artifact; refresh
+	// so this handle's manifest view includes it.
+	if err := s.st.Refresh(); err != nil {
+		return nil, fmt.Errorf("refreshing store: %w", err)
+	}
+	art := stateArtifact(name)
+	a, ok := s.st.Get(art)
+	if !ok || a.Kind != store.KindState {
+		return nil, nil
+	}
+	b, err := s.st.ReadBlob(a.Digest)
+	if err != nil {
+		return nil, fmt.Errorf("reading handoff state for %s: %w", name, err)
+	}
+	engine, err := online.ReadEngine(bytes.NewReader(b), s.opts)
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", name, err)
+	}
+	sess := s.newSession(name, engine)
+	sess.lastEvictions = engine.Evictions()
+	if err := s.st.Delete(art); err != nil {
+		// The session is live here regardless; a stale artifact only
+		// risks a duplicate restore if this process also dies.
+		fmt.Fprintf(os.Stderr, "locserve: consuming handoff state %s: %v\n", art, err)
+	}
+	return sess, nil
+}
+
+// newSession registers a session around an engine (fresh, or restored
+// from handoff state). Callers hold s.mu.
 //
 //lint:coldpath session construction; runs once per session name, not per record
-func (s *Server) newSession(name string) *session {
+func (s *Server) newSession(name string, engine *online.Engine) *session {
 	sess := &session{
 		name:   name,
-		engine: online.NewEngine(s.opts),
+		engine: engine,
 		queue:  make(chan *ingestBatch, queueDepth),
 		free:   make(chan *ingestBatch, queueDepth+2),
 	}
@@ -318,7 +370,9 @@ func (s *Server) newSession(name string) *session {
 	return sess
 }
 
-// sessionNames returns the session names in sorted order.
+// sessionNames returns the session names in sorted order. Sorting here
+// is what makes /v1/sessions and the all-session snapshot deterministic:
+// iteration elsewhere goes through this slice, never the raw map.
 func (s *Server) sessionNames() []string {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.sessions))
@@ -330,14 +384,28 @@ func (s *Server) sessionNames() []string {
 	return names
 }
 
+// liveSessions snapshots the in-memory sessions in sorted name order.
+// Listing paths use this instead of getSession so that enumerating
+// sessions never rehydrates handoff state — a /v1/sessions fan-out or a
+// metrics scrape racing a drain must not resurrect (and consume the
+// state of) a session another shard is about to adopt.
+func (s *Server) liveSessions() []*session {
+	s.mu.Lock()
+	out := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 func (s *Server) totalRules() int64 {
 	var total int64
-	for _, name := range s.sessionNames() {
-		if sess := s.getSession(name, false); sess != nil {
-			sess.mu.Lock()
-			total += int64(sess.engine.Rules())
-			sess.mu.Unlock()
-		}
+	for _, sess := range s.liveSessions() {
+		sess.mu.Lock()
+		total += int64(sess.engine.Rules())
+		sess.mu.Unlock()
 	}
 	return total
 }
@@ -379,7 +447,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "session query parameter required")
 		return
 	}
-	sess := s.getSession(name, true)
+	sess, err := s.getSession(name, true)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	if !sess.beginIngest() {
 		// A concurrent close finalized the session after we resolved the
 		// pointer: the engine (and its final snapshot) is gone, so
@@ -436,14 +508,12 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	names := s.sessionNames()
-	out := make([]sessionStatus, 0, len(names))
-	for _, name := range names {
-		if sess := s.getSession(name, false); sess != nil {
-			sess.mu.Lock()
-			out = append(out, sess.statusLocked())
-			sess.mu.Unlock()
-		}
+	sessions := s.liveSessions()
+	out := make([]sessionStatus, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		out = append(out, sess.statusLocked())
+		sess.mu.Unlock()
 	}
 	writeJSON(w, struct {
 		Sessions []sessionStatus `json:"sessions"`
@@ -451,16 +521,26 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 // snapshotSession runs online detection for one session. The session
-// lock covers the whole snapshot: the engine is single-threaded.
-func (s *Server) snapshotSession(name string) (*online.Snapshot, bool) {
-	sess := s.getSession(name, false)
-	if sess == nil {
-		return nil, false
+// lock covers the whole snapshot: the engine is single-threaded. A
+// by-name lookup goes through getSession, so a rebalanced session the
+// new owner has not yet touched rehydrates on its first snapshot.
+func (s *Server) snapshotSession(name string) (*online.Snapshot, bool, error) {
+	sess, err := s.getSession(name, false)
+	if err != nil {
+		return nil, false, err
 	}
+	if sess == nil {
+		return nil, false, nil
+	}
+	return sess.snapshot(), true, nil
+}
+
+// snapshot runs online detection under the session lock.
+func (sess *session) snapshot() *online.Snapshot {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	mSnapshots.Add(1)
-	return sess.engine.Snapshot(), true
+	return sess.engine.Snapshot()
 }
 
 // handleSnapshot serves the full analysis snapshot: GET
@@ -474,7 +554,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if name := r.URL.Query().Get("session"); name != "" {
-		snap, ok := s.snapshotSession(name)
+		snap, ok, err := s.snapshotSession(name)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		if !ok {
 			httpError(w, http.StatusNotFound, "unknown session "+name)
 			return
@@ -488,15 +572,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(b)
 		return
 	}
-	names := s.sessionNames()
-	snaps, _ := parallel.Map(s.workers, len(names), func(i int) (*online.Snapshot, error) {
-		snap, _ := s.snapshotSession(names[i])
-		return snap, nil
+	// liveSessions (not by-name lookups) so the fan-out never rehydrates
+	// handoff state; the sorted order plus encoding/json's sorted map
+	// keys make the merged document byte-deterministic.
+	sessions := s.liveSessions()
+	snaps, _ := parallel.Map(s.workers, len(sessions), func(i int) (*online.Snapshot, error) {
+		return sessions[i].snapshot(), nil
 	})
-	out := make(map[string]*online.Snapshot, len(names))
-	for i, name := range names {
+	out := make(map[string]*online.Snapshot, len(sessions))
+	for i, sess := range sessions {
 		if snaps[i] != nil {
-			out[name] = snaps[i]
+			out[sess.name] = snaps[i]
 		}
 	}
 	writeJSON(w, out)
@@ -514,7 +600,11 @@ func (s *Server) sectionHandler(section func(*online.Snapshot) any) http.Handler
 			httpError(w, http.StatusBadRequest, "session query parameter required")
 			return
 		}
-		snap, ok := s.snapshotSession(name)
+		snap, ok, err := s.snapshotSession(name)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		if !ok {
 			httpError(w, http.StatusNotFound, "unknown session "+name)
 			return
@@ -523,25 +613,33 @@ func (s *Server) sectionHandler(section func(*online.Snapshot) any) http.Handler
 	}
 }
 
-// CloseResult is the /v1/close response body (and one row of the
-// close-all summary at shutdown).
+// CloseResult is the /v1/close and /v1/drain response body (and one row
+// of the close-all summary at shutdown).
 type CloseResult struct {
 	Session string `json:"session"`
 	Events  uint64 `json:"events"`
 	Refs    uint64 `json:"refs"`
-	// Artifact and Digest identify the persisted snapshot; empty when
-	// the server runs without a store.
+	// Artifact and Digest identify what was persisted — a history
+	// snapshot for a plain close, the live engine state for a handoff —
+	// and are empty when the server runs without a store.
 	Artifact string       `json:"artifact,omitempty"`
 	Digest   store.Digest `json:"digest,omitempty"`
 }
 
-// closeSession snapshots and removes one session, persisting the final
-// snapshot when a store is attached. The session is removed from the
-// registry first, so concurrent requests see a consistent "gone" state;
-// the closed flag then catches ingests that resolved the pointer before
-// the removal (they get 410). In-flight uploads drain before the final
-// snapshot — every record a 200 ingest response vouched for is in it.
-func (s *Server) closeSession(name string) (CloseResult, bool, error) {
+// closeSession removes one session after draining its in-flight
+// uploads. A plain close (handoff false) runs a final snapshot and,
+// with a store attached, persists it as a history artifact. A handoff
+// close instead serializes the live engine state as state/<name>, so
+// the session's next owner — another shard after a rebalance, or this
+// server after a restart — continues the analysis exactly where it
+// stopped (the state codec is exact; see internal/online).
+//
+// The session is removed from the registry first, so concurrent
+// requests see a consistent "gone" state; the closed flag then catches
+// ingests that resolved the pointer before the removal (they get 410).
+// In-flight uploads drain before the final snapshot or serialization —
+// every record a 200 ingest response vouched for is accounted for.
+func (s *Server) closeSession(name string, handoff bool) (CloseResult, bool, error) {
 	s.mu.Lock()
 	sess := s.sessions[name]
 	delete(s.sessions, name)
@@ -560,9 +658,13 @@ func (s *Server) closeSession(name string) (CloseResult, bool, error) {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	res := CloseResult{Session: name, Events: sess.engine.Events(), Refs: sess.engine.Refs()}
+	if handoff {
+		err := s.persistStateLocked(sess, &res)
+		return res, true, err
+	}
 	mSnapshots.Add(1)
 	snap := sess.engine.Snapshot()
-	res := CloseResult{Session: name, Events: sess.engine.Events(), Refs: sess.engine.Refs()}
 	if s.st == nil {
 		return res, true, nil
 	}
@@ -589,12 +691,41 @@ func (s *Server) closeSession(name string) (CloseResult, bool, error) {
 	return res, true, err
 }
 
-// closeAll closes every live session (used at graceful shutdown so a
-// store-backed server persists everything it learned).
-func (s *Server) CloseAll() []CloseResult {
+// persistStateLocked serializes a drained session's engine into the
+// store as its handoff artifact. Callers hold sess.mu.
+//
+//lint:coldpath handoff serialization; runs once per drained session, never per record
+func (s *Server) persistStateLocked(sess *session, res *CloseResult) error {
+	if s.st == nil {
+		return fmt.Errorf("no store configured (start locserve with -store)")
+	}
+	var buf bytes.Buffer
+	if _, err := sess.engine.WriteState(&buf); err != nil {
+		return fmt.Errorf("serializing session %s: %w", sess.name, err)
+	}
+	d, n, err := s.st.PutBytes(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	res.Artifact = stateArtifact(sess.name)
+	res.Digest = d
+	return s.st.Put(res.Artifact, store.Artifact{
+		Kind: store.KindState, Digest: d, Size: n,
+		Meta: map[string]string{
+			"session": sess.name,
+			"events":  strconv.FormatUint(res.Events, 10),
+		},
+	})
+}
+
+// CloseAll closes every live session, used at graceful shutdown. With
+// handoff set (and a store attached) sessions persist live state and
+// survive the restart; otherwise a store-backed server persists final
+// history snapshots.
+func (s *Server) CloseAll(handoff bool) []CloseResult {
 	var out []CloseResult
 	for _, name := range s.sessionNames() {
-		if res, ok, err := s.closeSession(name); ok {
+		if res, ok, err := s.closeSession(name, handoff); ok {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "locserve: persisting %s: %v\n", name, err)
 			}
@@ -607,7 +738,9 @@ func (s *Server) CloseAll() []CloseResult {
 // handleClose finalizes a session: POST /v1/close?session=NAME runs one
 // last snapshot, persists it to the store (when configured), and removes
 // the session's engine. The response reports the history artifact so a
-// client (or CI job) can hand the ref straight to locdiff.
+// client (or CI job) can hand the ref straight to locdiff. With
+// &state=1 the close is a handoff instead: the live engine state is
+// persisted (store required) and the session's next owner resumes it.
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -618,16 +751,56 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "session query parameter required")
 		return
 	}
-	res, ok, err := s.closeSession(name)
+	handoff := r.URL.Query().Get("state") == "1"
+	if handoff && s.st == nil {
+		httpError(w, http.StatusConflict, "state=1 requires a store (start locserve with -store)")
+		return
+	}
+	res, ok, err := s.closeSession(name, handoff)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session "+name)
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, fmt.Sprintf("persisting snapshot: %v", err))
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("persisting session: %v", err))
 		return
 	}
 	writeJSON(w, res)
+}
+
+// handleDrain evacuates sessions for a rebalance: POST /v1/drain hands
+// off every session (POST /v1/drain?session=A&session=B just the named
+// ones) — each drains its in-flight uploads, serializes its live engine
+// state into the shared store, and is removed. The gateway calls this
+// on the old owner before re-routing; the new owner rehydrates from the
+// state artifact on its first ingest or snapshot.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.st == nil {
+		httpError(w, http.StatusConflict, "drain requires a store (start locserve with -store)")
+		return
+	}
+	names := r.URL.Query()["session"]
+	if len(names) == 0 {
+		names = s.sessionNames()
+	}
+	out := make([]CloseResult, 0, len(names))
+	for _, name := range names {
+		res, ok, err := s.closeSession(name, true)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("draining %s: %v", name, err))
+			return
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	writeJSON(w, struct {
+		Drained []CloseResult `json:"drained"`
+	}{out})
 }
 
 // historyEntry is one row of the /v1/history listing.
