@@ -1,0 +1,619 @@
+package cluster
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// metrics is the gateway's observability registry, sharing the process
+// default the same way locserve does; standalone locgate processes
+// carry only "locgate.*" (plus the worker pool's) names, and the
+// merged /v1/metrics view adds the shards' "locserve.*" names.
+var metrics = func() *obs.Registry {
+	r := obs.EnableDefault()
+	r.SetExpvar(true)
+	return r
+}()
+
+var (
+	mForwards   = metrics.Counter("locgate.forwards")
+	mRebalances = metrics.Counter("locgate.rebalances")
+	mMoved      = metrics.Counter("locgate.moved")
+)
+
+// registry tracks live gateways so the cluster-shape gauges aggregate
+// across every instance in the process (tests spin up several).
+var registry struct {
+	mu       sync.Mutex
+	gateways []*Gateway
+}
+
+func init() {
+	metrics.GaugeFunc("locgate.shards", func() int64 {
+		registry.mu.Lock()
+		gws := append([]*Gateway(nil), registry.gateways...)
+		registry.mu.Unlock()
+		var total int64
+		for _, g := range gws {
+			g.mu.RLock()
+			total += int64(len(g.shards))
+			g.mu.RUnlock()
+		}
+		return total
+	})
+	metrics.GaugeFunc("locgate.sessions", func() int64 {
+		registry.mu.Lock()
+		gws := append([]*Gateway(nil), registry.gateways...)
+		registry.mu.Unlock()
+		var total int64
+		for _, g := range gws {
+			g.knownMu.Lock()
+			total += int64(len(g.known))
+			g.knownMu.Unlock()
+		}
+		return total
+	})
+}
+
+// Gateway routes the locserve API across shards: ingest and per-session
+// reads follow the ring to the owning shard; listings, all-session
+// snapshots, and metrics fan out to every shard and merge. Membership
+// changes drain moved sessions through the shared store and replay
+// placement, so the cluster answers before and after a rebalance as if
+// it were one uninterrupted locserve.
+type Gateway struct {
+	workers int
+	hc      *http.Client
+
+	// mu is the membership lock: request routing holds it shared for the
+	// whole proxied exchange, membership changes hold it exclusively —
+	// so a rebalance begins only once in-flight forwards have finished,
+	// and no forward can slip between a drain and the ring switch.
+	mu     sync.RWMutex
+	ring   *Ring
+	shards map[string]*shard
+
+	// known tracks every session routed through this gateway (under its
+	// own lock: routing holds mu only shared). It is the work list a
+	// rebalance diffs placement over — including sessions resident on a
+	// shard that died, which cannot be listed by asking the shard.
+	knownMu sync.Mutex
+	known   map[string]bool
+}
+
+// New returns a gateway with no shards. vnodes <= 0 selects
+// DefaultVirtualNodes; workers bounds fan-out concurrency (<= 0: one
+// per CPU); hc is the HTTP client for shard traffic (nil: the default
+// client).
+func New(vnodes, workers int, hc *http.Client) *Gateway {
+	g := &Gateway{
+		workers: parallel.Workers(workers),
+		hc:      hc,
+		ring:    NewRing(vnodes),
+		shards:  make(map[string]*shard),
+		known:   make(map[string]bool),
+	}
+	registry.mu.Lock()
+	registry.gateways = append(registry.gateways, g)
+	registry.mu.Unlock()
+	return g
+}
+
+// ShardInfo is one row of the /v1/shards listing.
+type ShardInfo struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Shards lists the current members in sorted name order.
+func (g *Gateway) Shards() []ShardInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]ShardInfo, 0, len(g.shards))
+	for _, sh := range g.shards {
+		out = append(out, ShardInfo{Name: sh.name, URL: sh.base})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// knownSessions snapshots the routed-session set in sorted order.
+func (g *Gateway) knownSessions() []string {
+	g.knownMu.Lock()
+	names := make([]string, 0, len(g.known))
+	for n := range g.known {
+		names = append(names, n)
+	}
+	g.knownMu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// AddShard joins a shard and rebalances: sessions whose placement moves
+// to the new member are drained from their current owners (through the
+// shared store) and adopted by the new one. On a drain failure the ring
+// is left unchanged — drained sessions rehydrate in place on their old
+// owner's next access, so an aborted rebalance loses nothing.
+func (g *Gateway) AddShard(name, baseURL string) ([]string, error) {
+	if name == "" || baseURL == "" {
+		return nil, fmt.Errorf("shard name and url required")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.shards[name]; ok {
+		return nil, fmt.Errorf("shard %s already present", name)
+	}
+	next := g.ring.Clone()
+	next.Add(name)
+	moved, err := g.drainMovedLocked(next)
+	if err != nil {
+		return nil, err
+	}
+	sh := newShard(name, baseURL, g.hc)
+	g.shards[name] = sh
+	g.ring = next
+	mRebalances.Inc()
+	g.replayPlacementLocked(moved)
+	return moved, nil
+}
+
+// RemoveShard retires a shard and rebalances its sessions onto the
+// remaining members. An unreachable shard (crashed, or already shut
+// down) is removed anyway: a -handoff shutdown has already persisted
+// its sessions' state, and the survivors rehydrate from the store.
+func (g *Gateway) RemoveShard(name string) ([]string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sh, ok := g.shards[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown shard %s", name)
+	}
+	next := g.ring.Clone()
+	next.Remove(name)
+	moved, err := g.drainMovedLocked(next)
+	if err != nil {
+		return nil, err
+	}
+	delete(g.shards, name)
+	g.ring = next
+	sh.close()
+	mRebalances.Inc()
+	g.replayPlacementLocked(moved)
+	return moved, nil
+}
+
+// drainMovedLocked diffs session placement between the live ring and
+// next, drains every moved session from its current owner, and returns
+// the moved session names (sorted: knownSessions ordering). Owners are
+// flushed first, so uploads already queued at the gateway land before
+// the drain. An unreachable owner is tolerated — its process persisted
+// state at shutdown or lost it with the host; either way draining is
+// not possible and not useful. Any other drain failure aborts. Callers
+// hold g.mu exclusively.
+func (g *Gateway) drainMovedLocked(next *Ring) ([]string, error) {
+	byOwner := make(map[string][]string)
+	var moved []string
+	for _, session := range g.knownSessions() {
+		old := g.ring.Owner(session)
+		if old == "" || old == next.Owner(session) {
+			continue
+		}
+		byOwner[old] = append(byOwner[old], session)
+		moved = append(moved, session)
+	}
+	for owner, sessions := range byOwner {
+		sh := g.shards[owner]
+		if sh == nil {
+			continue // owner already departed; sessions rehydrate from the store
+		}
+		sh.waitFlush()
+		q := ""
+		for _, s := range sessions {
+			if q != "" {
+				q += "&"
+			}
+			q += "session=" + url.QueryEscape(s)
+		}
+		resp := sh.do(http.MethodPost, "/v1/drain?"+q, nil)
+		if resp.err != nil {
+			fmt.Fprintf(os.Stderr, "locgate: drain %s unreachable (%v); relying on persisted state\n", owner, resp.err)
+			continue
+		}
+		if resp.status != http.StatusOK {
+			return nil, fmt.Errorf("draining shard %s: status %d: %s", owner, resp.status, resp.body)
+		}
+	}
+	mMoved.Add(uint64(len(moved)))
+	return moved, nil
+}
+
+// replayPlacementLocked pokes each moved session's new owner with an
+// empty ingest, which rehydrates it from the store immediately — so
+// listings and all-session snapshots include moved sessions without
+// waiting for their next upload. Failures are logged, not fatal: the
+// owner rehydrates lazily on the session's next access regardless.
+// Callers hold g.mu exclusively.
+func (g *Gateway) replayPlacementLocked(moved []string) {
+	for _, session := range moved {
+		sh := g.shards[g.ring.Owner(session)]
+		if sh == nil {
+			continue
+		}
+		resp := sh.do(http.MethodPost, "/v1/ingest?session="+url.QueryEscape(session), nil)
+		if resp.err != nil || resp.status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "locgate: adopting %s on %s: status %d err %v\n",
+				session, sh.name, resp.status, resp.err)
+		}
+	}
+}
+
+// CloseShards stops the forwarding senders (used by tests and at
+// gateway shutdown; the shards themselves keep running).
+func (g *Gateway) CloseShards() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for name, sh := range g.shards {
+		sh.close()
+		delete(g.shards, name)
+	}
+	g.ring = NewRing(g.ring.vnodes)
+}
+
+// Handler builds the gateway mux: the locserve v1 surface, routed or
+// fanned across shards, plus shard administration and expvar.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", g.handleIngest)
+	mux.HandleFunc("/v1/close", g.handleClose)
+	mux.HandleFunc("/v1/sessions", g.handleSessions)
+	mux.HandleFunc("/v1/snapshot", g.handleSnapshot)
+	mux.HandleFunc("/v1/stats", g.proxyBySession("/v1/stats"))
+	mux.HandleFunc("/v1/hotstreams", g.proxyBySession("/v1/hotstreams"))
+	mux.HandleFunc("/v1/locality", g.proxyBySession("/v1/locality"))
+	mux.HandleFunc("/v1/metrics", g.handleMetrics)
+	mux.HandleFunc("/v1/shards", g.handleShards)
+	mux.HandleFunc("/v1/shards/add", g.handleShardAdd)
+	mux.HandleFunc("/v1/shards/remove", g.handleShardRemove)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// owner resolves the shard owning a session. Callers hold g.mu (shared
+// suffices).
+func (g *Gateway) ownerLocked(session string) *shard {
+	return g.shards[g.ring.Owner(session)]
+}
+
+// relay writes a proxied shard response through to the client.
+func relay(w http.ResponseWriter, resp response) {
+	if resp.err != nil {
+		httpError(w, http.StatusBadGateway, resp.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// handleIngest routes an upload to the owning shard through its
+// forwarding queue: POST /v1/ingest?session=NAME, wire-compatible with
+// locserve's endpoint — clients point at the gateway and change nothing.
+//
+//lint:hotpath gateway upload path; runs per POST, body copy plus queue round trip
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		httpError(w, http.StatusBadRequest, "session query parameter required")
+		return
+	}
+	// Buffer the body before taking the routing lock: a slow uploader
+	// must not extend the lock hold (and a rebalance must not wait on
+	// someone's network).
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading upload: "+err.Error())
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sh := g.ownerLocked(session)
+	if sh == nil {
+		httpError(w, http.StatusServiceUnavailable, "no shards joined")
+		return
+	}
+	g.knownMu.Lock()
+	g.known[session] = true
+	g.knownMu.Unlock()
+	mForwards.Inc()
+	relay(w, sh.forward(session, body))
+}
+
+// handleClose proxies a close to the owning shard, after flushing the
+// shard's queue so uploads the gateway already accepted land first.
+func (g *Gateway) handleClose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		httpError(w, http.StatusBadRequest, "session query parameter required")
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sh := g.ownerLocked(session)
+	if sh == nil {
+		httpError(w, http.StatusServiceUnavailable, "no shards joined")
+		return
+	}
+	sh.waitFlush()
+	resp := sh.do(http.MethodPost, "/v1/close?"+r.URL.RawQuery, nil)
+	if resp.err == nil && resp.status == http.StatusOK && r.URL.Query().Get("state") != "1" {
+		// A plain close retires the session; a state close is a handoff —
+		// the session stays routable and rehydrates on next access.
+		g.knownMu.Lock()
+		delete(g.known, session)
+		g.knownMu.Unlock()
+	}
+	relay(w, resp)
+}
+
+// proxyBySession forwards a per-session GET endpoint to the owner.
+func (g *Gateway) proxyBySession(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		session := r.URL.Query().Get("session")
+		if session == "" {
+			httpError(w, http.StatusBadRequest, "session query parameter required")
+			return
+		}
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		sh := g.ownerLocked(session)
+		if sh == nil {
+			httpError(w, http.StatusServiceUnavailable, "no shards joined")
+			return
+		}
+		relay(w, sh.get(path+"?"+r.URL.RawQuery))
+	}
+}
+
+// shardList snapshots the shard set for a fan-out. Callers hold g.mu
+// (shared suffices).
+func (g *Gateway) shardListLocked() []*shard {
+	out := make([]*shard, 0, len(g.shards))
+	for _, sh := range g.shards {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// fanGet performs a GET against every shard in parallel and returns the
+// bodies in shard-name order, failing on the first non-200.
+func (g *Gateway) fanGet(shards []*shard, pathQuery string) ([][]byte, error) {
+	bodies, err := parallel.Map(g.workers, len(shards), func(i int) ([]byte, error) {
+		resp := shards[i].get(pathQuery)
+		if resp.err != nil {
+			return nil, resp.err
+		}
+		if resp.status != http.StatusOK {
+			return nil, fmt.Errorf("shard %s: status %d: %s", shards[i].name, resp.status, resp.body)
+		}
+		return resp.body, nil
+	})
+	return bodies, err
+}
+
+// handleSnapshot serves GET /v1/snapshot?session=NAME by proxy, and the
+// bare GET /v1/snapshot by fanning out to every shard and merging the
+// per-session documents into one map. Each session lives on exactly one
+// shard, the merged keys come out sorted by encoding/json, and each
+// value is the shard engine's canonical snapshot — so the merged bytes
+// are identical to a single locserve holding every session.
+func (g *Gateway) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if session := r.URL.Query().Get("session"); session != "" {
+		sh := g.ownerLocked(session)
+		if sh == nil {
+			httpError(w, http.StatusServiceUnavailable, "no shards joined")
+			return
+		}
+		relay(w, sh.get("/v1/snapshot?"+r.URL.RawQuery))
+		return
+	}
+	shards := g.shardListLocked()
+	bodies, err := g.fanGet(shards, "/v1/snapshot")
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	merged := make(map[string]json.RawMessage)
+	for i, b := range bodies {
+		var part map[string]json.RawMessage
+		if err := json.Unmarshal(b, &part); err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: invalid snapshot document: %v", shards[i].name, err))
+			return
+		}
+		for name, snap := range part {
+			merged[name] = snap
+		}
+	}
+	writeJSON(w, merged)
+}
+
+// handleSessions merges every shard's listing, sorted by session name —
+// the same order a single locserve lists.
+func (g *Gateway) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	shards := g.shardListLocked()
+	bodies, err := g.fanGet(shards, "/v1/sessions")
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	type row struct {
+		session string
+		raw     json.RawMessage
+	}
+	rows := make([]row, 0, 16)
+	for i, b := range bodies {
+		var part struct {
+			Sessions []json.RawMessage `json:"sessions"`
+		}
+		if err := json.Unmarshal(b, &part); err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: invalid listing: %v", shards[i].name, err))
+			return
+		}
+		for _, raw := range part.Sessions {
+			var key struct {
+				Session string `json:"session"`
+			}
+			if err := json.Unmarshal(raw, &key); err != nil {
+				httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: invalid session row: %v", shards[i].name, err))
+				return
+			}
+			rows = append(rows, row{key.Session, raw})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].session < rows[j].session })
+	out := make([]json.RawMessage, len(rows))
+	for i, r := range rows {
+		out[i] = r.raw
+	}
+	writeJSON(w, struct {
+		Sessions []json.RawMessage `json:"sessions"`
+	}{out})
+}
+
+// handleMetrics merges every shard's /v1/metrics with the gateway's own
+// registry: counters and gauges sum, timer tails take the worst shard
+// (obs.MergeSnapshots), and the stable metric names pass through.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	shards := g.shardListLocked()
+	bodies, err := g.fanGet(shards, "/v1/metrics")
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	snaps := make([]obs.Snapshot, 0, len(bodies)+1)
+	for i, b := range bodies {
+		var s obs.Snapshot
+		if err := json.Unmarshal(b, &s); err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: invalid metrics: %v", shards[i].name, err))
+			return
+		}
+		snaps = append(snaps, s)
+	}
+	snaps = append(snaps, metrics.Snapshot())
+	writeJSON(w, obs.MergeSnapshots(snaps...))
+}
+
+// handleShards lists the membership: GET /v1/shards.
+func (g *Gateway) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, struct {
+		Shards []ShardInfo `json:"shards"`
+	}{g.Shards()})
+}
+
+// rebalanceResult is the add/remove response body.
+type rebalanceResult struct {
+	Shards []ShardInfo `json:"shards"`
+	Moved  []string    `json:"moved"`
+}
+
+// handleShardAdd joins a shard: POST /v1/shards/add?name=N&url=U.
+func (g *Gateway) handleShardAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	moved, err := g.AddShard(r.URL.Query().Get("name"), r.URL.Query().Get("url"))
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, rebalanceResult{Shards: g.Shards(), Moved: sessionsOrEmpty(moved)})
+}
+
+// handleShardRemove retires a shard: POST /v1/shards/remove?name=N.
+func (g *Gateway) handleShardRemove(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	moved, err := g.RemoveShard(r.URL.Query().Get("name"))
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, rebalanceResult{Shards: g.Shards(), Moved: sessionsOrEmpty(moved)})
+}
+
+// sessionsOrEmpty keeps "moved" a JSON array (not null) when nothing
+// moved.
+func sessionsOrEmpty(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// httpError writes a JSON error response.
+//
+//lint:coldpath error responses; never taken on the forwarding path
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

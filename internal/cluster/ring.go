@@ -1,0 +1,153 @@
+// Package cluster shards the locality service horizontally: a
+// consistent-hash ring routes each session to one locserve shard, a
+// per-shard forwarding client isolates slow shards, and fan-out/merge
+// endpoints reassemble the cluster-wide view (sessions, snapshots,
+// metrics) so a locgate deployment answers exactly like one big
+// locserve. Sessions move between shards through the shared artifact
+// store using the exact engine-state codec (internal/online), so
+// membership changes rebalance with zero analysis drift.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count. With tens of
+// vnodes per shard the keyspace split is even to within a few percent,
+// and a membership change moves only ~1/N of sessions.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is a
+// pure function of the member set, the vnode count, and the session
+// name — every gateway (and every restart of one) computes the same
+// owner for a session, which is what lets placement survive process
+// boundaries without coordination. Ring is not goroutine-safe; the
+// gateway guards it with its membership lock.
+type Ring struct {
+	vnodes int
+	points []point  // sorted by hash; ties broken by shard name
+	shards []string // sorted member names
+}
+
+// point is one virtual node: a position on the hash circle owned by a
+// shard.
+type point struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// shard (<= 0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// hashKey positions a key on the circle: 64-bit FNV-1a (stable across
+// processes and architectures, unlike maphash) through a splitmix64
+// finalizer. Raw FNV over short, similar keys ("s0#17", "s1#17")
+// clusters on the circle badly enough to skew shard ownership 3:1; the
+// avalanche pass spreads the points.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a shard's virtual nodes. Adding a present member is a
+// no-op.
+func (r *Ring) Add(shard string) {
+	if r.has(shard) {
+		return
+	}
+	r.shards = append(r.shards, shard)
+	sort.Strings(r.shards)
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hashKey(fmt.Sprintf("%s#%d", shard, i)), shard})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a shard's virtual nodes. Removing an absent member is
+// a no-op.
+func (r *Ring) Remove(shard string) {
+	if !r.has(shard) {
+		return
+	}
+	shards := r.shards[:0]
+	for _, s := range r.shards {
+		if s != shard {
+			shards = append(shards, s)
+		}
+	}
+	r.shards = shards
+	points := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			points = append(points, p)
+		}
+	}
+	r.points = points
+}
+
+// Clone returns an independent copy, so the gateway can compute a
+// candidate placement without disturbing the live ring.
+func (r *Ring) Clone() *Ring {
+	return &Ring{
+		vnodes: r.vnodes,
+		points: append([]point(nil), r.points...),
+		shards: append([]string(nil), r.shards...),
+	}
+}
+
+func (r *Ring) has(shard string) bool {
+	for _, s := range r.shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Shards returns the member names in sorted order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.shards) }
+
+// Owner returns the shard owning a session: the first virtual node at
+// or clockwise from the session's hash. Returns "" on an empty ring.
+func (r *Ring) Owner(session string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(session)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point back to the first
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sessionName(i int) string { return fmt.Sprintf("session-%04d", i) }
+
+// TestRingDeterministicPlacement: placement is a pure function of the
+// member set — independent of insertion order and stable across ring
+// instances (the property that lets any gateway, or a restarted one,
+// route identically).
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(64)
+	for _, s := range []string{"alpha", "beta", "gamma"} {
+		a.Add(s)
+	}
+	b := NewRing(64)
+	for _, s := range []string{"gamma", "alpha", "beta"} {
+		b.Add(s)
+	}
+	for i := 0; i < 2000; i++ {
+		name := sessionName(i)
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("placement differs across insertion orders for %s: %s vs %s",
+				name, a.Owner(name), b.Owner(name))
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes spread sessions across shards —
+// no shard starves or hogs the keyspace.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0) // DefaultVirtualNodes
+	shards := []string{"s0", "s1", "s2"}
+	for _, s := range shards {
+		r.Add(s)
+	}
+	const n = 30000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Owner(sessionName(i))]++
+	}
+	for _, s := range shards {
+		share := float64(counts[s]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("shard %s owns %.1f%% of sessions; want a reasonable spread (counts: %v)",
+				s, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins consistent hashing's defining property:
+// a membership change moves only the sessions whose new owner is the
+// joining shard (add) or whose old owner was the leaving shard (remove).
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(64)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		r.Add(s)
+	}
+	const n = 5000
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		before[sessionName(i)] = r.Owner(sessionName(i))
+	}
+
+	grown := r.Clone()
+	grown.Add("s3")
+	movedToNew := 0
+	for name, old := range before {
+		now := grown.Owner(name)
+		if now != old {
+			if now != "s3" {
+				t.Fatalf("session %s moved %s -> %s on add of s3", name, old, now)
+			}
+			movedToNew++
+		}
+	}
+	if movedToNew == 0 {
+		t.Error("adding a shard moved no sessions")
+	}
+	if share := float64(movedToNew) / n; share > 0.5 {
+		t.Errorf("adding one shard to three moved %.1f%% of sessions; want ~1/4", share*100)
+	}
+
+	shrunk := r.Clone()
+	shrunk.Remove("s1")
+	for name, old := range before {
+		now := shrunk.Owner(name)
+		if old == "s1" {
+			if now == "s1" {
+				t.Fatalf("session %s still owned by removed shard", name)
+			}
+		} else if now != old {
+			t.Fatalf("session %s moved %s -> %s on removal of s1", name, old, now)
+		}
+	}
+
+	// The original ring is untouched by clone mutations.
+	for i := 0; i < 100; i++ {
+		if r.Owner(sessionName(i)) != before[sessionName(i)] {
+			t.Fatal("Clone mutation leaked into the source ring")
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("x") != "" {
+		t.Error("empty ring should own nothing")
+	}
+	if r.Len() != 0 {
+		t.Error("empty ring has members")
+	}
+	r.Add("only")
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(sessionName(i)); got != "only" {
+			t.Fatalf("single-shard ring routed %s to %q", sessionName(i), got)
+		}
+	}
+	r.Add("only") // duplicate add is a no-op
+	if got := len(r.points); got != 8 {
+		t.Errorf("duplicate add changed vnode count to %d, want 8", got)
+	}
+	r.Remove("absent") // absent remove is a no-op
+	if r.Len() != 1 {
+		t.Errorf("absent remove changed membership: %v", r.Shards())
+	}
+	r.Remove("only")
+	if r.Owner("x") != "" || r.Len() != 0 {
+		t.Error("ring not empty after removing the last shard")
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+// MergeSnapshots combines per-process metric snapshots into one cluster
+// view, preserving the stable metric names: the gateway's /v1/metrics
+// fans out to every shard's /v1/metrics and serves the merge, so
+// tooling written against a single locserve's names keeps working
+// against a locgate deployment.
+//
+// Counters and gauges sum across processes (a counter total and a level
+// like queue depth both aggregate additively). Timer counts and sums
+// add; the merged p50/p99 are the maxima across processes — without the
+// underlying buckets a true merged quantile is not computable, and for
+// latency triage the worst shard's tail is the honest summary.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]int64{},
+		Timers:   map[string]TimerStats{},
+	}
+	for _, s := range snaps {
+		for n, v := range s.Counters {
+			out.Counters[n] += v
+		}
+		for n, v := range s.Gauges {
+			out.Gauges[n] += v
+		}
+		for n, t := range s.Timers {
+			m := out.Timers[n]
+			m.Count += t.Count
+			m.SumNS += t.SumNS
+			if t.P50NS > m.P50NS {
+				m.P50NS = t.P50NS
+			}
+			if t.P99NS > m.P99NS {
+				m.P99NS = t.P99NS
+			}
+			out.Timers[n] = m
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{
+		Counters: map[string]uint64{"locserve.records": 100, "locserve.sessions": 2},
+		Gauges:   map[string]int64{"locserve.rules": 40, "parallel.busy": 1},
+		Timers: map[string]TimerStats{
+			"pipeline.stage.detect": {Count: 3, SumNS: 300, P50NS: 90, P99NS: 120},
+		},
+	}
+	b := Snapshot{
+		Counters: map[string]uint64{"locserve.records": 50},
+		Gauges:   map[string]int64{"locserve.rules": 10},
+		Timers: map[string]TimerStats{
+			"pipeline.stage.detect": {Count: 1, SumNS: 500, P50NS: 500, P99NS: 500},
+			"pipeline.stage.stats":  {Count: 2, SumNS: 20, P50NS: 10, P99NS: 15},
+		},
+	}
+	got := MergeSnapshots(a, b)
+	want := Snapshot{
+		Counters: map[string]uint64{"locserve.records": 150, "locserve.sessions": 2},
+		Gauges:   map[string]int64{"locserve.rules": 50, "parallel.busy": 1},
+		Timers: map[string]TimerStats{
+			"pipeline.stage.detect": {Count: 4, SumNS: 800, P50NS: 500, P99NS: 500},
+			"pipeline.stage.stats":  {Count: 2, SumNS: 20, P50NS: 10, P99NS: 15},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeSnapshots = %+v, want %+v", got, want)
+	}
+}
+
+// TestMergeSnapshotsEmpty: merging nothing (or empty snapshots) yields
+// non-nil maps, so the gateway's /v1/metrics serializes the same shape
+// a fresh locserve does.
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	got := MergeSnapshots()
+	if got.Counters == nil || got.Gauges == nil || got.Timers == nil {
+		t.Fatal("merged snapshot has nil maps")
+	}
+	got = MergeSnapshots(Snapshot{}, Snapshot{})
+	if len(got.Counters)+len(got.Gauges)+len(got.Timers) != 0 {
+		t.Errorf("merge of empty snapshots not empty: %+v", got)
+	}
+}
