@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cliflags"
@@ -40,6 +41,8 @@ func main() {
 	rate := flag.Int("rate", 0, "records per second in -stream mode (0 = unthrottled)")
 	url := flag.String("url", "", "in -stream mode, POST the records to this locserve ingest URL")
 	in := flag.String("in", "", "in -stream mode, replay this trace file instead of generating")
+	retries := flag.Int("retries", 5, "in -stream -url mode, retry transient connection errors up to this many times")
+	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "initial retry delay; doubles per attempt, capped")
 	flag.Parse()
 
 	if *list {
@@ -49,7 +52,7 @@ func main() {
 		return
 	}
 	if *stream {
-		if err := runStream(gen, *in, *url, *rate); err != nil {
+		if err := runStream(gen, *in, *url, *rate, *retries, *backoff); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
@@ -92,8 +95,10 @@ func main() {
 
 // runStream emits records as a live stream: generated from a benchmark
 // or replayed from a trace file, throttled to rate records/s, to stdout
-// or an HTTP ingest endpoint.
-func runStream(gen *cliflags.Input, in, url string, rate int) error {
+// or an HTTP ingest endpoint (where transient failures retry with
+// capped exponential backoff — the emit closure regenerates or reopens
+// its source on every call, so a retry replays the whole stream).
+func runStream(gen *cliflags.Input, in, url string, rate, retries int, backoff time.Duration) error {
 	if gen.Bench == "" && in == "" {
 		return errors.New("-stream needs -bench or -in")
 	}
@@ -153,7 +158,7 @@ func runStream(gen *cliflags.Input, in, url string, rate int) error {
 		if err := emit(os.Stdout); err != nil {
 			return err
 		}
-	} else if err := streamHTTP(url, emit); err != nil {
+	} else if err := streamHTTP(url, emit, retries, backoff); err != nil {
 		return err
 	}
 	elapsed := time.Since(start).Seconds()
@@ -166,9 +171,62 @@ func runStream(gen *cliflags.Input, in, url string, rate int) error {
 	return nil
 }
 
-// streamHTTP pipes the emitted records into a single chunked POST, so
-// the server ingests while the client is still generating.
-func streamHTTP(url string, emit func(io.Writer) error) error {
+// maxBackoff caps the exponential retry delay: past a few doublings a
+// longer wait only delays recovery without reducing load.
+const maxBackoff = 5 * time.Second
+
+// streamHTTP uploads the stream, retrying transient failures — a shard
+// or gateway restarting mid-run — with capped exponential backoff. A
+// retry replays the whole stream from the (restartable) emit closure;
+// non-transient failures (decode errors, 4xx) surface immediately.
+func streamHTTP(url string, emit func(io.Writer) error, retries int, backoff time.Duration) error {
+	for attempt := 0; ; attempt++ {
+		err := postStream(url, emit)
+		var te *transientError
+		if err == nil || attempt >= retries || !errors.As(err, &te) {
+			return err
+		}
+		delay := backoff << uint(attempt)
+		if delay > maxBackoff {
+			delay = maxBackoff
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %v; retrying in %v (attempt %d/%d)\n",
+			err, delay, attempt+1, retries)
+		time.Sleep(delay)
+	}
+}
+
+// transientError marks a failure worth retrying: the connection never
+// formed, broke, or the server answered with a gateway-unavailable
+// status.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// transientNet reports whether a transport error is a connection-level
+// failure (refused, reset, or torn down mid-exchange).
+func transientNet(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// transientStatus reports whether an HTTP status signals a temporarily
+// unavailable backend (a gateway whose shard set is mid-change, or a
+// proxy in front of a restarting server).
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// postStream pipes the emitted records into a single chunked POST, so
+// the server ingests while the client is still generating. Failures
+// eligible for retry come back wrapped in transientError.
+func postStream(url string, emit func(io.Writer) error) error {
 	pr, pw := io.Pipe()
 	done := make(chan error, 1)
 	go func() {
@@ -180,7 +238,14 @@ func streamHTTP(url string, emit func(io.Writer) error) error {
 	}()
 	resp, err := http.Post(url, "application/octet-stream", pr)
 	if err != nil {
-		return errors.Join(<-done, err)
+		if eerr := <-done; eerr != nil {
+			// The source failed, not the network: never retried.
+			return errors.Join(eerr, err)
+		}
+		if transientNet(err) {
+			return &transientError{err}
+		}
+		return err
 	}
 	body, rerr := io.ReadAll(resp.Body)
 	if cerr := resp.Body.Close(); rerr == nil {
@@ -193,7 +258,11 @@ func streamHTTP(url string, emit func(io.Writer) error) error {
 		return rerr
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		err := fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		if transientStatus(resp.StatusCode) {
+			return &transientError{err}
+		}
+		return err
 	}
 	// Echo the server's ingest summary (events, rules, evictions).
 	fmt.Print(string(body))

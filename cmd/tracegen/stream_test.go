@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/trace"
@@ -38,7 +39,7 @@ func TestRunStreamHTTP(t *testing.T) {
 	ts := httptest.NewServer(cs)
 	defer ts.Close()
 
-	if err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 5_000, Seed: 1}, "", ts.URL, 0); err != nil {
+	if err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 5_000, Seed: 1}, "", ts.URL, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	want, err := workload.Generate("boxsim", 5_000, 1)
@@ -81,7 +82,7 @@ func TestRunStreamReplay(t *testing.T) {
 	defer ts.Close()
 	// A nonzero rate exercises the pacing path; high enough to finish
 	// promptly, and throttling must never drop or reorder records.
-	if err := runStream(&cliflags.Input{}, path, ts.URL, 500_000); err != nil {
+	if err := runStream(&cliflags.Input{}, path, ts.URL, 500_000, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(cs.events) != b.Len() {
@@ -95,7 +96,7 @@ func TestRunStreamReplay(t *testing.T) {
 }
 
 func TestRunStreamRejectsEmptySource(t *testing.T) {
-	if err := runStream(&cliflags.Input{}, "", "", 0); err == nil {
+	if err := runStream(&cliflags.Input{}, "", "", 0, 0, 0); err == nil {
 		t.Fatal("runStream without -bench or -in returned nil error")
 	}
 }
@@ -105,7 +106,103 @@ func TestRunStreamServerError(t *testing.T) {
 		http.Error(w, "nope", http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
-	if err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 1_000, Seed: 1}, "", ts.URL, 0); err == nil {
+	if err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 1_000, Seed: 1}, "", ts.URL, 0, 0, 0); err == nil {
 		t.Fatal("runStream against an erroring server returned nil error")
+	}
+}
+
+// flakyServer fails the first `failures` uploads — by slamming the
+// connection shut (mode "hangup") or answering 503 (mode "busy") —
+// then captures like a healthy ingest endpoint.
+type flakyServer struct {
+	captureServer
+	mode     string
+	failures int
+	attempts int
+}
+
+func (f *flakyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.attempts++
+	if f.attempts <= f.failures {
+		switch f.mode {
+		case "hangup":
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // client sees EOF / connection reset mid-upload
+		default:
+			http.Error(w, "shard rebalancing", http.StatusServiceUnavailable)
+		}
+		return
+	}
+	f.captureServer.ServeHTTP(w, r)
+}
+
+// TestRunStreamRetriesTransient: uploads against a server that fails
+// transiently recover via whole-stream retry with backoff — every
+// record arrives exactly once in order, for both connection-level and
+// status-level failures.
+func TestRunStreamRetriesTransient(t *testing.T) {
+	want, err := workload.Generate("boxsim", 3_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"busy", "hangup"} {
+		fs := &flakyServer{mode: mode, failures: 2}
+		ts := httptest.NewServer(fs)
+		err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 3_000, Seed: 1}, "", ts.URL, 0, 3, time.Millisecond)
+		ts.Close()
+		if err != nil {
+			t.Fatalf("mode %s: stream with retries failed: %v", mode, err)
+		}
+		if fs.attempts != 3 {
+			t.Errorf("mode %s: server saw %d attempts, want 3", mode, fs.attempts)
+		}
+		if len(fs.events) != want.Len() {
+			t.Fatalf("mode %s: server received %d events, want %d", mode, len(fs.events), want.Len())
+		}
+		for i, e := range want.Events() {
+			if fs.events[i] != e {
+				t.Fatalf("mode %s: event %d = %+v, want %+v", mode, i, fs.events[i], e)
+			}
+		}
+	}
+}
+
+// TestRunStreamRetriesExhausted: a persistently failing server exhausts
+// the retry budget and surfaces the error.
+func TestRunStreamRetriesExhausted(t *testing.T) {
+	fs := &flakyServer{mode: "busy", failures: 100}
+	ts := httptest.NewServer(fs)
+	defer ts.Close()
+	err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 500, Seed: 1}, "", ts.URL, 0, 2, time.Millisecond)
+	if err == nil {
+		t.Fatal("stream against a dead server returned nil error")
+	}
+	if fs.attempts != 3 {
+		t.Errorf("server saw %d attempts, want 3 (initial + 2 retries)", fs.attempts)
+	}
+}
+
+// TestRunStreamNoRetryOnClientError: a 4xx is the client's fault and
+// must not be retried.
+func TestRunStreamNoRetryOnClientError(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "bad upload", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	err := runStream(&cliflags.Input{Bench: "boxsim", Refs: 500, Seed: 1}, "", ts.URL, 0, 5, time.Millisecond)
+	if err == nil {
+		t.Fatal("stream against a 400 server returned nil error")
+	}
+	if attempts != 1 {
+		t.Errorf("server saw %d attempts, want 1 (no retry on 4xx)", attempts)
 	}
 }
