@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-pipeline bench-ingest repro csv lint lint-baseline race sanitize serve-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke bench-pipeline bench-ingest repro csv lint lint-baseline race sanitize serve-smoke cluster-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -58,6 +58,13 @@ sanitize:
 # against the batch pipeline's output.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end smoke of the sharded deployment: locgate routing six
+# sessions across three locserve shards, one shard killed mid-run and
+# retired; the drained sessions rehydrate on their new owners and every
+# final snapshot must be locdiff-clean against a single-node batch.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # End-to-end smoke of the regression gate: locdiff over identical runs
 # must pass -strict with zero drift (and hit the store memo on rerun);

@@ -84,6 +84,8 @@ func (sh *shard) sendLoop() {
 // forward enqueues one ingest upload and waits for the shard's
 // response. The bounded queue blocks here when the shard is saturated —
 // per-shard backpressure, felt only by this shard's clients.
+//
+//lint:coldpath one job allocation per uploaded chunk stream, never per record
 func (sh *shard) forward(session string, body []byte) response {
 	job := &forwardJob{session: session, body: body, done: make(chan response, 1)}
 	sh.queue <- job
@@ -110,6 +112,8 @@ func (sh *shard) close() {
 // do performs one direct (unqueued) request against the shard:
 // control-plane calls — snapshots, listings, drains, closes — that must
 // not sit behind queued uploads.
+//
+//lint:coldpath one request per forwarded upload or control-plane call, never per record; error wrapping runs only on failure
 func (sh *shard) do(method, pathQuery string, body []byte) response {
 	var rd io.Reader
 	if body != nil {

@@ -211,7 +211,13 @@ func (g *Gateway) drainMovedLocked(next *Ring) ([]string, error) {
 		byOwner[old] = append(byOwner[old], session)
 		moved = append(moved, session)
 	}
-	for owner, sessions := range byOwner {
+	owners := make([]string, 0, len(byOwner))
+	for owner := range byOwner {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners)
+	for _, owner := range owners {
+		sessions := byOwner[owner]
 		sh := g.shards[owner]
 		if sh == nil {
 			continue // owner already departed; sessions rehydrate from the store

@@ -305,12 +305,16 @@ func (s *Store) withManifestLock(fn func() error) error {
 	if err != nil {
 		return fmt.Errorf("store: opening manifest lock: %w", err)
 	}
-	defer f.Close()
 	if err := flockExclusive(f); err != nil {
+		_ = f.Close()
 		return fmt.Errorf("store: locking manifest: %w", err)
 	}
-	defer flockUnlock(f)
-	return fn()
+	err = fn()
+	flockUnlock(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: closing manifest lock: %w", cerr)
+	}
+	return err
 }
 
 // Names returns the artifact names with the given prefix ("" for all),
