@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-pipeline bench-ingest repro csv lint lint-baseline race sanitize serve-smoke cluster-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
+.PHONY: all build test bench bench-smoke bench-pipeline bench-ingest repro csv lint lint-baseline race sanitize serve-smoke cluster-smoke fleet-smoke locdiff-smoke obs-smoke fuzz fuzz-smoke cover clean
 
 all: build test lint
 
@@ -65,6 +65,13 @@ serve-smoke:
 # final snapshot must be locdiff-clean against a single-node batch.
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# End-to-end smoke of the fleet analysis views: six sessions from two
+# workload families over three shards behind locgate; the gateway's
+# merged /v1/fleet views must be byte-identical to a single locserve
+# fed the same uploads, and clustering must recover the two families.
+fleet-smoke:
+	./scripts/fleet-smoke.sh
 
 # End-to-end smoke of the regression gate: locdiff over identical runs
 # must pass -strict with zero drift (and hit the store memo on rerun);

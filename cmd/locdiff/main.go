@@ -14,6 +14,7 @@
 //	locdiff -store ./artifacts -strict base.trace candidate.trace
 //	locdiff -store ./artifacts snapshot/<hex>/<params> new.trace
 //	locdiff -json -max-coverage-drop 0.05 -min-heat-overlap 0.8 a.trace b.trace
+//	locdiff -fuzzy-sim 0.6 old.trace new.trace
 //	locdiff http://localhost:8080/v1/snapshot?session=prod old-snapshot.json
 //
 // Exit status: 0 when every gate passes, 1 when a gate fails, 2 on
@@ -42,6 +43,7 @@ func run() int {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report + verdict instead of the human diff")
 	top := fs.Int("top", 10, "max streams listed per diff section in human output (0 = all)")
 	strict := fs.Bool("strict", false, "fail on any locality drift (zero-tolerance gates)")
+	fuzzySim := fs.Float64("fuzzy-sim", -1, "fuzzy-match added/dropped streams at this similarity floor (0..1) and report them as mutated; negative = exact matching only")
 	gc := fs.Bool("gc", false, "after the diff, garbage-collect unreferenced store blobs")
 
 	// Analysis parameters for inputs that are raw traces: the shared
@@ -109,6 +111,13 @@ func run() int {
 	}
 
 	report := regress.Diff(oldIn.snapshot, newIn.snapshot)
+	if *fuzzySim >= 0 {
+		if *fuzzySim > 1 {
+			fmt.Fprintln(os.Stderr, "locdiff: -fuzzy-sim must be in [0, 1]")
+			return 2
+		}
+		report.Fuzzify(*fuzzySim)
+	}
 	verdict := gates.Evaluate(report)
 
 	if *jsonOut {

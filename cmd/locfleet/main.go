@@ -1,0 +1,298 @@
+// Command locfleet renders fleet-wide locality views offline: the same
+// cross-session analysis locserve and locgate serve live, computed from
+// persisted material instead — an artifact store's history snapshots, or
+// snapshot JSON files on the command line. It is the post-hoc half of the
+// fleet story: after a day of sessions closed into the store, locfleet
+// answers "which streams dominate the whole fleet", "which sessions run
+// the same workload", and "whose locality profile shifted since last
+// time" without any server running.
+//
+// Usage:
+//
+//	locfleet -store ./artifacts streams            # top streams fleet-wide
+//	locfleet -store ./artifacts clusters           # sessions grouped by shared hot streams
+//	locfleet -store ./artifacts drift              # latest vs previous history per session
+//	locfleet -store ./artifacts matrix             # pairwise similarity matrix
+//	locfleet clusters a.json b.json c.json         # snapshot files as sessions
+//	locfleet -json -threshold 0.7 -store ./artifacts clusters
+//
+// With -store, each session's fingerprint comes from its most recent
+// history/<session>/NNNN artifact (written by locserve on session close);
+// drift compares that against the previous one, so it needs sessions
+// with at least two closes. Snapshot-file mode names each session after
+// its file (basename, .json stripped).
+//
+// Exit status: 0 on success, 2 on usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/online"
+	"repro/internal/parallel"
+	"repro/internal/store"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("locfleet", flag.ExitOnError)
+	storeDir := fs.String("store", "", "artifact store directory: fingerprint each session's latest history snapshot")
+	top := fs.Int("top", fleet.DefaultTop, "max streams in the streams view (0 = all)")
+	threshold := fs.Float64("threshold", fleet.DefaultClusterThreshold, "minimum linkage for a cluster merge, in [0, 1]")
+	driftThreshold := fs.Float64("drift-threshold", fleet.DefaultDriftThreshold, "similarity floor below which a session counts as drifted, in [0, 1]")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable view instead of the human rendering")
+	workers := fs.Int("workers", 0, "similarity-matrix worker count (0 = one per CPU)")
+	_ = fs.Parse(os.Args[1:])
+
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "locfleet: need a view (streams | clusters | drift | matrix); see -h")
+		return 2
+	}
+	view, files := fs.Arg(0), fs.Args()[1:]
+	if *threshold < 0 || *threshold > 1 || *driftThreshold < 0 || *driftThreshold > 1 {
+		fmt.Fprintln(os.Stderr, "locfleet: thresholds must be in [0, 1]")
+		return 2
+	}
+	if *storeDir == "" && len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "locfleet: need -store or snapshot JSON files; see -h")
+		return 2
+	}
+	if *storeDir != "" && len(files) > 0 {
+		fmt.Fprintln(os.Stderr, "locfleet: -store and snapshot files are mutually exclusive")
+		return 2
+	}
+
+	var fps []*fleet.Fingerprint
+	var prev map[string]baseline // session -> previous history artifact, store mode only
+	var err error
+	if *storeDir != "" {
+		fps, prev, err = loadStore(*storeDir)
+	} else {
+		fps, err = loadFiles(files)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locfleet:", err)
+		return 2
+	}
+
+	w := parallel.Workers(*workers)
+	switch view {
+	case "streams":
+		if *top < 0 {
+			fmt.Fprintln(os.Stderr, "locfleet: -top must be non-negative")
+			return 2
+		}
+		return emit(*jsonOut, fleet.TopStreams(fps, *top), renderStreams)
+	case "clusters":
+		return emit(*jsonOut, fleet.ClusterView(fps, *threshold, w), renderClusters)
+	case "drift":
+		if prev == nil {
+			fmt.Fprintln(os.Stderr, "locfleet: the drift view needs -store (it compares consecutive history snapshots)")
+			return 2
+		}
+		rows := make([]fleet.DriftRow, 0, len(prev))
+		for _, fp := range fps {
+			b, ok := prev[fp.Session]
+			if !ok {
+				continue // only one close so far: nothing to have drifted from
+			}
+			rows = append(rows, fleet.CompareDrift(fp, b.fp, b.artifact, *driftThreshold))
+		}
+		return emit(*jsonOut, fleet.BuildDriftView(rows, *driftThreshold), renderDrift)
+	case "matrix":
+		return emit(*jsonOut, buildMatrix(fps, w), renderMatrix)
+	default:
+		fmt.Fprintf(os.Stderr, "locfleet: unknown view %q (want streams | clusters | drift | matrix)\n", view)
+		return 2
+	}
+}
+
+// baseline is a session's previous persisted fingerprint.
+type baseline struct {
+	artifact string
+	fp       *fleet.Fingerprint
+}
+
+// loadStore fingerprints every session's latest history artifact, plus
+// the previous one per session for the drift view.
+func loadStore(dir string) ([]*fleet.Fingerprint, map[string]baseline, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Group history artifacts by session: names list sorted, and the
+	// per-session sequence numbers are zero-padded, so within a session
+	// the last name is the latest close.
+	bySession := make(map[string][]string)
+	var sessions []string
+	for _, name := range st.Names("history/") {
+		a, ok := st.Get(name)
+		if !ok || a.Kind != store.KindSnapshot {
+			continue
+		}
+		session := a.Meta["session"]
+		if session == "" {
+			// Artifact path is history/<session>/NNNN; fall back to it
+			// for artifacts persisted without metadata.
+			parts := strings.Split(name, "/")
+			if len(parts) < 3 {
+				continue
+			}
+			session = strings.Join(parts[1:len(parts)-1], "/")
+		}
+		if len(bySession[session]) == 0 {
+			sessions = append(sessions, session)
+		}
+		bySession[session] = append(bySession[session], name)
+	}
+	if len(sessions) == 0 {
+		return nil, nil, fmt.Errorf("no history artifacts in %s (close sessions through locserve first)", dir)
+	}
+	sort.Strings(sessions)
+
+	fps := make([]*fleet.Fingerprint, 0, len(sessions))
+	prev := make(map[string]baseline)
+	for _, session := range sessions {
+		names := bySession[session]
+		fp, err := fingerprintArtifact(st, session, names[len(names)-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		fps = append(fps, fp)
+		if len(names) > 1 {
+			art := names[len(names)-2]
+			bfp, err := fingerprintArtifact(st, session, art)
+			if err != nil {
+				return nil, nil, err
+			}
+			prev[session] = baseline{artifact: art, fp: bfp}
+		}
+	}
+	return fps, prev, nil
+}
+
+// fingerprintArtifact loads one stored snapshot and fingerprints it.
+func fingerprintArtifact(st *store.Store, session, name string) (*fleet.Fingerprint, error) {
+	a, ok := st.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("artifact %s disappeared", name)
+	}
+	b, err := st.ReadBlob(a.Digest)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", name, err)
+	}
+	var snap online.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", name, err)
+	}
+	return fleet.New(session, &snap), nil
+}
+
+// loadFiles fingerprints snapshot JSON files, one session per file.
+func loadFiles(files []string) ([]*fleet.Fingerprint, error) {
+	fps := make([]*fleet.Fingerprint, 0, len(files))
+	seen := make(map[string]string)
+	for _, path := range files {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var snap online.Snapshot
+		if err := json.Unmarshal(b, &snap); err != nil {
+			return nil, fmt.Errorf("%s: not a snapshot document: %w", path, err)
+		}
+		session := strings.TrimSuffix(filepath.Base(path), ".json")
+		if other, dup := seen[session]; dup {
+			return nil, fmt.Errorf("%s and %s both name session %q; rename one", other, path, session)
+		}
+		seen[session] = path
+		fps = append(fps, fleet.New(session, &snap))
+	}
+	return fps, nil
+}
+
+// matrixView is the pairwise-similarity document (locfleet-only: the
+// HTTP surface serves the derived views, this is the raw material for
+// eyeballing why sessions did or did not cluster).
+type matrixView struct {
+	Sessions []string    `json:"sessions"`
+	Matrix   [][]float64 `json:"matrix"`
+}
+
+func buildMatrix(fps []*fleet.Fingerprint, workers int) matrixView {
+	fps = append([]*fleet.Fingerprint(nil), fps...)
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Session < fps[j].Session })
+	names := make([]string, len(fps))
+	for i, fp := range fps {
+		names[i] = fp.Session
+	}
+	return matrixView{Sessions: names, Matrix: fleet.Matrix(fps, workers)}
+}
+
+// emit renders a view as JSON or through its human renderer.
+func emit[T any](jsonOut bool, v T, render func(T)) int {
+	if jsonOut {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locfleet:", err)
+			return 2
+		}
+		fmt.Println(string(b))
+		return 0
+	}
+	render(v)
+	return 0
+}
+
+func renderStreams(v fleet.StreamsView) {
+	fmt.Printf("fleet: %d sessions, %d refs, %d distinct hot streams (total weight %d)\n",
+		v.Sessions, v.Refs, v.TotalStreams, v.TotalWeight)
+	fmt.Printf("%-10s %-6s %-10s %-9s %s\n", "weight", "len", "freq", "sessions", "seq")
+	for _, s := range v.Streams {
+		fmt.Printf("%-10d %-6d %-10d %-9d %v\n", s.Weight, s.Length, s.Freq, s.Sessions, s.Seq)
+	}
+}
+
+func renderClusters(v fleet.ClustersView) {
+	fmt.Printf("fleet: %d sessions in %d clusters at threshold %.2f\n",
+		v.Sessions, len(v.Clusters), v.Threshold)
+	for _, c := range v.Clusters {
+		fmt.Printf("  %-16s size=%-4d weight=%-12d meanSim=%.3f  %s\n",
+			c.ID, c.Size, c.Weight, c.MeanSim, strings.Join(c.Sessions, " "))
+	}
+}
+
+func renderDrift(v fleet.DriftView) {
+	fmt.Printf("fleet: %d of %d sessions drifted below similarity %.2f\n",
+		v.Drifted, len(v.Rows), v.Threshold)
+	fmt.Printf("%-16s %-10s %-8s %-9s %-9s %s\n", "session", "similarity", "drifted", "live", "baseline", "vs")
+	for _, r := range v.Rows {
+		fmt.Printf("%-16s %-10.3f %-8v %-9d %-9d %s\n",
+			r.Session, r.Similarity, r.Drifted, r.LiveStreams, r.BaselineStreams, r.Baseline)
+	}
+}
+
+func renderMatrix(v matrixView) {
+	fmt.Printf("%-16s", "")
+	for _, n := range v.Sessions {
+		fmt.Printf(" %10s", n)
+	}
+	fmt.Println()
+	for i, n := range v.Sessions {
+		fmt.Printf("%-16s", n)
+		for j := range v.Sessions {
+			fmt.Printf(" %10.3f", v.Matrix[i][j])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/online"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// snapJSON analyzes a generated workload into canonical snapshot bytes.
+func snapJSON(t *testing.T, bench string, refs int, seed int64) []byte {
+	t.Helper()
+	b, err := workload.Generate(bench, refs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := online.SnapshotFromAnalysis(core.Analyze(b, core.Options{SkipPotential: true})).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// putHistory persists one snapshot as a session-close history artifact,
+// the way locserve's close path writes them.
+func putHistory(t *testing.T, st *store.Store, session string, seq int, snap []byte) {
+	t.Helper()
+	d, n, err := st.PutBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := fmt.Sprintf("history/%s/%04d", session, seq)
+	err = st.Put(name, store.Artifact{
+		Kind: store.KindSnapshot, Digest: d, Size: n,
+		Meta: map[string]string{"session": session, "events": strconv.Itoa(seq)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runCapture runs main's run() with args, returning exit code and stdout.
+func runCapture(t *testing.T, args ...string) (int, []byte) {
+	t.Helper()
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Args = append([]string{"locfleet"}, args...)
+	os.Stdout = w
+	code := run()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, out
+}
+
+// fleetStore builds a store with three sessions' history: "a" closed
+// twice with the same workload (stable), "b" closed twice with a family
+// switch (drifted), "c" closed once (no drift baseline).
+func fleetStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box1 := snapJSON(t, "boxsim", 3_000, 1)
+	putHistory(t, st, "a", 1, box1)
+	putHistory(t, st, "a", 2, box1)
+	putHistory(t, st, "b", 1, snapJSON(t, "boxsim", 3_000, 2))
+	putHistory(t, st, "b", 2, snapJSON(t, "sqlserver", 3_000, 1))
+	putHistory(t, st, "c", 1, snapJSON(t, "sqlserver", 3_000, 2))
+	return dir
+}
+
+func TestStoreViews(t *testing.T) {
+	dir := fleetStore(t)
+
+	code, out := runCapture(t, "-json", "-store", dir, "streams")
+	if code != 0 {
+		t.Fatalf("streams exited %d: %s", code, out)
+	}
+	var sv fleet.StreamsView
+	if err := json.Unmarshal(out, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Sessions != 3 || sv.TotalStreams == 0 {
+		t.Errorf("streams view = %+v", sv)
+	}
+
+	// Latest fingerprints: a=boxsim, b=sqlserver, c=sqlserver — two
+	// workload families.
+	code, out = runCapture(t, "-json", "-store", dir, "clusters")
+	if code != 0 {
+		t.Fatalf("clusters exited %d: %s", code, out)
+	}
+	var cv fleet.ClustersView
+	if err := json.Unmarshal(out, &cv); err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Clusters) != 2 {
+		t.Fatalf("clusters = %+v, want 2 families", cv.Clusters)
+	}
+	sizes := map[string]int{}
+	for _, c := range cv.Clusters {
+		sizes[c.ID] = c.Size
+	}
+	if sizes["a"] != 1 || sizes["b"] != 2 {
+		t.Errorf("cluster sizes = %v, want a:1 b:2", sizes)
+	}
+
+	code, out = runCapture(t, "-json", "-store", dir, "drift")
+	if code != 0 {
+		t.Fatalf("drift exited %d: %s", code, out)
+	}
+	var dv fleet.DriftView
+	if err := json.Unmarshal(out, &dv); err != nil {
+		t.Fatal(err)
+	}
+	if len(dv.Rows) != 2 {
+		t.Fatalf("drift rows = %+v, want a and b only (c has one close)", dv.Rows)
+	}
+	if dv.Rows[0].Session != "b" || !dv.Rows[0].Drifted {
+		t.Errorf("row 0 = %+v, want b drifted", dv.Rows[0])
+	}
+	if dv.Rows[1].Session != "a" || dv.Rows[1].Drifted || dv.Rows[1].Similarity != 1 {
+		t.Errorf("row 1 = %+v, want a stable at similarity 1", dv.Rows[1])
+	}
+	if dv.Rows[0].Baseline != "history/b/0001" {
+		t.Errorf("baseline = %q", dv.Rows[0].Baseline)
+	}
+
+	code, out = runCapture(t, "-json", "-store", dir, "matrix")
+	if code != 0 {
+		t.Fatalf("matrix exited %d: %s", code, out)
+	}
+	var mv matrixView
+	if err := json.Unmarshal(out, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if len(mv.Sessions) != 3 || len(mv.Matrix) != 3 {
+		t.Fatalf("matrix = %+v", mv)
+	}
+	for i := range mv.Matrix {
+		if mv.Matrix[i][i] != 1 {
+			t.Errorf("diagonal [%d][%d] = %v, want 1", i, i, mv.Matrix[i][i])
+		}
+		for j := range mv.Matrix {
+			if mv.Matrix[i][j] != mv.Matrix[j][i] {
+				t.Errorf("matrix not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+
+	// Human renderings run clean too.
+	for _, view := range []string{"streams", "clusters", "drift", "matrix"} {
+		if code, out := runCapture(t, "-store", dir, view); code != 0 || len(out) == 0 {
+			t.Errorf("human %s: exit %d, %d bytes", view, code, len(out))
+		}
+	}
+}
+
+func TestSnapshotFileMode(t *testing.T) {
+	dir := t.TempDir()
+	for i, bench := range []string{"boxsim", "boxsim", "sqlserver"} {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.json", i))
+		if err := os.WriteFile(path, snapJSON(t, bench, 3_000, int64(i%2+1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, out := runCapture(t, "-json", "clusters",
+		filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json"), filepath.Join(dir, "s2.json"))
+	if code != 0 {
+		t.Fatalf("file-mode clusters exited %d: %s", code, out)
+	}
+	var cv fleet.ClustersView
+	if err := json.Unmarshal(out, &cv); err != nil {
+		t.Fatal(err)
+	}
+	if cv.Sessions != 3 || len(cv.Clusters) != 2 {
+		t.Fatalf("file-mode clusters = %+v, want 3 sessions in 2 families", cv)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir := fleetStore(t)
+	cases := [][]string{
+		{},                              // no view
+		{"-store", dir, "nonsense"},     // unknown view
+		{"clusters"},                    // no inputs
+		{"drift", "x.json"},             // drift needs a store
+		{"-store", dir, "streams", "x"}, // store and files are exclusive
+		{"-threshold", "1.5", "-store", dir, "clusters"},
+		{"-top", "-3", "-store", dir, "streams"},
+	}
+	for _, args := range cases {
+		if code, _ := runCapture(t, args...); code != 2 {
+			t.Errorf("args %v exited %d, want 2", args, code)
+		}
+	}
+	if code, _ := runCapture(t, "-store", t.TempDir(), "streams"); code != 2 {
+		t.Error("empty store did not fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"not":"a snapshot"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := runCapture(t, "streams", bad); code != 2 {
+		t.Error("corrupt snapshot file did not fail")
+	}
+}

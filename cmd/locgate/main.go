@@ -21,7 +21,16 @@
 //	GET  /v1/metrics             every shard's metrics merged with the
 //	                             gateway's own (counters/gauges sum,
 //	                             timer tails take the worst shard)
-//	GET  /v1/shards              membership listing
+//	GET  /v1/fleet/fingerprints  merged per-session stream fingerprints
+//	GET  /v1/fleet/streams       fleet-wide top streams, byte-identical
+//	GET  /v1/fleet/clusters      to a single locserve holding every
+//	GET  /v1/fleet/drift         session (fingerprints merge; views
+//	                             recompute on the gateway)
+//	GET  /v1/shards              membership listing with health (the
+//	                             gateway HEAD-probes each shard's
+//	                             /v1/sessions every -probe interval;
+//	                             unhealthy shards are flagged, never
+//	                             auto-evicted)
 //	POST /v1/shards/add?name=N&url=U   join a shard and rebalance
 //	POST /v1/shards/remove?name=N      retire a shard and rebalance
 //
@@ -47,6 +56,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/cluster"
@@ -56,6 +66,7 @@ func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	shards := flag.String("shards", "", "initial shards as comma-separated name=url pairs (e.g. a=http://h1:8080,b=http://h2:8080)")
 	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+	probe := flag.Duration("probe", 15*time.Second, "shard health probe interval (0 disables probing)")
 	workers := cliflags.WorkersFlag(flag.CommandLine)
 	flag.Parse()
 
@@ -63,6 +74,10 @@ func main() {
 	if err := joinShards(gw, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "locgate:", err)
 		os.Exit(1)
+	}
+	if *probe > 0 {
+		stop := gw.StartHealthProbes(*probe)
+		defer stop()
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fleet"
+)
+
+// Fleet views across shards. Per-session fingerprints are the merge
+// unit: each session lives on exactly one shard, so pulling every
+// shard's /v1/fleet/fingerprints yields the same disjoint union of
+// fingerprints a single locserve holding every session would compute.
+// The gateway then runs the SAME view functions (internal/fleet) with
+// the SAME parameter parsing over that union — top streams, clusters —
+// so the merged documents are byte-identical to the single node's, by
+// construction rather than by re-implementation. Drift is per-session
+// decomposable; there the shards compute their own rows and the gateway
+// merges and re-sorts them through the shared comparator.
+
+// fleetFingerprints fans out to every shard and returns the merged
+// fingerprint set. Callers hold g.mu (shared suffices).
+func (g *Gateway) fleetFingerprintsLocked() ([]*fleet.Fingerprint, error) {
+	shards := g.shardListLocked()
+	bodies, err := g.fanGet(shards, "/v1/fleet/fingerprints")
+	if err != nil {
+		return nil, err
+	}
+	var merged []*fleet.Fingerprint
+	for i, b := range bodies {
+		var part fleet.FingerprintsView
+		if err := json.Unmarshal(b, &part); err != nil {
+			return nil, fmt.Errorf("shard %s: invalid fingerprint listing: %v", shards[i].name, err)
+		}
+		merged = append(merged, part.Fingerprints...)
+	}
+	return merged, nil
+}
+
+// handleFleetFingerprints serves the merged per-session fingerprints:
+// GET /v1/fleet/fingerprints — the same document a single locserve
+// holding every session serves.
+func (g *Gateway) handleFleetFingerprints(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fps, err := g.fleetFingerprintsLocked()
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, fleet.BuildFingerprintsView(fps))
+}
+
+// handleFleetStreams serves the fleet-wide top-stream view: GET
+// /v1/fleet/streams?top=N over the merged fingerprints.
+func (g *Gateway) handleFleetStreams(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	top, err := fleet.ParseTop(r.URL.Query().Get("top"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fps, err := g.fleetFingerprintsLocked()
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, fleet.TopStreams(fps, top))
+}
+
+// handleFleetClusters serves fleet-wide session clustering: GET
+// /v1/fleet/clusters?threshold=T. Clustering is not per-shard
+// decomposable (sessions in one cluster may live on different shards),
+// which is exactly why the gateway clusters the merged fingerprints
+// itself instead of merging per-shard clusterings.
+func (g *Gateway) handleFleetClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	threshold, err := fleet.ParseThreshold(r.URL.Query().Get("threshold"), fleet.DefaultClusterThreshold)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fps, err := g.fleetFingerprintsLocked()
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, fleet.ClusterView(fps, threshold, g.workers))
+}
+
+// handleFleetDrift merges every shard's drift rows: GET
+// /v1/fleet/drift?threshold=T. Each shard compares its own live
+// sessions against their history baselines in the shared store; the
+// gateway validates the threshold once, forwards the query verbatim,
+// and rebuilds the view through the same sort and count the single
+// node used.
+func (g *Gateway) handleFleetDrift(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	threshold, err := fleet.ParseThreshold(r.URL.Query().Get("threshold"), fleet.DefaultDriftThreshold)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	shards := g.shardListLocked()
+	pathQuery := "/v1/fleet/drift"
+	if r.URL.RawQuery != "" {
+		pathQuery += "?" + r.URL.RawQuery
+	}
+	bodies, err := g.fanGet(shards, pathQuery)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	rows := make([]fleet.DriftRow, 0, 16)
+	for i, b := range bodies {
+		var part fleet.DriftView
+		if err := json.Unmarshal(b, &part); err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: invalid drift view: %v", shards[i].name, err))
+			return
+		}
+		rows = append(rows, part.Rows...)
+	}
+	writeJSON(w, fleet.BuildDriftView(rows, threshold))
+}

@@ -89,6 +89,11 @@ type Gateway struct {
 	// shard that died, which cannot be listed by asking the shard.
 	knownMu sync.Mutex
 	known   map[string]bool
+
+	// health holds the latest probe outcome per shard (see health.go),
+	// under its own lock so a stuck probe never blocks routing.
+	healthMu sync.Mutex
+	health   map[string]shardHealth
 }
 
 // New returns a gateway with no shards. vnodes <= 0 selects
@@ -109,21 +114,30 @@ func New(vnodes, workers int, hc *http.Client) *Gateway {
 	return g
 }
 
-// ShardInfo is one row of the /v1/shards listing.
+// ShardInfo is one row of the /v1/shards listing. Healthy reflects the
+// latest health probe (true for a shard never probed); LastError and
+// LastProbe are set once a probe has run. Health is advisory — an
+// unhealthy shard is never auto-evicted.
 type ShardInfo struct {
-	Name string `json:"name"`
-	URL  string `json:"url"`
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	LastError string `json:"lastError,omitempty"`
+	LastProbe string `json:"lastProbe,omitempty"`
 }
 
 // Shards lists the current members in sorted name order.
 func (g *Gateway) Shards() []ShardInfo {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
 	out := make([]ShardInfo, 0, len(g.shards))
 	for _, sh := range g.shards {
 		out = append(out, ShardInfo{Name: sh.name, URL: sh.base})
 	}
+	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for i := range out {
+		g.healthInfo(&out[i])
+	}
 	return out
 }
 
@@ -187,6 +201,9 @@ func (g *Gateway) RemoveShard(name string) ([]string, error) {
 	delete(g.shards, name)
 	g.ring = next
 	sh.close()
+	g.healthMu.Lock()
+	delete(g.health, name)
+	g.healthMu.Unlock()
 	mRebalances.Inc()
 	g.replayPlacementLocked(moved)
 	return moved, nil
@@ -283,6 +300,10 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/close", g.handleClose)
 	mux.HandleFunc("/v1/sessions", g.handleSessions)
 	mux.HandleFunc("/v1/snapshot", g.handleSnapshot)
+	mux.HandleFunc("/v1/fleet/fingerprints", g.handleFleetFingerprints)
+	mux.HandleFunc("/v1/fleet/streams", g.handleFleetStreams)
+	mux.HandleFunc("/v1/fleet/clusters", g.handleFleetClusters)
+	mux.HandleFunc("/v1/fleet/drift", g.handleFleetDrift)
 	mux.HandleFunc("/v1/stats", g.proxyBySession("/v1/stats"))
 	mux.HandleFunc("/v1/hotstreams", g.proxyBySession("/v1/hotstreams"))
 	mux.HandleFunc("/v1/locality", g.proxyBySession("/v1/locality"))

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchFleet builds a deterministic synthetic fleet: sessions spread
+// over families whose members share most streams, the shape real
+// per-user sessions of a few application versions take.
+func benchFleet(sessions, streamsPer int) []*Fingerprint {
+	r := rand.New(rand.NewSource(42))
+	families := 4
+	bases := make([][]Stream, families)
+	for f := range bases {
+		for i := 0; i < streamsPer; i++ {
+			seq := randSeq(r, 12)
+			freq := uint64(1 + r.Intn(100))
+			bases[f] = append(bases[f], Stream{
+				Seq: seq, Length: len(seq), Freq: freq,
+				Weight: uint64(len(seq)) * freq, Sessions: 1,
+			})
+		}
+	}
+	fps := make([]*Fingerprint, sessions)
+	for i := range fps {
+		fam := bases[i%families]
+		f := &Fingerprint{Session: fmt.Sprintf("s%03d", i), Sessions: 1, Refs: 100_000}
+		for _, s := range fam {
+			// Per-session jitter: occasionally mutate a stream so the
+			// fuzzy path (not just the exact-key short-circuit) runs.
+			if r.Intn(4) == 0 {
+				seq := append([]uint64(nil), s.Seq...)
+				seq[r.Intn(len(seq))] = uint64(r.Intn(12))
+				s.Seq = seq
+			}
+			f.Streams = append(f.Streams, s)
+		}
+		f.canonicalize()
+		fps[i] = f
+	}
+	return fps
+}
+
+// BenchmarkFleetSimilarity measures one fingerprint-pair comparison
+// (64 hot streams per side, a quarter fuzzily mutated).
+func BenchmarkFleetSimilarity(b *testing.B) {
+	fps := benchFleet(2, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Similarity(fps[0], fps[1])
+	}
+}
+
+// BenchmarkFleetClusters measures the full clustering pass — pairwise
+// matrix plus agglomerative merging — over a 32-session fleet.
+func BenchmarkFleetClusters(b *testing.B) {
+	fps := benchFleet(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Clusters(fps, DefaultClusterThreshold, 4)
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import "sort"
+
+// Cluster is one group of sessions sharing hot streams.
+type Cluster struct {
+	// ID is the lexicographically smallest member session — stable
+	// across runs and across shard layouts.
+	ID string `json:"id"`
+	// Sessions are the member session names, sorted.
+	Sessions []string `json:"sessions"`
+	Size     int      `json:"size"`
+	// Weight sums the members' fingerprint weights; the cluster sort
+	// key (heavier clusters first, matching the "sorted by weight then
+	// key" discipline of every merged fleet view).
+	Weight uint64 `json:"weight"`
+	// MeanSim is the mean pairwise similarity inside the cluster
+	// (1 for singletons).
+	MeanSim float64 `json:"meanSim"`
+}
+
+// Clusters groups sessions by fingerprint similarity: greedy
+// agglomerative merging with average linkage over the pairwise matrix.
+// Starting from singletons, the pair of clusters with the highest
+// linkage (mean pairwise member similarity) merges, until no pair
+// reaches threshold. Tie-breaking is deterministic: equal linkages
+// resolve by the smaller (ID_i, ID_j) pair lexicographically, and the
+// input order is canonicalized first — so cluster assignments are a
+// pure function of the fingerprint set, independent of arrival order
+// and worker count.
+func Clusters(fps []*Fingerprint, threshold float64, workers int) []Cluster {
+	// Canonical input order: session name. The matrix and every merge
+	// decision then see one fixed indexing.
+	fps = append([]*Fingerprint(nil), fps...)
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Session < fps[j].Session })
+	sim := Matrix(fps, workers)
+
+	// members[c] holds sorted fingerprint indices; each cluster is
+	// keyed by its smallest member index, which (input being sorted by
+	// session) is also its lexicographically smallest session. Linkage
+	// between clusters is the mean of cross-member similarities,
+	// computed from the fixed matrix (not re-measured on merged
+	// fingerprints) so results cannot depend on merge history.
+	members := make(map[int][]int, len(fps))
+	for i := range fps {
+		members[i] = []int{i}
+	}
+	clusterID := func(c int) string { return fps[members[c][0]].Session }
+	linkage := func(a, b int) float64 {
+		var sum float64
+		for _, i := range members[a] {
+			for _, j := range members[b] {
+				sum += sim[i][j]
+			}
+		}
+		return sum / float64(len(members[a])*len(members[b]))
+	}
+
+	liveSorted := func() []int {
+		live := make([]int, 0, len(members))
+		for c := range members {
+			live = append(live, c)
+		}
+		sort.Slice(live, func(i, j int) bool { return clusterID(live[i]) < clusterID(live[j]) })
+		return live
+	}
+
+	for len(members) > 1 {
+		live := liveSorted()
+		bestA, bestB, bestSim := -1, -1, -1.0
+		// Scanning in sorted-ID order makes "first strictly-better pair
+		// wins" a deterministic tie-break: equal linkages keep the
+		// earlier (smaller ID pair) candidate.
+		for ai := 0; ai < len(live); ai++ {
+			for bi := ai + 1; bi < len(live); bi++ {
+				if l := linkage(live[ai], live[bi]); l > bestSim {
+					bestA, bestB, bestSim = live[ai], live[bi], l
+				}
+			}
+		}
+		if bestA < 0 || bestSim < threshold {
+			break
+		}
+		merged := append(append([]int(nil), members[bestA]...), members[bestB]...)
+		sort.Ints(merged)
+		delete(members, bestA)
+		delete(members, bestB)
+		members[merged[0]] = merged
+	}
+
+	out := make([]Cluster, 0, len(members))
+	for _, c := range liveSorted() {
+		idx := members[c]
+		cl := Cluster{Size: len(idx)}
+		for _, i := range idx {
+			cl.Sessions = append(cl.Sessions, fps[i].Session)
+			cl.Weight += fps[i].Weight
+		}
+		sort.Strings(cl.Sessions)
+		cl.ID = cl.Sessions[0]
+		if len(idx) == 1 {
+			cl.MeanSim = 1
+		} else {
+			var sum float64
+			var pairs int
+			for a := 0; a < len(idx); a++ {
+				for b := a + 1; b < len(idx); b++ {
+					sum += sim[idx[a]][idx[b]]
+					pairs++
+				}
+			}
+			cl.MeanSim = sum / float64(pairs)
+		}
+		out = append(out, cl)
+	}
+	// Deterministic view order: weight descending, then ID — the same
+	// discipline as the merged stream views.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

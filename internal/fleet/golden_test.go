@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGoldenClusterAssignments pins the cluster assignments for a fixed
+// multi-session trace set: two synthetic workload families (boxsim and
+// the sqlserver storage-engine model), three seeds each, at the default
+// threshold. The workload generators, the analysis pipeline, and the
+// similarity metric are all seed-deterministic, so this exact grouping
+// is a regression invariant — if a pipeline change moves a session
+// between clusters, this test names it.
+func TestGoldenClusterAssignments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis pipeline in -short")
+	}
+	fps := []*Fingerprint{
+		sessionFingerprint(t, "box0", "boxsim", 4_000, 1),
+		sessionFingerprint(t, "box1", "boxsim", 4_000, 2),
+		sessionFingerprint(t, "box2", "boxsim", 4_000, 3),
+		sessionFingerprint(t, "db0", "sqlserver", 4_000, 1),
+		sessionFingerprint(t, "db1", "sqlserver", 4_000, 2),
+		sessionFingerprint(t, "db2", "sqlserver", 4_000, 3),
+	}
+	cl := Clusters(fps, DefaultClusterThreshold, 4)
+	if len(cl) != 2 {
+		t.Fatalf("got %d clusters at threshold %v: %+v", len(cl), DefaultClusterThreshold, cl)
+	}
+	got := map[string][]string{}
+	for _, c := range cl {
+		got[c.ID] = c.Sessions
+	}
+	want := map[string][]string{
+		"box0": {"box0", "box1", "box2"},
+		"db0":  {"db0", "db1", "db2"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cluster assignments %v, want %v", got, want)
+	}
+	for _, c := range cl {
+		if c.MeanSim < DefaultClusterThreshold {
+			t.Errorf("cluster %s meanSim %.3f below threshold", c.ID, c.MeanSim)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"repro/internal/parallel"
+)
+
+// SeqSimilarity scores two abstracted reference sequences in [0, 1]:
+// the mean of a normalized longest-common-subsequence score
+// (2*LCS/(len(a)+len(b)), order-sensitive) and a bigram Jaccard index
+// (shared local transitions, order-robust). Combining the two keeps a
+// reordered-but-same-alphabet stream from scoring as high as a truly
+// shared subsequence, while a one-symbol insertion (the common mutation
+// when a layout change splits an object) still scores close to 1.
+//
+// Properties (enforced by tests):
+//
+//	SeqSimilarity(a, a) = 1                 (identity)
+//	SeqSimilarity(a, b) = SeqSimilarity(b, a)  (symmetry)
+//	0 <= SeqSimilarity(a, b) <= 1           (bounds)
+//	deterministic: pure function of its arguments
+func SeqSimilarity(a, b []uint64) float64 {
+	if seqEqual(a, b) {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	lcsNorm := 2 * float64(lcs(a, b)) / float64(len(a)+len(b))
+	return (lcsNorm + bigramJaccard(a, b)) / 2
+}
+
+func seqEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lcs is the longest-common-subsequence length, two-row dynamic
+// programming. Hot streams are short (bounded by the analysis's
+// MaxStreamLen), so the quadratic cost is small and allocation-light.
+func lcs(a, b []uint64) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// bigram is one adjacent symbol pair.
+type bigram struct{ a, b uint64 }
+
+// bigramJaccard is the Jaccard index of the two sequences' adjacent-pair
+// sets. Sequences too short to have bigrams fall back to single-symbol
+// set overlap, so length-1 streams still compare meaningfully.
+func bigramJaccard(a, b []uint64) float64 {
+	if len(a) < 2 && len(b) < 2 {
+		if len(a) == 1 && len(b) == 1 && a[0] == b[0] {
+			return 1
+		}
+		return 0
+	}
+	set := make(map[bigram]uint8, len(a)+len(b))
+	for i := 1; i < len(a); i++ {
+		set[bigram{a[i-1], a[i]}] |= 1
+	}
+	for i := 1; i < len(b); i++ {
+		set[bigram{b[i-1], b[i]}] |= 2
+	}
+	both := 0
+	for _, m := range set {
+		if m == 3 {
+			both++
+		}
+	}
+	if len(set) == 0 {
+		return 0
+	}
+	return float64(both) / float64(len(set))
+}
+
+// Similarity scores two fingerprints in [0, 1]: the weighted
+// best-match overlap of their hot-stream sets, symmetrized. Each stream
+// contributes its weight times the best SeqSimilarity against any
+// stream of the other fingerprint; both directions sum and normalize by
+// the combined weight:
+//
+//	Sim(A, B) = (Σ_{x∈A} w_x·best(x,B) + Σ_{y∈B} w_y·best(y,A)) / (W_A + W_B)
+//
+// Properties (enforced by tests): Sim(a, a) = 1, Sim(a, b) = Sim(b, a),
+// bounds [0, 1], and determinism — the double sum is evaluated in
+// canonical stream order, so the float result is bit-stable.
+func Similarity(a, b *Fingerprint) float64 {
+	if a.Weight == 0 && b.Weight == 0 {
+		return 1 // two empty profiles are trivially alike
+	}
+	if a.Weight == 0 || b.Weight == 0 {
+		return 0
+	}
+	return (bestMatchWeight(a, b) + bestMatchWeight(b, a)) /
+		float64(a.Weight+b.Weight)
+}
+
+// bestMatchWeight is Σ over a's streams of weight times the best match
+// in b. Exact sequence matches short-circuit through b's key set; only
+// unmatched streams pay the pairwise fuzzy scan.
+func bestMatchWeight(a, b *Fingerprint) float64 {
+	exact := make(map[string]struct{}, len(b.Streams))
+	for _, y := range b.Streams {
+		exact[Key(y.Seq)] = struct{}{}
+	}
+	var sum float64
+	for _, x := range a.Streams {
+		if _, ok := exact[Key(x.Seq)]; ok {
+			sum += float64(x.Weight)
+			continue
+		}
+		best := 0.0
+		for _, y := range b.Streams {
+			if s := SeqSimilarity(x.Seq, y.Seq); s > best {
+				best = s
+			}
+		}
+		sum += float64(x.Weight) * best
+	}
+	return sum
+}
+
+// Matrix computes the pairwise similarity matrix of fps, with rows
+// fanned over the bounded worker pool. Entry [i][j] is
+// Similarity(fps[i], fps[j]); the matrix is symmetric with a unit
+// diagonal, and identical at any worker count (each cell is an
+// independent pure computation assigned to a fixed index).
+func Matrix(fps []*Fingerprint, workers int) [][]float64 {
+	n := len(fps)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	// Row i computes cells j > i; mirroring fills the lower triangle
+	// after the fan-out so no two tasks write the same cell.
+	_ = parallel.ForEach(parallel.Workers(workers), n, func(i int) error {
+		for j := i + 1; j < n; j++ {
+			m[i][j] = Similarity(fps[i], fps[j])
+		}
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m[i][j] = m[j][i]
+		}
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package regress
+
+import (
+	"sort"
+
+	"repro/internal/fleet"
+)
+
+// StreamMutation is a dropped old stream paired with an added new
+// stream by fuzzy sequence similarity: the diff's way of saying "this
+// stream moved or mutated" (a layout change reordered an object's
+// fields, an allocation-order shift renamed part of a sequence) instead
+// of the blunt added/dropped pair an exact matcher reports.
+type StreamMutation struct {
+	OldSeq []uint64 `json:"oldSeq"`
+	NewSeq []uint64 `json:"newSeq"`
+	// Similarity is fleet.SeqSimilarity(OldSeq, NewSeq), at least the
+	// Fuzzify floor.
+	Similarity float64 `json:"similarity"`
+	OldFreq    uint64  `json:"oldFreq"`
+	NewFreq    uint64  `json:"newFreq"`
+	OldHeat    uint64  `json:"oldHeat"`
+	NewHeat    uint64  `json:"newHeat"`
+}
+
+// Fuzzify upgrades the exact stream diff to fuzzy matching: dropped and
+// added streams whose abstracted sequences score at least minSim pair
+// up as mutations and leave the added/dropped lists. Pairing is greedy
+// on descending similarity with deterministic tie-breaking (old key,
+// then new key), each stream matched at most once — so the report is a
+// pure function of the two snapshots and the floor.
+//
+// Mutations still count as drift: a report with mutations is not
+// Identical, and strict gates keep failing on it. Fuzzify only changes
+// how the drift reads.
+func (r *Report) Fuzzify(minSim float64) {
+	if len(r.Streams.Dropped) == 0 || len(r.Streams.Added) == 0 {
+		return
+	}
+	r.Streams.FuzzyMinSim = minSim
+
+	type cand struct {
+		oldIdx, newIdx int
+		sim            float64
+	}
+	var cands []cand
+	for i, d := range r.Streams.Dropped {
+		for j, a := range r.Streams.Added {
+			if sim := fleet.SeqSimilarity(d.Seq, a.Seq); sim >= minSim {
+				cands = append(cands, cand{i, j, sim})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		ki, kj := streamKey(r.Streams.Dropped[cands[i].oldIdx].Seq), streamKey(r.Streams.Dropped[cands[j].oldIdx].Seq)
+		if ki != kj {
+			return ki < kj
+		}
+		return streamKey(r.Streams.Added[cands[i].newIdx].Seq) < streamKey(r.Streams.Added[cands[j].newIdx].Seq)
+	})
+
+	usedOld := make([]bool, len(r.Streams.Dropped))
+	usedNew := make([]bool, len(r.Streams.Added))
+	for _, c := range cands {
+		if usedOld[c.oldIdx] || usedNew[c.newIdx] {
+			continue
+		}
+		usedOld[c.oldIdx], usedNew[c.newIdx] = true, true
+		d, a := r.Streams.Dropped[c.oldIdx], r.Streams.Added[c.newIdx]
+		r.Streams.Mutated = append(r.Streams.Mutated, StreamMutation{
+			OldSeq: d.Seq, NewSeq: a.Seq, Similarity: c.sim,
+			OldFreq: d.Freq, NewFreq: a.Freq,
+			OldHeat: d.Heat, NewHeat: a.Heat,
+		})
+	}
+	if len(r.Streams.Mutated) == 0 {
+		return
+	}
+
+	keep := func(list []StreamRef, used []bool) []StreamRef {
+		out := list[:0]
+		for i, s := range list {
+			if !used[i] {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	r.Streams.Dropped = keep(r.Streams.Dropped, usedOld)
+	r.Streams.Added = keep(r.Streams.Added, usedNew)
+}

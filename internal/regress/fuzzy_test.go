@@ -1,0 +1,152 @@
+package regress
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFuzzifyPairsMutatedStreams(t *testing.T) {
+	old := snap(0.9,
+		stream([]uint64{1, 2, 3, 4, 5, 6, 7, 8}, 10), // mutates: one symbol swapped
+		stream([]uint64{20, 21}, 7),                  // genuinely dropped
+	)
+	new := snap(0.9,
+		stream([]uint64{1, 2, 3, 4, 5, 6, 7, 99}, 12), // the mutated form
+		stream([]uint64{40, 41, 42}, 5),               // genuinely added
+	)
+	r := Diff(old, new)
+	if len(r.Streams.Added) != 2 || len(r.Streams.Dropped) != 2 {
+		t.Fatalf("exact diff: added/dropped = %d/%d, want 2/2",
+			len(r.Streams.Added), len(r.Streams.Dropped))
+	}
+
+	r.Fuzzify(0.5)
+	if len(r.Streams.Mutated) != 1 {
+		t.Fatalf("mutated = %+v, want exactly one pair", r.Streams.Mutated)
+	}
+	m := r.Streams.Mutated[0]
+	if !reflect.DeepEqual(m.OldSeq, []uint64{1, 2, 3, 4, 5, 6, 7, 8}) ||
+		!reflect.DeepEqual(m.NewSeq, []uint64{1, 2, 3, 4, 5, 6, 7, 99}) {
+		t.Errorf("wrong pair: old=%v new=%v", m.OldSeq, m.NewSeq)
+	}
+	if m.Similarity <= 0.5 || m.Similarity >= 1 {
+		t.Errorf("similarity = %v, want in (0.5, 1)", m.Similarity)
+	}
+	if m.OldFreq != 10 || m.NewFreq != 12 || m.OldHeat != 80 || m.NewHeat != 96 {
+		t.Errorf("freq/heat carried wrong: %+v", m)
+	}
+	// The paired streams left the exact lists; the genuine add/drop stayed.
+	if len(r.Streams.Added) != 1 || r.Streams.Added[0].Seq[0] != 40 {
+		t.Errorf("added after fuzzify = %+v", r.Streams.Added)
+	}
+	if len(r.Streams.Dropped) != 1 || r.Streams.Dropped[0].Seq[0] != 20 {
+		t.Errorf("dropped after fuzzify = %+v", r.Streams.Dropped)
+	}
+	if r.Streams.FuzzyMinSim != 0.5 {
+		t.Errorf("fuzzyMinSim = %v", r.Streams.FuzzyMinSim)
+	}
+}
+
+func TestFuzzifyFloorExcludesDissimilar(t *testing.T) {
+	old := snap(0.9, stream([]uint64{1, 2, 3, 4}, 10))
+	new := snap(0.9, stream([]uint64{50, 60, 70, 80}, 10))
+	r := Diff(old, new)
+	r.Fuzzify(0.5)
+	if len(r.Streams.Mutated) != 0 {
+		t.Errorf("dissimilar streams paired: %+v", r.Streams.Mutated)
+	}
+	if len(r.Streams.Added) != 1 || len(r.Streams.Dropped) != 1 {
+		t.Errorf("added/dropped disturbed: %d/%d", len(r.Streams.Added), len(r.Streams.Dropped))
+	}
+	// At floor 0, everything pairs.
+	r2 := Diff(old, new)
+	r2.Fuzzify(0)
+	if len(r2.Streams.Mutated) != 1 || len(r2.Streams.Added) != 0 || len(r2.Streams.Dropped) != 0 {
+		t.Errorf("floor 0: mutated/added/dropped = %d/%d/%d, want 1/0/0",
+			len(r2.Streams.Mutated), len(r2.Streams.Added), len(r2.Streams.Dropped))
+	}
+}
+
+func TestFuzzifyGreedyMatchesEachStreamOnce(t *testing.T) {
+	// Two dropped streams both resemble one added stream; the closer one
+	// wins, the other stays dropped.
+	old := snap(0.9,
+		stream([]uint64{1, 2, 3, 4, 5, 6}, 10),     // closer to added
+		stream([]uint64{1, 2, 3, 4, 500, 600}, 10), // further
+	)
+	new := snap(0.9,
+		stream([]uint64{1, 2, 3, 4, 5, 7}, 10),
+	)
+	r := Diff(old, new)
+	r.Fuzzify(0.3)
+	if len(r.Streams.Mutated) != 1 {
+		t.Fatalf("mutated = %+v, want one pair", r.Streams.Mutated)
+	}
+	if !reflect.DeepEqual(r.Streams.Mutated[0].OldSeq, []uint64{1, 2, 3, 4, 5, 6}) {
+		t.Errorf("greedy picked %v, want the closer old stream", r.Streams.Mutated[0].OldSeq)
+	}
+	if len(r.Streams.Dropped) != 1 || r.Streams.Dropped[0].Seq[4] != 500 {
+		t.Errorf("dropped after fuzzify = %+v", r.Streams.Dropped)
+	}
+}
+
+func TestFuzzifyDeterministicTieBreak(t *testing.T) {
+	// Two identical-score candidate pairs: the smaller old key must win,
+	// and repeated runs must agree.
+	old := snap(0.9,
+		stream([]uint64{1, 2, 3, 4}, 10),
+		stream([]uint64{2, 2, 3, 4}, 10),
+	)
+	new := snap(0.9, stream([]uint64{9, 2, 3, 4}, 10))
+	var first []StreamMutation
+	for i := 0; i < 10; i++ {
+		r := Diff(old, new)
+		r.Fuzzify(0.3)
+		if i == 0 {
+			first = r.Streams.Mutated
+			if len(first) != 1 {
+				t.Fatalf("mutated = %+v, want one pair", first)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(r.Streams.Mutated, first) {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, r.Streams.Mutated, first)
+		}
+	}
+}
+
+func TestFuzzifyBreaksIdenticalAndStrictGate(t *testing.T) {
+	old := snap(0.9, stream([]uint64{1, 2, 3, 4, 5, 6, 7, 8}, 10))
+	new := snap(0.9, stream([]uint64{1, 2, 3, 4, 5, 6, 7, 99}, 10))
+	r := Diff(old, new)
+	r.Fuzzify(0.5)
+	if len(r.Streams.Added) != 0 || len(r.Streams.Dropped) != 0 {
+		t.Fatalf("expected full pairing, got %+v", r.Streams)
+	}
+	if r.Identical() {
+		t.Error("report with mutations claims Identical")
+	}
+	if v := Strict().Evaluate(r); v.Pass {
+		t.Error("strict gates passed a mutated stream set")
+	}
+}
+
+func TestFuzzifyFormat(t *testing.T) {
+	old := snap(0.9, stream([]uint64{1, 2, 3, 4, 5, 6, 7, 8}, 10))
+	new := snap(0.9, stream([]uint64{1, 2, 3, 4, 5, 6, 7, 99}, 12))
+	r := Diff(old, new)
+	r.Fuzzify(0.5)
+	var buf bytes.Buffer
+	if err := r.Format(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 mutated") {
+		t.Errorf("summary line missing mutated count:\n%s", out)
+	}
+	if !strings.Contains(out, "mutated streams (1, fuzzy-matched at sim>=0.50") {
+		t.Errorf("mutated section missing:\n%s", out)
+	}
+}

@@ -93,6 +93,11 @@ type StreamDiff struct {
 	// Shifted lists matched streams whose heat share changed, largest
 	// absolute shift first.
 	Shifted []StreamShift `json:"shifted,omitempty"`
+	// Mutated lists added/dropped pairs that Fuzzify reclassified as the
+	// same stream mutated (empty unless Fuzzify ran); FuzzyMinSim records
+	// the similarity floor it used.
+	Mutated     []StreamMutation `json:"mutated,omitempty"`
+	FuzzyMinSim float64          `json:"fuzzyMinSim,omitempty"`
 	// StreamOverlap is Matched over old stream count; HeatOverlap is the
 	// fraction of old hot-stream heat carried by matched streams
 	// (stability.Report's two overlap measures, applied across versions
@@ -141,7 +146,7 @@ func (r *Report) Metric(name string) (MetricDelta, bool) {
 // Identical reports whether the diff is empty: same stream set and no
 // metric moved. Two analyses of byte-identical traces are Identical.
 func (r *Report) Identical() bool {
-	if len(r.Streams.Added) != 0 || len(r.Streams.Dropped) != 0 {
+	if len(r.Streams.Added) != 0 || len(r.Streams.Dropped) != 0 || len(r.Streams.Mutated) != 0 {
 		return false
 	}
 	for _, s := range r.Streams.Shifted {
@@ -268,8 +273,12 @@ func (r *Report) Format(w io.Writer, top int) error {
 	p.Printf("refs %d -> %d, hot streams %d -> %d (coverage %.1f%% -> %.1f%%)\n",
 		r.Old.Refs, r.New.Refs, r.Old.Streams, r.New.Streams,
 		r.Old.Coverage*100, r.New.Coverage*100)
-	p.Printf("stream set: %d matched, %d added, %d dropped (overlap %.1f%% by count, %.1f%% by heat)\n",
-		r.Streams.Matched, len(r.Streams.Added), len(r.Streams.Dropped),
+	p.Printf("stream set: %d matched, %d added, %d dropped", r.Streams.Matched,
+		len(r.Streams.Added), len(r.Streams.Dropped))
+	if len(r.Streams.Mutated) > 0 {
+		p.Printf(", %d mutated", len(r.Streams.Mutated))
+	}
+	p.Printf(" (overlap %.1f%% by count, %.1f%% by heat)\n",
 		r.Streams.StreamOverlap*100, r.Streams.HeatOverlap*100)
 
 	p.Printf("\n%-36s %14s %14s %14s %9s\n", "metric", "old", "new", "delta", "pct")
@@ -295,6 +304,14 @@ func (r *Report) Format(w io.Writer, top int) error {
 		for _, s := range r.Streams.Added[:clip(len(r.Streams.Added))] {
 			p.Printf("  len=%-4d freq=%-8d heat=%-10d share=%5.2f%% seq=%v\n",
 				s.Length, s.Freq, s.Heat, s.HeatShare*100, s.Seq)
+		}
+	}
+	if len(r.Streams.Mutated) > 0 {
+		p.Printf("\nmutated streams (%d, fuzzy-matched at sim>=%.2f, most similar first):\n",
+			len(r.Streams.Mutated), r.Streams.FuzzyMinSim)
+		for _, m := range r.Streams.Mutated[:clip(len(r.Streams.Mutated))] {
+			p.Printf("  sim=%.3f heat %d -> %d, freq %d -> %d\n    old=%v\n    new=%v\n",
+				m.Similarity, m.OldHeat, m.NewHeat, m.OldFreq, m.NewFreq, m.OldSeq, m.NewSeq)
 		}
 	}
 	var moved []StreamShift

@@ -271,6 +271,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/history", s.handleHistory)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/fleet/fingerprints", s.handleFleetFingerprints)
+	mux.HandleFunc("/v1/fleet/streams", s.handleFleetStreams)
+	mux.HandleFunc("/v1/fleet/clusters", s.handleFleetClusters)
+	mux.HandleFunc("/v1/fleet/drift", s.handleFleetDrift)
 	mux.HandleFunc("/v1/stats", s.sectionHandler(func(sn *online.Snapshot) any { return sn.Trace }))
 	mux.HandleFunc("/v1/hotstreams", s.sectionHandler(func(sn *online.Snapshot) any {
 		return struct {
@@ -502,8 +506,14 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, metrics.Snapshot())
 }
 
-// handleSessions lists every session: GET /v1/sessions.
+// handleSessions lists every session: GET /v1/sessions. HEAD answers
+// without building the listing — the cheap liveness probe the gateway's
+// shard health checker hits on every cycle.
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return

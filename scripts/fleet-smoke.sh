@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the fleet analysis views: locgate in front of
+# three locserve shards, fed six sessions drawn from two synthetic
+# workload families (boxsim and the sqlserver storage-engine model),
+# next to a single-node locserve oracle fed the exact same uploads. The
+# gateway's merged fleet views — per-session fingerprints, top streams,
+# session clusters — must be byte-identical to the oracle's (shards
+# serve raw fingerprints, the gateway recomputes the views over their
+# disjoint union), and clustering must recover the two workload
+# families. Also verifies the shard health prober stamps /v1/shards.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+  for p in $pids; do kill "$p" 2>/dev/null || true; done
+  for p in $pids; do wait "$p" 2>/dev/null || true; done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/locserve" ./cmd/locserve
+go build -o "$tmp/locgate" ./cmd/locgate
+go build -o "$tmp/tracegen" ./cmd/tracegen
+
+# Two families, three sessions each: boxa0..boxa2 run boxsim, db0..db2
+# run the sqlserver model. Distinct seeds within a family perturb the
+# traces without changing the workload's hot-stream structure.
+for i in 0 1 2; do
+  "$tmp/tracegen" -bench boxsim -refs 5000 -seed $((i + 1)) -o "$tmp/boxa$i.trace" >/dev/null
+  "$tmp/tracegen" -bench sqlserver -refs 5000 -seed $((i + 1)) -o "$tmp/db$i.trace" >/dev/null
+done
+
+gw=127.0.0.1:18250
+addr_a=127.0.0.1:18251
+addr_b=127.0.0.1:18252
+addr_c=127.0.0.1:18253
+addr_o=127.0.0.1:18254
+
+"$tmp/locserve" -addr "$addr_a" &
+pids="$pids $!"
+"$tmp/locserve" -addr "$addr_b" &
+pids="$pids $!"
+"$tmp/locserve" -addr "$addr_c" &
+pids="$pids $!"
+"$tmp/locserve" -addr "$addr_o" &
+pids="$pids $!"
+"$tmp/locgate" -addr "$gw" -probe 200ms \
+  -shards "a=http://$addr_a,b=http://$addr_b,c=http://$addr_c" &
+pids="$pids $!"
+
+wait_up() {
+  for _ in $(seq 50); do
+    if curl -sf "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "fleet-smoke: $1 did not come up" >&2
+  exit 1
+}
+wait_up "http://$addr_a/v1/sessions"
+wait_up "http://$addr_b/v1/sessions"
+wait_up "http://$addr_c/v1/sessions"
+wait_up "http://$addr_o/v1/sessions"
+wait_up "http://$gw/v1/shards"
+
+# Stream every session into the sharded cluster AND the single-node
+# oracle: the same uploads, so the fleet views have the same material.
+for s in boxa0 boxa1 boxa2 db0 db1 db2; do
+  "$tmp/tracegen" -stream -in "$tmp/$s.trace" -retries 5 -retry-backoff 200ms \
+    -url "http://$gw/v1/ingest?session=$s" >/dev/null
+  "$tmp/tracegen" -stream -in "$tmp/$s.trace" -retries 5 -retry-backoff 200ms \
+    -url "http://$addr_o/v1/ingest?session=$s" >/dev/null
+done
+
+# The sessions must actually be sharded for the merge to prove anything.
+shards_used=0
+for a in "$addr_a" "$addr_b" "$addr_c"; do
+  if curl -sf "http://$a/v1/sessions" | grep -q '"session"'; then
+    shards_used=$((shards_used + 1))
+  fi
+done
+if [ "$shards_used" -lt 2 ]; then
+  echo "fleet-smoke: sessions all landed on one shard; merge untested" >&2
+  exit 1
+fi
+
+# Merged fleet views must be byte-identical to the single node's.
+for view in 'fingerprints' 'streams' 'streams?top=0' 'clusters'; do
+  curl -sf "http://$gw/v1/fleet/$view" > "$tmp/gw-view.json"
+  curl -sf "http://$addr_o/v1/fleet/$view" > "$tmp/oracle-view.json"
+  diff -u "$tmp/oracle-view.json" "$tmp/gw-view.json" || {
+    echo "fleet-smoke: merged /v1/fleet/$view differs from single-node oracle" >&2
+    exit 1
+  }
+done
+
+# Clustering recovers the two workload families: exactly two clusters of
+# size 3, led by each family's first session.
+clusters=$(curl -sf "http://$gw/v1/fleet/clusters")
+size3=$(printf '%s' "$clusters" | grep -c '"size": 3' || true)
+if [ "$size3" -ne 2 ]; then
+  echo "fleet-smoke: want 2 clusters of size 3, got $size3:" >&2
+  echo "$clusters" >&2
+  exit 1
+fi
+for id in '"id": "boxa0"' '"id": "db0"'; do
+  case "$clusters" in *"$id"*) ;; *)
+    echo "fleet-smoke: clusters missing $id:" >&2
+    echo "$clusters" >&2
+    exit 1;;
+  esac
+done
+
+# The health prober (running every 200ms) has stamped every shard
+# healthy by now.
+shards_json=$(curl -sf "http://$gw/v1/shards")
+case "$shards_json" in *'"lastProbe"'*) ;; *)
+  echo "fleet-smoke: /v1/shards has no probe timestamps:" >&2
+  echo "$shards_json" >&2
+  exit 1;;
+esac
+case "$shards_json" in *'"healthy": false'*)
+  echo "fleet-smoke: a live shard probed unhealthy:" >&2
+  echo "$shards_json" >&2
+  exit 1;;
+esac
+
+echo "fleet-smoke: OK (6 sessions, 2 workload families recovered; gateway fleet views byte-identical to single node)"
