@@ -218,6 +218,8 @@ type state struct {
 	emit func(name uint64, pc, addr uint32)
 
 	live    []interval // live-object intervals sorted by base
+	lastHit interval   // findLive's most-recent hit; zero = invalid
+	prevHit interval   // findLive's second cache way (alternation)
 	nextID  uint64     // next dense name
 	counter uint64     // global allocation counter (birth IDs)
 	// siteNames dedupes names in SiteOnly mode.
@@ -295,8 +297,21 @@ func (st *state) contextHash(site uint32) uint64 {
 
 // findLive returns the live object containing addr, or nil. The binary
 // search is hand-rolled: sort.Search's per-iteration closure call was a
-// measurable slice of the per-reference cost.
+// measurable slice of the per-reference cost. A two-entry cache of the
+// most recent hits short-circuits the search for runs of references
+// into one object and for tight loops alternating between two (the
+// common stride patterns — the very locality this package exists to
+// measure). The cache holds copies of the intervals (Object pointers
+// are chunk-stable, so the obj fields cannot dangle) and is dropped
+// whenever the live set changes.
 func (st *state) findLive(addr uint32) *Object {
+	if c := &st.lastHit; addr >= c.base && addr < c.limit {
+		return c.obj
+	}
+	if c := st.prevHit; addr >= c.base && addr < c.limit {
+		st.prevHit, st.lastHit = st.lastHit, c
+		return c.obj
+	}
 	lo, hi := 0, len(st.live)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -311,25 +326,30 @@ func (st *state) findLive(addr uint32) *Object {
 	}
 	iv := st.live[lo-1]
 	if addr < iv.limit {
+		st.prevHit, st.lastHit = st.lastHit, iv
 		return iv.obj
 	}
 	return nil
 }
 
-// insertLive inserts an interval keeping the slice sorted by base.
+// insertLive inserts an interval keeping the slice sorted by base, and
+// drops the findLive cache (the zero interval can contain no address).
 func (st *state) insertLive(iv interval) {
 	i := sort.Search(len(st.live), func(i int) bool { return st.live[i].base >= iv.base })
 	st.live = append(st.live, interval{})
 	copy(st.live[i+1:], st.live[i:])
 	st.live[i] = iv
+	st.lastHit, st.prevHit = interval{}, interval{}
 }
 
-// removeLive drops the interval starting at base, if present.
+// removeLive drops the interval starting at base, if present, and the
+// findLive cache with it.
 func (st *state) removeLive(base uint32) {
 	i := sort.Search(len(st.live), func(i int) bool { return st.live[i].base >= base })
 	if i < len(st.live) && st.live[i].base == base {
 		st.live = append(st.live[:i], st.live[i+1:]...)
 	}
+	st.lastHit, st.prevHit = interval{}, interval{}
 }
 
 // nameForAddr names a raw address (RawAddress mode and unknown

@@ -130,6 +130,14 @@ type Engine struct {
 	evictions uint64
 	dagFresh  bool // grammar unchanged since the last Snapshot's DAG
 
+	// appendErr latches the first grammar growth failure (the arena's
+	// typed symbol-space overflow). The abstraction sink that feeds
+	// Append cannot propagate errors through its per-reference callback,
+	// so the engine records the first one here; IngestReader and Err
+	// surface it. Once set, the grammar refuses further growth but stays
+	// valid and snapshottable.
+	appendErr error
+
 	// Metric handles are resolved once at construction (nil when
 	// observability is off), so the per-chunk ingest cost is one
 	// nil-check per counter, not a registry lookup.
@@ -148,15 +156,29 @@ func NewEngine(opts Options) *Engine {
 		acc:  trace.NewStatsAccum(),
 		g:    sequitur.NewWithOptions(opts.Sequitur),
 	}
-	e.abs = abstract.New(opts.HeapNaming).SinkStreamer(func(name uint64, pc, addr uint32) {
-		e.g.Append(name)
-	})
+	e.abs = abstract.New(opts.HeapNaming).SinkStreamer(e.appendName)
 	reg := opts.registry()
 	e.obsEvents = reg.Counter("online.events")
 	e.obsChunks = reg.Counter("online.chunks")
 	e.obsEvict = reg.Counter("online.evictions")
 	return e
 }
+
+// appendName is the abstraction sink: it feeds one abstracted reference
+// to the grammar, latching the first growth failure.
+//
+//lint:hotpath per-reference grammar append on the live ingest path
+func (e *Engine) appendName(name uint64, pc, addr uint32) {
+	if err := e.g.Append(name); err != nil && e.appendErr == nil {
+		e.appendErr = err
+	}
+}
+
+// Err returns the first grammar growth failure latched during ingest
+// (nil in any session that stays within the arena's 32-bit symbol
+// space). After a non-nil Err, already-ingested state remains valid and
+// snapshottable, but further references no longer extend the grammar.
+func (e *Engine) Err() error { return e.appendErr }
 
 // Ingest consumes one chunk of trace events in order, then applies the
 // eviction policy.
@@ -193,10 +215,13 @@ func (e *Engine) IngestReader(r io.Reader) (uint64, error) {
 			total += uint64(n)
 		}
 		if err == io.EOF {
-			return total, nil
+			return total, e.appendErr
 		}
 		if err != nil {
 			return total, err
+		}
+		if e.appendErr != nil {
+			return total, e.appendErr
 		}
 	}
 }

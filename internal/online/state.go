@@ -219,9 +219,7 @@ func ReadEngine(r io.Reader, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	if err := readBlob("abstraction", func(r io.Reader) error {
-		abs, err := abstract.ReadStreamer(r, func(name uint64, pc, addr uint32) {
-			e.g.Append(name)
-		})
+		abs, err := abstract.ReadStreamer(r, e.appendName)
 		if err != nil {
 			return err
 		}

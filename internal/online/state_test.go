@@ -81,6 +81,88 @@ func TestEngineStateHandoff(t *testing.T) {
 	}
 }
 
+// TestEngineStateDoubleHandoff chains two persist→rehydrate→append hops
+// — the lifecycle of a session migrated twice across shards — and pins
+// two properties: the final snapshot is byte-identical to an engine that
+// ingested the whole stream uninterrupted, and re-serializing a restored
+// engine before any further ingest reproduces the persisted bytes
+// exactly (rehydration is lossless on the wire, not just semantically,
+// regardless of how the restored grammar's arena is laid out).
+func TestEngineStateDoubleHandoff(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"evicting", Options{MaxRules: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := genTrace(t, "boxsim", 9000)
+			events := b.Events()
+			// Both cut points land on chunk boundaries so the evicting
+			// variant sees identical eviction points in every lineage.
+			cut1 := (len(events) / 3 / 512) * 512
+			cut2 := (2 * len(events) / 3 / 512) * 512
+
+			full := NewEngine(tc.opts)
+			ingestChunked(full, b, 512)
+
+			ingestRange := func(e *Engine, lo, hi int) {
+				t.Helper()
+				for i := lo; i < hi; i += 512 {
+					end := i + 512
+					if end > hi {
+						end = hi
+					}
+					e.Ingest(events[i:end])
+				}
+			}
+
+			first := NewEngine(tc.opts)
+			ingestRange(first, 0, cut1)
+			var state1 bytes.Buffer
+			if _, err := first.WriteState(&state1); err != nil {
+				t.Fatalf("first WriteState: %v", err)
+			}
+
+			second, err := ReadEngine(bytes.NewReader(state1.Bytes()), tc.opts)
+			if err != nil {
+				t.Fatalf("first ReadEngine: %v", err)
+			}
+			// A freshly restored engine must round-trip its own state
+			// byte-for-byte before it ingests anything new.
+			var echo bytes.Buffer
+			if _, err := second.WriteState(&echo); err != nil {
+				t.Fatalf("restored WriteState: %v", err)
+			}
+			if !bytes.Equal(echo.Bytes(), state1.Bytes()) {
+				t.Fatalf("restored engine re-serializes to %d bytes differing from the %d persisted",
+					echo.Len(), state1.Len())
+			}
+			ingestRange(second, cut1, cut2)
+			var state2 bytes.Buffer
+			if _, err := second.WriteState(&state2); err != nil {
+				t.Fatalf("second WriteState: %v", err)
+			}
+
+			third, err := ReadEngine(bytes.NewReader(state2.Bytes()), tc.opts)
+			if err != nil {
+				t.Fatalf("second ReadEngine: %v", err)
+			}
+			ingestRange(third, cut2, len(events))
+
+			want := snapshotJSON(t, full.Snapshot())
+			got := snapshotJSON(t, third.Snapshot())
+			if !bytes.Equal(got, want) {
+				t.Fatalf("double-handoff snapshot diverges from uninterrupted engine:\n%s", firstDiffContext(got, want))
+			}
+			if third.Stats() != full.Stats() {
+				t.Fatalf("stats diverged: %+v != %+v", third.Stats(), full.Stats())
+			}
+		})
+	}
+}
+
 // TestEngineStateSnapshotThenHandoff: serializing after a snapshot (DAG
 // caches populated) must still restore cleanly — the drain path
 // snapshots before persisting state.

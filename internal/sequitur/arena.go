@@ -1,64 +1,197 @@
 package sequitur
 
-// This file implements the grammar's arena allocator: chunked slabs of
-// symbols and rules with per-grammar free lists, so steady-state Append
-// performs zero per-record heap allocations (the "10× the ingest hot
-// path" ROADMAP item; the hotalloc analyzer enforces the property).
+import "fmt"
+
+// This file implements the grammar's index-addressed arena: symbols live
+// in one contiguous pointer-free slice and are named by dense uint32
+// handles (symID) instead of machine pointers. The layout is the "10×
+// the ingest hot path" ROADMAP item's structural step: a symbol shrinks
+// from 32 to 24 bytes, neighbours pack ~2.7 per cache line instead of 2,
+// link updates are plain uint32 stores (no GC write barriers), and —
+// because the slice contains no pointers at all — the garbage collector
+// never scans the symbol graph, where the old layout exposed three heap
+// pointers per live symbol to every mark phase.
+//
+// Handle 0 (nilSym) is reserved as the null link, so handle tests read
+// exactly like the pointer tests they replaced. Handles are never
+// invalidated, but pointers are: the slice doubles when the
+// high-water mark reaches its length, which moves every symbol. A
+// *symbol obtained from at() is therefore valid only until the next
+// allocSymbol call; code that allocates must re-resolve any handle it
+// still needs. Every function in this package already follows that
+// discipline (allocation happens first, resolution after), a chunked
+// never-moving slab variant was measured slower (the extra dependent
+// load in at() on every traversal outweighed the copy-free growth —
+// growth copies total well under one memcpy of the final arena size),
+// and misuse is caught loudly: a stale pointer's writes land in the
+// abandoned backing array, which the repro_sanitize invariant sweep and
+// the fuzz targets surface as link corruption. Rules are likewise named
+// by uint32 handles (ruleID) indexing a per-grammar slot table; the
+// *Rule objects themselves stay ordinary heap values because the public
+// analysis API (DAG, RHS.Refs) hands them out.
 //
 // Symbols and rules die constantly during construction — every digram
 // promotion discards two symbols, rule-utility inlining deletes rules,
 // and cold-rule eviction (evict.go) dismantles whole right-hand sides —
-// so both object kinds are recycled through free lists threaded through
-// the objects themselves (a dead symbol's next pointer and a dead rule's
-// guard pointer are repurposed as the list links). Fresh objects come
-// from fixed-size slab chunks; a chunk is allocated at most once per
-// symChunkLen allocations, off the per-record path. Slabs belong to the
-// grammar and are never returned to the Go heap individually: a
-// grammar's memory is freed when the grammar itself becomes garbage.
+// so both kinds are recycled through free lists (a dead symbol's next
+// field is repurposed as the list link). Fresh handles are carved from
+// the high-water mark; the slice doubles at most log₂(peak) times per
+// grammar, off the per-record path.
 //
-// Recycling is safe because every structure that can point at a symbol
-// drops its pointer before the symbol is freed: the digram table's
+// Recycling is safe because every structure that can name a symbol
+// drops its handle before the symbol is freed: the digram table's
 // entries are removed at every death site (remove, expand, evictRule,
 // inlineCopy all call deleteDigram before freeing — the sanitizer's
 // "correctly keyed" invariant guarantees the delete finds the entry),
 // and rule references are counted, so a rule is only freed when nothing
 // links to it. CheckInvariants and the fuzz targets police exactly this.
 
-// symChunkLen is the slab chunk size: large enough to amortize chunk
-// allocation to noise, small enough that a short-lived grammar does not
-// strand much memory.
-const symChunkLen = 1024
+// symID is a symbol handle: an index into the arena's symbol slabs.
+// nilSym (0) is the null link; slot 0 of the first slab is never handed
+// out.
+type symID uint32
 
-type symChunk struct {
-	syms [symChunkLen]symbol
-	used int
+const nilSym symID = 0
+
+// ruleID is a rule handle: an index into the arena's rule-slot table.
+// nilRule (0) marks terminals; slot 0 is never handed out.
+type ruleID uint32
+
+const nilRule ruleID = 0
+
+// symInitLen is the arena's starting slice length: 4096 symbols × 24
+// bytes = 96 KiB, large enough that typical grammars pay only a handful
+// of doublings, small enough that a short-lived grammar does not strand
+// much memory.
+const symInitLen = 1 << 12
+
+// symbolCap is the arena's default handle-space bound. It sits a slack
+// band below 1<<32 so Append's single up-front guard (symHigh >=
+// symCap) covers every allocation the rest of that Append can perform:
+// one append never carves anywhere near 1<<16 fresh handles (its gross
+// allocation is a handful of symbols per cascaded rule promotion, and
+// frees replenish the free list faster than promotions consume it).
+const symbolCap = 1<<32 - 1<<16
+
+// SymbolLimitError is the typed error Append returns when the grammar
+// has exhausted its 32-bit symbol handle space: the input is too large
+// to represent in one arena. The grammar itself remains valid and
+// analyzable; only further growth is refused.
+type SymbolLimitError struct {
+	// Limit is the handle-space bound that was reached.
+	Limit uint64
 }
 
+func (e *SymbolLimitError) Error() string {
+	return fmt.Sprintf("sequitur: symbol arena full: grammar reached its %d-symbol handle space", e.Limit)
+}
+
+// ruleChunkLen is the rule slab chunk size; rules are ~100× rarer than
+// symbols.
+const ruleChunkLen = 1024
+
 type ruleChunk struct {
-	rules [symChunkLen]Rule
+	rules [ruleChunkLen]Rule
 	used  int
 }
 
 // arena is the grammar's allocator state.
 type arena struct {
-	symChunks  []*symChunk
+	syms    []symbol // the symbol store; index = handle, slot 0 reserved
+	symHigh uint32   // next never-used handle; starts at 1 (0 = nilSym)
+	symCap  uint32   // handle-space bound; lowered only by tests
+	freeSym symID    // free-list head threaded through symbol.next
+	nFree   uint32   // free-list length
+
+	ruleSlots  []*Rule // handle -> live rule; slot 0 reserved
+	freeSlots  []ruleID
 	ruleChunks []*ruleChunk
-	freeSym    *symbol // free list threaded through symbol.next
-	freeRules  []*Rule // free list of rules (slice-backed: rules are rare)
+	freeRules  []*Rule
 }
 
-// growSyms adds a fresh symbol chunk.
+// init prepares an empty arena. Called once per grammar.
 //
-//lint:coldpath amortized slab growth; runs once per symChunkLen symbol allocations, never per record
-func (a *arena) growSyms() *symChunk {
-	c := &symChunk{}
-	a.symChunks = append(a.symChunks, c)
-	return c
+//lint:coldpath arena construction; runs once per grammar
+func (a *arena) init() {
+	a.syms = make([]symbol, symInitLen)
+	a.symHigh = 1
+	a.symCap = symbolCap
+	a.ruleSlots = make([]*Rule, 1, 64)
+}
+
+// at resolves a symbol handle to its arena slot: one bounds-checked
+// index into a contiguous slice. The returned pointer is invalidated by
+// the next allocSymbol (the slice may move); see the package comment.
+//
+//lint:hotpath every link traversal in the SEQUITUR inner loop resolves handles through here
+func (a *arena) at(i symID) *symbol {
+	return &a.syms[i]
+}
+
+// growSyms doubles the symbol store.
+//
+//lint:coldpath amortized doubling; runs log₂(peak) times per grammar, never per record
+func (a *arena) growSyms() {
+	ns := make([]symbol, 2*len(a.syms))
+	copy(ns, a.syms)
+	a.syms = ns
+}
+
+// canAlloc reports whether n more symbols fit without exceeding the
+// handle-space bound (decoders pre-check untrusted sizes with this).
+func (a *arena) canAlloc(n uint64) bool {
+	return n <= uint64(a.symCap-a.symHigh)+uint64(a.nFree)
+}
+
+// allocSymbol hands out a zeroed symbol handle from the free list or
+// the high-water mark. Append's up-front guard keeps the backstop panic
+// unreachable; decoders pre-check with canAlloc.
+//
+//lint:hotpath symbol allocation; runs multiple times per appended terminal
+func (a *arena) allocSymbol() symID {
+	if si := a.freeSym; si != nilSym {
+		s := a.at(si)
+		a.freeSym = symID(s.next)
+		s.next = nilSym
+		a.nFree--
+		return si
+	}
+	i := a.symHigh
+	if i >= a.symCap {
+		panic(a.limitErr())
+	}
+	if int(i) == len(a.syms) {
+		a.growSyms()
+	}
+	a.symHigh = i + 1
+	return symID(i)
+}
+
+// limitErr builds the handle-space exhaustion error. Kept out of the
+// hot functions that report it so the literal's heap escape stays off
+// their allocation profile (the condition is unreachable until a
+// grammar nears 2^32 symbols).
+//
+//lint:coldpath only constructed when the 32-bit handle space is exhausted
+func (a *arena) limitErr() *SymbolLimitError {
+	return &SymbolLimitError{Limit: uint64(a.symCap)}
+}
+
+// freeSymbol recycles a dead symbol. The caller must have unlinked it
+// from its rule and removed any digram-table entry naming it.
+func (a *arena) freeSymbol(si symID) {
+	s := a.at(si)
+	s.prev = nilSym
+	s.rule = nilRule
+	s.value = 0
+	s.next = a.freeSym
+	a.freeSym = si
+	a.nFree++
 }
 
 // growRules adds a fresh rule chunk.
 //
-//lint:coldpath amortized slab growth; runs once per symChunkLen rule allocations, never per record
+//lint:coldpath amortized slab growth; runs once per ruleChunkLen rule allocations, never per record
 func (a *arena) growRules() *ruleChunk {
 	c := &ruleChunk{}
 	a.ruleChunks = append(a.ruleChunks, c)
@@ -72,63 +205,60 @@ func (a *arena) growFreeRules(r *Rule) {
 	a.freeRules = append(a.freeRules, r)
 }
 
-// allocSymbol hands out a zeroed symbol from the free list or the
-// current slab chunk.
-func (a *arena) allocSymbol() *symbol {
-	if s := a.freeSym; s != nil {
-		a.freeSym = s.next
-		s.next = nil
-		return s
-	}
-	var c *symChunk
-	if n := len(a.symChunks); n > 0 {
-		c = a.symChunks[n-1]
-	}
-	if c == nil || c.used == symChunkLen {
-		c = a.growSyms()
-	}
-	s := &c.syms[c.used]
-	c.used++
-	return s
+// growFreeSlots grows the rule-slot free list's backing slice.
+//
+//lint:coldpath amortized append growth; runs per freed rule, not per record, and reuses capacity
+func (a *arena) growFreeSlots(h ruleID) {
+	a.freeSlots = append(a.freeSlots, h)
 }
 
-// freeSymbol recycles a dead symbol. The caller must have unlinked it
-// from its rule and removed any digram-table entry pointing at it.
-func (a *arena) freeSymbol(s *symbol) {
-	s.prev = nil
-	s.r = nil
-	s.value = 0
-	s.next = a.freeSym
-	a.freeSym = s
+// growRuleSlots appends a fresh rule slot.
+//
+//lint:coldpath amortized append growth; runs per new rule, not per record
+func (a *arena) growRuleSlots(r *Rule) ruleID {
+	a.ruleSlots = append(a.ruleSlots, r)
+	return ruleID(len(a.ruleSlots) - 1)
 }
 
-// allocRule hands out a zeroed rule.
+// allocRule hands out a zeroed rule bound to a handle slot.
 func (a *arena) allocRule() *Rule {
+	var r *Rule
 	if n := len(a.freeRules); n > 0 {
-		r := a.freeRules[n-1]
+		r = a.freeRules[n-1]
 		a.freeRules = a.freeRules[:n-1]
-		return r
+	} else {
+		var c *ruleChunk
+		if n := len(a.ruleChunks); n > 0 {
+			c = a.ruleChunks[n-1]
+		}
+		if c == nil || c.used == ruleChunkLen {
+			c = a.growRules()
+		}
+		r = &c.rules[c.used]
+		c.used++
 	}
-	var c *ruleChunk
-	if n := len(a.ruleChunks); n > 0 {
-		c = a.ruleChunks[n-1]
+	if n := len(a.freeSlots); n > 0 {
+		r.self = a.freeSlots[n-1]
+		a.freeSlots = a.freeSlots[:n-1]
+		a.ruleSlots[r.self] = r
+	} else {
+		r.self = a.growRuleSlots(r)
 	}
-	if c == nil || c.used == symChunkLen {
-		c = a.growRules()
-	}
-	r := &c.rules[c.used]
-	c.used++
 	return r
 }
 
-// freeRule recycles a dead rule and its guard symbol. The caller must
-// have deleted the rule from the rule table and dismantled its
-// right-hand side (nothing may reference the rule anymore).
+// freeRule recycles a dead rule, its guard symbol, and its handle slot.
+// The caller must have deleted the rule from the rule table and
+// dismantled its right-hand side (nothing may reference the rule
+// anymore).
 func (a *arena) freeRule(r *Rule) {
-	if g := r.guard; g != nil {
-		a.freeSymbol(g)
+	if r.guard != nilSym {
+		a.freeSymbol(r.guard)
 	}
-	r.guard = nil
+	a.ruleSlots[r.self] = nil
+	a.growFreeSlots(r.self)
+	r.guard = nilSym
+	r.self = nilRule
 	r.uses = 0
 	r.expLen = 0
 	r.id = 0

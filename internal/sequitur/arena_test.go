@@ -1,0 +1,97 @@
+package sequitur
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendSymbolLimit exercises the arena-capacity overflow guard via
+// a lowered test-only cap: Append must return *SymbolLimitError instead
+// of wrapping the 32-bit handle space, the rejected append must not be
+// counted, and the grammar must stay valid and analyzable.
+func TestAppendSymbolLimit(t *testing.T) {
+	g := New()
+	g.arena.symCap = g.arena.symHigh + 8 // room for exactly 8 fresh symbols
+
+	var err error
+	appended := uint64(0)
+	for i := 0; i < 100 && err == nil; i++ {
+		// Distinct terminals: every append allocates exactly one symbol
+		// and frees none, so the cap is reached deterministically.
+		if err = g.Append(uint64(i + 1)); err == nil {
+			appended++
+		}
+	}
+	if err == nil {
+		t.Fatal("Append never reported the lowered arena cap")
+	}
+	var le *SymbolLimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("Append returned %T (%v), want *SymbolLimitError", err, err)
+	}
+	if le.Limit != uint64(g.arena.symCap) {
+		t.Fatalf("SymbolLimitError.Limit = %d, want %d", le.Limit, g.arena.symCap)
+	}
+	if appended != 8 {
+		t.Fatalf("appended %d terminals before the cap, want 8", appended)
+	}
+	if g.InputLen() != appended {
+		t.Fatalf("InputLen %d counts the rejected append (accepted %d)", g.InputLen(), appended)
+	}
+
+	// The grammar is full, not corrupt: invariants hold, the accepted
+	// prefix expands, and further appends keep failing the same way.
+	if cerr := CheckInvariants(g); cerr != nil {
+		t.Fatalf("grammar invalid after hitting the cap: %v", cerr)
+	}
+	if got := g.Expand(); uint64(len(got)) != appended {
+		t.Fatalf("expansion has %d terminals, want %d", len(got), appended)
+	}
+	if err2 := g.Append(999); !errors.As(err2, &le) {
+		t.Fatalf("second over-cap Append returned %v, want *SymbolLimitError", err2)
+	}
+	if g.InputLen() != appended {
+		t.Fatalf("InputLen moved to %d on a rejected append", g.InputLen())
+	}
+}
+
+// TestAppendAllStopsAtSymbolLimit pins that AppendAll surfaces the typed
+// error mid-slice and stops.
+func TestAppendAllStopsAtSymbolLimit(t *testing.T) {
+	g := New()
+	g.arena.symCap = g.arena.symHigh + 4
+	in := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	err := g.AppendAll(in)
+	var le *SymbolLimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("AppendAll returned %v, want *SymbolLimitError", err)
+	}
+	if g.InputLen() != 4 {
+		t.Fatalf("AppendAll accepted %d terminals, want 4", g.InputLen())
+	}
+}
+
+// TestArenaRecyclingUnderChurn drives heavy symbol/rule churn (repeated
+// promotion and rule-utility inlining) and verifies the free lists keep
+// the high-water mark far below gross allocations: the arena must reuse
+// dead handles, not leak them.
+func TestArenaRecyclingUnderChurn(t *testing.T) {
+	g := New()
+	rng := rand.New(rand.NewSource(7))
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if err := g.Append(uint64(rng.Intn(8) + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CheckInvariants(g); err != nil {
+		t.Fatal(err)
+	}
+	// A small-alphabet repetitive input compresses heavily: live symbols
+	// (and therefore symHigh, given recycling) must stay well below the
+	// input length. Without free-list reuse symHigh would exceed n.
+	if g.arena.symHigh > n/2 {
+		t.Fatalf("symHigh %d after %d appends: arena is not recycling freed symbols", g.arena.symHigh, n)
+	}
+}

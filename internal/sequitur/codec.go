@@ -160,18 +160,11 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 	if nRules > maxRules {
 		return nil, fmt.Errorf("sequitur: implausible rule count %d", nRules)
 	}
-	g := &Grammar{
-		rules:  make(map[uint64]*Rule, nRules),
-		frozen: true,
-	}
+	g := &Grammar{frozen: true}
+	g.arena.init()
 	rules := make([]*Rule, nRules)
 	for i := range rules {
-		r := &Rule{id: uint64(i)}
-		guard := &symbol{r: r, value: ntBit | guardBit | r.id}
-		guard.next, guard.prev = guard, guard
-		r.guard = guard
-		rules[i] = r
-		g.rules[r.id] = r
+		rules[i] = g.materializeRule(uint64(i))
 	}
 	g.nextID = nRules
 	var total uint64
@@ -189,6 +182,9 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 		if rhsLen == 0 && i != nRules-1 {
 			return nil, fmt.Errorf("sequitur: rule %d at offset %d has empty right-hand side", i, at)
 		}
+		if !g.arena.canAlloc(rhsLen) {
+			return nil, fmt.Errorf("sequitur: rule %d at offset %d: length %d overflows the symbol arena", i, at, rhsLen)
+		}
 		r := rules[i]
 		for j := uint64(0); j < rhsLen; j++ {
 			at = cr.off
@@ -196,23 +192,26 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sequitur: rule %d symbol %d at offset %d: %w", i, j, at, noEOF(err))
 			}
-			var s *symbol
+			si := g.arena.allocSymbol()
+			s := g.at(si)
 			if sv&1 == 1 {
 				idx := sv >> 1
 				if idx >= i {
 					return nil, fmt.Errorf("sequitur: rule %d at offset %d references rule %d out of postorder", i, at, idx)
 				}
-				s = &symbol{r: rules[idx], value: ntBit | rules[idx].id}
+				s.rule = rules[idx].self
+				s.value = ntBit | rules[idx].id
 				rules[idx].uses++
 			} else {
-				s = &symbol{value: sv >> 1}
+				s.value = sv >> 1
 			}
 			// Raw append before the guard.
-			last := r.guard.prev
-			last.next = s
+			gs := g.at(r.guard)
+			last := gs.prev
+			g.at(last).next = si
 			s.prev = last
 			s.next = r.guard
-			r.guard.prev = s
+			gs.prev = si
 		}
 	}
 	g.root = rules[nRules-1]
@@ -220,12 +219,17 @@ func ReadBinary(r io.Reader) (*Grammar, error) {
 	lens := make([]uint64, nRules)
 	for i := uint64(0); i < nRules; i++ {
 		var n uint64
-		for s := rules[i].first(); !s.isGuard(); s = s.next {
-			if s.r != nil {
-				n += lens[s.r.id]
+		for si := rules[i].first(); ; {
+			s := g.at(si)
+			if s.isGuard() {
+				break
+			}
+			if s.rule != nilRule {
+				n += lens[g.ruleAt(s.rule).id]
 			} else {
 				n++
 			}
+			si = s.next
 		}
 		lens[i] = n
 	}

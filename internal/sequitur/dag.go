@@ -3,7 +3,6 @@ package sequitur
 import (
 	"fmt"
 	"io"
-	"sort"
 )
 
 // DAG is the analysis view of a grammar: the directed acyclic graph Larus
@@ -51,15 +50,13 @@ func NewDAG(g *Grammar, maxAffix int) *DAG {
 	}
 	d := &DAG{
 		G:        g,
-		Occ:      make(map[uint64]uint64, len(g.rules)),
-		RHS:      make(map[uint64]RHS, len(g.rules)),
-		prefixes: make(map[uint64][]uint64, len(g.rules)),
-		suffixes: make(map[uint64][]uint64, len(g.rules)),
+		Occ:      make(map[uint64]uint64, g.nRules),
+		RHS:      make(map[uint64]RHS, g.nRules),
+		prefixes: make(map[uint64][]uint64, g.nRules),
+		suffixes: make(map[uint64][]uint64, g.nRules),
 		maxAffix: maxAffix,
 	}
-	for id, r := range g.rules {
-		d.RHS[id] = r.RHS()
-	}
+	g.eachRule(func(r *Rule) { d.RHS[r.id] = r.RHS() })
 	d.topoSort()
 	d.computeOcc()
 	d.computeLens()
@@ -75,7 +72,7 @@ func NewDAG(g *Grammar, maxAffix int) *DAG {
 // Unreachable rules (none exist in a well-formed grammar) are appended at
 // the end for robustness.
 func (d *DAG) topoSort() {
-	visited := make(map[uint64]bool, len(d.G.rules))
+	visited := make(map[uint64]bool, d.G.nRules)
 	var order []*Rule
 	type frame struct {
 		r    *Rule
@@ -105,11 +102,11 @@ func (d *DAG) topoSort() {
 		order = append(order, top.r)
 		stack = stack[:len(stack)-1]
 	}
-	for id, r := range d.G.rules {
-		if !visited[id] {
+	d.G.eachRule(func(r *Rule) {
+		if !visited[r.id] {
 			order = append(order, r)
 		}
-	}
+	})
 	d.Order = order
 }
 
@@ -237,18 +234,18 @@ func (s Stats) CompressionRatio() float64 {
 
 // ComputeStats sizes the grammar.
 func (d *DAG) ComputeStats() Stats {
-	st := Stats{Rules: len(d.G.rules), InputLen: d.G.input}
+	st := Stats{Rules: d.G.nRules, InputLen: d.G.input}
 	terms := make(map[uint64]struct{})
-	for id := range d.G.rules {
-		rhs := d.RHS[id]
+	d.G.eachRule(func(r *Rule) {
+		rhs := d.RHS[r.id]
 		st.Symbols += rhs.Len()
-		st.ASCIIBytes += asciiRuleSize(id, rhs)
+		st.ASCIIBytes += asciiRuleSize(r.id, rhs)
 		for i, ref := range rhs.Refs {
 			if ref == nil {
 				terms[rhs.Terminals[i]] = struct{}{}
 			}
 		}
-	}
+	})
 	st.Terminals = len(terms)
 	return st
 }
@@ -275,13 +272,9 @@ func asciiRuleSize(id uint64, rhs RHS) uint64 {
 // Rules print in ascending ID order. It returns the number of bytes
 // written.
 func (d *DAG) WriteASCII(w io.Writer) (int64, error) {
-	ids := make([]uint64, 0, len(d.G.rules))
-	for id := range d.G.rules {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var total int64
-	for _, id := range ids {
+	for _, r := range d.G.liveRulesSorted() {
+		id := r.id
 		rhs := d.RHS[id]
 		n, err := fmt.Fprintf(w, "%d ->", id)
 		total += int64(n)

@@ -1,0 +1,120 @@
+package sequitur
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// maxDisplacement returns the longest probe chain in the table: the
+// maximum cyclic distance from any entry's home slot to where it rests.
+func maxDisplacement(t *digramTable) uint64 {
+	var worst uint64
+	for j := range t.slots {
+		if t.slots[j].s == nilSym {
+			continue
+		}
+		home := t.hash(t.slots[j].d) & t.mask
+		if d := (uint64(j) - home) & t.mask; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestDigramTableEvictionChurn is the regression test for the digram
+// table's deletion accounting under eviction-heavy workloads: 1e5
+// records interleaved with aggressive cold-rule eviction, asserting
+// after every eviction burst that
+//
+//   - the table's structural invariants hold (accurate count, load at or
+//     below 1/2, every entry reachable from its home slot — the property
+//     backward-shift deletion must preserve; this path was previously
+//     only exercised by append-driven deletes),
+//   - probe chains stay short (no silent degradation into linear scans),
+//   - and mass deletion shrinks the slot array instead of stranding a
+//     near-empty table at its high-water size.
+func TestDigramTableEvictionChurn(t *testing.T) {
+	g := New()
+	rng := rand.New(rand.NewSource(41))
+	motifs := [][]uint64{{1, 2, 3, 4}, {5, 6, 7}, {2, 3, 9}, {8, 1, 2}, {7, 7, 4, 5}}
+
+	const records = 100_000
+	appended := 0
+	peakSlots := 0
+	checkTable := func(when string) {
+		t.Helper()
+		if err := g.digrams.invariants(); err != nil {
+			t.Fatalf("%s after %d records: %v", when, appended, err)
+		}
+		if d := maxDisplacement(&g.digrams); d > 64 {
+			t.Fatalf("%s after %d records: max probe displacement %d in %d slots (n=%d)",
+				when, appended, d, len(g.digrams.slots), g.digrams.len())
+		}
+	}
+	for appended < records {
+		// A burst of motif-structured appends grows rules and the table...
+		for i := 0; i < 2000 && appended < records; i++ {
+			m := motifs[rng.Intn(len(motifs))]
+			for _, v := range m {
+				if err := g.Append(v); err != nil {
+					t.Fatal(err)
+				}
+				appended++
+			}
+		}
+		if s := len(g.digrams.slots); s > peakSlots {
+			peakSlots = s
+		}
+		checkTable("append burst")
+		// ...then eviction mass-deletes table entries through the
+		// backward-shift path and must leave a healthy, compacted table.
+		g.EvictColdRules(4)
+		checkTable("eviction")
+		if err := CheckInvariants(g); err != nil {
+			t.Fatalf("grammar invariants after eviction at %d records: %v", appended, err)
+		}
+	}
+
+	// The eviction bursts drop the live-entry count by orders of
+	// magnitude; the shrink hysteresis must have engaged rather than
+	// leaving the table stranded at its append-burst high-water size.
+	if final := len(g.digrams.slots); final >= peakSlots {
+		t.Fatalf("table never shrank: %d slots at peak, %d after final eviction (n=%d)",
+			peakSlots, final, g.digrams.len())
+	}
+	if n, sz := g.digrams.len(), len(g.digrams.slots); sz > minTableSlots && sz > 8*n {
+		t.Fatalf("table left pathologically sparse: %d entries in %d slots", n, sz)
+	}
+}
+
+// TestDigramTableShrinkFloor pins compact's behaviour at the extremes:
+// deletion alone never resizes (the per-append path must not thrash),
+// and compacting an emptied table descends exactly to the minimum
+// geometry, never below.
+func TestDigramTableShrinkFloor(t *testing.T) {
+	var tab digramTable
+	tab.init(1 << 10)
+	syms := make([]digram, 0, 1<<9)
+	for i := 0; i < 1<<9; i++ {
+		d := digram{uint64(i), uint64(i * 7)}
+		tab.set(d, symID(i+1))
+		syms = append(syms, d)
+	}
+	grown := len(tab.slots)
+	for _, d := range syms {
+		tab.del(d)
+	}
+	if tab.len() != 0 {
+		t.Fatalf("table reports %d entries after deleting all", tab.len())
+	}
+	if got := len(tab.slots); got != grown {
+		t.Fatalf("deletion alone resized the table: %d slots, want %d until compact", got, grown)
+	}
+	tab.compact()
+	if got := len(tab.slots); got != minTableSlots {
+		t.Fatalf("compacted empty table has %d slots, want the %d-slot floor", got, minTableSlots)
+	}
+	if err := tab.invariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,5 @@
 package sequitur
 
-import "slices"
-
 // This file implements cold-rule eviction: the bounded-memory mode the
 // online analysis engine (internal/online) uses to keep an incrementally
 // grown grammar's rule table at a configurable size while the input
@@ -36,7 +34,7 @@ func (g *Grammar) EvictColdRules(maxRules int) int {
 		maxRules = 1
 	}
 	evicted := 0
-	for len(g.rules) > maxRules {
+	for g.nRules > maxRules {
 		r := g.coldestRule()
 		if r == nil {
 			break
@@ -46,6 +44,10 @@ func (g *Grammar) EvictColdRules(maxRules int) int {
 	}
 	if evicted > 0 {
 		g.relaxed = true
+		// Eviction mass-deletes digram-table entries; shrink the slot
+		// array back to a healthy load here, the one place bulk deletion
+		// happens (the per-append path never resizes downward).
+		g.digrams.compact()
 	}
 	return evicted
 }
@@ -59,12 +61,12 @@ func (g *Grammar) Relaxed() bool { return g.relaxed }
 func (g *Grammar) coldestRule() *Rule {
 	var best *Rule
 	bestLen := 0
-	for _, r := range g.rules {
-		if r == g.root {
+	for _, r := range g.arena.ruleSlots {
+		if r == nil || r == g.root {
 			continue
 		}
 		n := 0
-		for s := r.first(); !s.isGuard(); s = s.next {
+		for si := r.first(); !g.at(si).isGuard(); si = g.at(si).next {
 			n++
 		}
 		if best == nil ||
@@ -82,28 +84,28 @@ func (g *Grammar) evictRule(r *Rule) {
 	// Drop the digram-table entries that point into r's RHS first, so
 	// the first inlined copy re-registers those digrams at a surviving
 	// location.
-	for s := r.first(); !s.isGuard(); s = s.next {
-		g.deleteDigram(s)
+	for si := r.first(); !g.at(si).isGuard(); si = g.at(si).next {
+		g.deleteDigram(si)
 	}
 
 	// Collect use sites in deterministic order: rules by ascending ID,
 	// symbols in RHS order. (Use sites cannot be inside r itself — the
 	// grammar is acyclic.)
-	ids := make([]uint64, 0, len(g.rules))
-	for id := range g.rules {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	var uses []*symbol
-	for _, id := range ids {
-		for s := g.rules[id].first(); !s.isGuard(); s = s.next {
-			if s.r == r {
-				uses = append(uses, s)
+	var uses []symID
+	for _, rr := range g.liveRulesSorted() {
+		for si := rr.first(); ; {
+			s := g.at(si)
+			if s.isGuard() {
+				break
 			}
+			if s.rule == r.self {
+				uses = append(uses, si)
+			}
+			si = s.next
 		}
 	}
-	for _, s := range uses {
-		g.inlineCopy(s, r)
+	for _, si := range uses {
+		g.inlineCopy(si, r)
 	}
 
 	// Dismantle r's RHS, releasing its references to other rules. The
@@ -111,64 +113,79 @@ func (g *Grammar) evictRule(r *Rule) {
 	// to nets uses + (r.uses at entry) - 1 >= +1. The dismantled symbols,
 	// the rule, and its guard are dead and recycled into the arena (the
 	// digram sweep above dropped every table entry pointing into the RHS).
-	for s := r.first(); !s.isGuard(); {
-		next := s.next
-		if s.r != nil {
-			s.r.uses--
+	for si := r.first(); ; {
+		s := g.at(si)
+		if s.isGuard() {
+			break
 		}
-		s.next, s.prev, s.r = nil, nil, nil
-		g.arena.freeSymbol(s)
-		s = next
+		next := s.next
+		if s.rule != nilRule {
+			g.ruleAt(s.rule).uses--
+		}
+		s.next, s.prev, s.rule = nilSym, nilSym, nilRule
+		g.arena.freeSymbol(si)
+		si = next
 	}
 	g.deleteRule(r)
 	g.arena.freeRule(r)
 }
 
-// inlineCopy replaces the nonterminal s (a use of rule r) with a fresh
+// inlineCopy replaces the nonterminal si (a use of rule r) with a fresh
 // copy of r's right-hand side, keeping the digram table valid: entries
 // for the two digrams destroyed at the splice point are dropped, and the
 // chain's digrams are registered only where their key is absent —
 // duplicated digrams relax uniqueness instead of corrupting the table.
-func (g *Grammar) inlineCopy(s *symbol, r *Rule) {
-	left, right := s.prev, s.next
+func (g *Grammar) inlineCopy(si symID, r *Rule) {
+	left, right := g.at(si).prev, g.at(si).next
 	g.deleteDigram(left) // (left, s); no-op when left is the guard
-	g.deleteDigram(s)    // (s, right); no-op when right is the guard
+	g.deleteDigram(si)   // (s, right); no-op when right is the guard
 
-	var first, last *symbol
-	for t := r.first(); !t.isGuard(); t = t.next {
-		c := g.copySymbol(t)
-		if c.r != nil {
-			c.r.uses++
+	// copySymbol allocates, which can move the arena: everything here
+	// works in handles, re-resolving after each copy.
+	var first, last symID
+	for ti := r.first(); !g.at(ti).isGuard(); {
+		next := g.at(ti).next
+		ci := g.copySymbol(ti)
+		c := g.at(ci)
+		if c.rule != nilRule {
+			g.ruleAt(c.rule).uses++
 		}
-		if first == nil {
-			first = c
+		if first == nilSym {
+			first = ci
 		} else {
-			last.next = c
+			g.at(last).next = ci
 			c.prev = last
 		}
-		last = c
+		last = ci
+		ti = next
 	}
 	r.uses--
-	s.next, s.prev, s.r = nil, nil, nil
-	g.arena.freeSymbol(s)
+	s := g.at(si)
+	s.next, s.prev, s.rule = nilSym, nilSym, nilRule
+	g.arena.freeSymbol(si)
 
-	left.next, first.prev = first, left
-	last.next, right.prev = right, last
+	g.at(left).next, g.at(first).prev = first, left
+	g.at(last).next, g.at(right).prev = right, last
 
-	for t := left; t != last; t = t.next {
-		g.registerIfAbsent(t)
+	for ti := left; ti != last; ti = g.at(ti).next {
+		g.registerIfAbsent(ti)
 	}
 	g.registerIfAbsent(last)
 }
 
-// registerIfAbsent records the digram starting at s in the table unless
+// registerIfAbsent records the digram starting at si in the table unless
 // the key is already present (pointing elsewhere): the relaxed-mode
 // counterpart of the strict index maintained by check.
-func (g *Grammar) registerIfAbsent(s *symbol) {
-	if s.isGuard() || s.next == nil || s.next.isGuard() {
+func (g *Grammar) registerIfAbsent(si symID) {
+	s := g.at(si)
+	if s.isGuard() || s.next == nilSym {
 		return
 	}
-	g.digrams.lookupOrInsert(digram{s.key(), s.next.key()}, s)
+	n := g.at(s.next)
+	if n.isGuard() {
+		return
+	}
+	g.digrams.lookupOrInsert(digram{s.value, n.value}, si)
 }
 
 // ResetAnalysisCaches clears the per-rule expansion-length caches the
@@ -177,7 +194,5 @@ func (g *Grammar) registerIfAbsent(s *symbol) {
 // caches are neither trusted nor reported as corruption by the
 // sanitizer.
 func (g *Grammar) ResetAnalysisCaches() {
-	for _, r := range g.rules {
-		r.expLen = 0
-	}
+	g.eachRule(func(r *Rule) { r.expLen = 0 })
 }

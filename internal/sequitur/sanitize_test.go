@@ -19,7 +19,7 @@ func buildTestGrammar(t *testing.T) *Grammar {
 	}
 	g := New()
 	g.AppendAll(in)
-	if len(g.rules) < 2 {
+	if g.nRules < 2 {
 		t.Fatal("test grammar has no non-root rules")
 	}
 	return g
@@ -28,8 +28,8 @@ func buildTestGrammar(t *testing.T) *Grammar {
 // nonRoot returns an arbitrary non-root rule.
 func nonRoot(t *testing.T, g *Grammar) *Rule {
 	t.Helper()
-	for id, r := range g.rules {
-		if id != g.root.id {
+	for _, r := range g.arena.ruleSlots {
+		if r != nil && r.id != g.root.id {
 			return r
 		}
 	}
@@ -38,15 +38,15 @@ func nonRoot(t *testing.T, g *Grammar) *Rule {
 }
 
 // firstDigram returns an arbitrary digram-table entry.
-func firstDigram(t *testing.T, g *Grammar) (digram, *symbol) {
+func firstDigram(t *testing.T, g *Grammar) (digram, symID) {
 	t.Helper()
 	var d digram
-	var s *symbol
-	g.digrams.all(func(dd digram, ss *symbol) bool {
+	var s symID
+	g.digrams.all(func(dd digram, ss symID) bool {
 		d, s = dd, ss
 		return false
 	})
-	if s == nil {
+	if s == nilSym {
 		t.Fatal("empty digram table")
 	}
 	return d, s
@@ -102,9 +102,11 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 		{
 			name: "dangling rule reference",
 			corrupt: func(t *testing.T, g *Grammar) {
-				delete(g.rules, nonRoot(t, g).id)
+				r := nonRoot(t, g)
+				g.arena.ruleSlots[r.self] = nil
+				g.nRules--
 			},
-			want: "deleted rule",
+			want: "dead rule slot",
 		},
 		{
 			name: "stale digram table key",
@@ -126,22 +128,29 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 		{
 			name: "unlinked digram table entry",
 			corrupt: func(t *testing.T, g *Grammar) {
+				// Fabricate a correctly-keyed two-symbol chain in the arena
+				// that no rule links to, and point the table entry at it.
 				d, _ := firstDigram(t, g)
-				g.digrams.set(d, &symbol{value: d.a, next: &symbol{value: d.b}})
+				ai := g.arena.allocSymbol()
+				bi := g.arena.allocSymbol()
+				a, b := g.at(ai), g.at(bi)
+				a.value, b.value = d.a, d.b
+				a.next, b.prev = bi, ai
+				g.digrams.set(d, ai)
 			},
 			want: "unlinked symbol",
 		},
 		{
 			name: "broken doubly-linked list",
 			corrupt: func(t *testing.T, g *Grammar) {
-				g.root.first().next.prev = g.root.guard
+				g.at(g.at(g.root.first()).next).prev = g.root.guard
 			},
 			want: "broken doubly-linked list",
 		},
 		{
 			name: "guard corruption",
 			corrupt: func(t *testing.T, g *Grammar) {
-				nonRoot(t, g).guard.r = nil
+				g.at(nonRoot(t, g).guard).rule = nilRule
 			},
 			want: "guard node corrupt",
 		},
@@ -163,9 +172,9 @@ func TestCheckInvariantsCorruption(t *testing.T) {
 		{
 			name: "reserved terminal bit",
 			corrupt: func(t *testing.T, g *Grammar) {
-				for _, r := range g.rules {
-					for s := r.first(); !s.isGuard(); s = s.next {
-						if s.r == nil {
+				for _, r := range g.Rules() {
+					for si := r.first(); !g.at(si).isGuard(); si = g.at(si).next {
+						if s := g.at(si); s.rule == nilRule {
 							s.value |= ntBit
 							return
 						}

@@ -22,38 +22,52 @@
 // path.
 package sequitur
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // A symbol is a node in the doubly-linked list forming a rule's right-hand
-// side. A symbol is either a terminal (r == nil), a nonterminal referencing
-// a rule (r != nil, guardBit clear), or a rule's guard node (guardBit set
-// in value). Guard nodes make every RHS circular: guard.next is the first
-// symbol, guard.prev the last.
+// side. A symbol is either a terminal (rule == nilRule), a nonterminal
+// referencing a rule (rule != nilRule, guardBit clear), or a rule's guard
+// node (guardBit set in value). Guard nodes make every RHS circular:
+// guard.next is the first symbol, guard.prev the last.
+//
+// Symbols live in the grammar's arena (arena.go) and link to each other
+// by uint32 handle, not by pointer: the struct is 24 bytes of plain
+// integers, so ~2.7 neighbours share a cache line, link rewrites are
+// uint32 stores with no GC write barrier, and the garbage collector
+// never scans the symbol graph at all. Resolve a handle with g.at —
+// and re-resolve after any allocation, which may move the arena.
 type symbol struct {
-	next, prev *symbol
+	next, prev symID
+	// rule is the handle of the referenced rule (nonterminal) or the
+	// owning rule (guard); nilRule for terminals. Handles index the
+	// arena's rule-slot table, not the public rule-ID space.
+	rule ruleID
 	// value caches the symbol's digram key: the terminal value, or the
-	// referenced rule's ID with ntBit set. Guard nodes additionally carry
-	// guardBit (over the owning rule's ID), so guardhood is a bit test
-	// rather than a dedicated field and the symbol fits in 32 bytes —
-	// two per cache line in the arena slabs the hot path chases through.
-	// Every site that assigns r keeps value in sync, making key() a
-	// single load on the Append hot path.
+	// referenced rule's public ID with ntBit set. Guard nodes additionally
+	// carry guardBit (over the owning rule's ID), so guardhood is a bit
+	// test rather than a dedicated field. Every site that assigns rule
+	// keeps value in sync, making key() a single load on the Append hot
+	// path.
 	value uint64
-	r     *Rule // referenced rule (nonterminal) or owning rule (guard)
 }
 
 // isGuard reports whether s is a rule's guard node.
 func (s *symbol) isGuard() bool { return s.value&guardBit != 0 }
 
 // Rule is a grammar production. Rule 0 is the root (the whole sequence);
-// every other rule is referenced at least twice.
+// every other rule is referenced at least twice. Rules are small and
+// handed out by pointer (the analysis API exposes *Rule), but their
+// right-hand sides are arena symbols reached through the guard handle.
 type Rule struct {
-	id    uint64
-	guard *symbol
-	uses  int // reference count from nonterminal symbols
-
-	// Analysis caches, populated lazily by the DAG layer; zero until then.
-	expLen uint64 // length of full expansion in terminals
+	g      *Grammar
+	id     uint64
+	expLen uint64 // analysis cache, populated lazily by the DAG layer
+	guard  symID
+	self   ruleID // this rule's slot in the arena's rule-slot table
+	uses   int32  // reference count from nonterminal symbols
 }
 
 // ID returns the rule's identifier. The root rule has ID 0.
@@ -61,10 +75,10 @@ func (r *Rule) ID() uint64 { return r.id }
 
 // Uses returns the number of nonterminal references to the rule. The root
 // reports 0.
-func (r *Rule) Uses() int { return r.uses }
+func (r *Rule) Uses() int { return int(r.uses) }
 
-func (r *Rule) first() *symbol { return r.guard.next }
-func (r *Rule) last() *symbol  { return r.guard.prev }
+func (r *Rule) first() symID { return r.g.at(r.guard).next }
+func (r *Rule) last() symID  { return r.g.at(r.guard).prev }
 
 // nonterminal bit distinguishes rule IDs from terminal values in digram
 // keys, and the guard bit marks guard nodes. Terminals must therefore
@@ -76,7 +90,7 @@ const (
 
 // key returns the digram-table key for a symbol: the terminal value, or the
 // rule ID with the nonterminal bit set (cached in value by every site that
-// assigns r).
+// assigns rule).
 func (s *symbol) key() uint64 { return s.value }
 
 type digram struct{ a, b uint64 }
@@ -97,10 +111,16 @@ type Options struct {
 type Grammar struct {
 	root    *Rule
 	digrams digramTable
-	rules   map[uint64]*Rule
-	nextID  uint64
-	input   uint64 // number of terminals appended
-	opts    Options
+	// nRules counts live rules (including the root). There is no id->rule
+	// map: the arena's rule-slot table is the registry (iterate with
+	// eachRule / liveRulesSorted), which keeps rule creation and deletion
+	// — both per-record events under digram promotion and utility
+	// inlining — free of map traffic. Cold paths that want id-keyed
+	// lookup (the decoders, the sanitizer) build a local map.
+	nRules int
+	nextID uint64
+	input  uint64 // number of terminals appended
+	opts   Options
 	// frozen marks grammars loaded from the binary form: analyzable but
 	// not appendable (the digram index is not reconstructed).
 	frozen bool
@@ -111,10 +131,23 @@ type Grammar struct {
 	// pending counts sightings of digrams not yet promoted to rules when
 	// MinRuleOccurrences > 2.
 	pending map[digram]int
-	// arena is the slab allocator symbols and rules come from (arena.go);
-	// it keeps steady-state Append free of per-record heap allocations.
+	// arena is the handle-addressed slab allocator symbols and rules come
+	// from (arena.go); it keeps steady-state Append free of per-record
+	// heap allocations and the symbol graph invisible to the GC.
 	arena arena
 }
+
+// at resolves a symbol handle to its arena slot. The returned pointer is
+// invalidated by the next symbol allocation (the arena slice may move);
+// fetch after allocating, never before (see arena.go).
+//
+//lint:hotpath every link traversal in the SEQUITUR inner loop resolves handles through here
+func (g *Grammar) at(i symID) *symbol { return g.arena.at(i) }
+
+// ruleAt resolves a rule handle to its live *Rule.
+//
+//lint:hotpath nonterminal use-count updates resolve rule handles through here
+func (g *Grammar) ruleAt(h ruleID) *Rule { return g.arena.ruleSlots[h] }
 
 // New returns an empty grammar using the classic algorithm.
 func New() *Grammar { return NewWithOptions(Options{MinRuleOccurrences: 2}) }
@@ -124,10 +157,8 @@ func NewWithOptions(opts Options) *Grammar {
 	if opts.MinRuleOccurrences < 2 {
 		opts.MinRuleOccurrences = 2
 	}
-	g := &Grammar{
-		rules: make(map[uint64]*Rule, 1<<8),
-		opts:  opts,
-	}
+	g := &Grammar{opts: opts}
+	g.arena.init()
 	g.digrams.init(1 << 10)
 	if opts.MinRuleOccurrences > 2 {
 		g.pending = make(map[digram]int)
@@ -136,24 +167,63 @@ func NewWithOptions(opts Options) *Grammar {
 	return g
 }
 
-func (g *Grammar) newRule() *Rule {
+// materializeRule allocates a rule with the given public ID and an empty
+// circular right-hand side, and registers it in the rule table. Shared by
+// construction (newRule) and the two decoders.
+func (g *Grammar) materializeRule(id uint64) *Rule {
 	r := g.arena.allocRule()
-	r.id = g.nextID
-	g.nextID++
-	guard := g.arena.allocSymbol()
-	guard.r = r
-	guard.value = ntBit | guardBit | r.id
-	guard.next = guard
-	guard.prev = guard
-	r.guard = guard
-	g.rules[r.id] = r
+	r.g = g
+	r.id = id
+	gi := g.arena.allocSymbol()
+	gs := g.at(gi)
+	gs.rule = r.self
+	gs.value = ntBit | guardBit | id
+	gs.next = gi
+	gs.prev = gi
+	r.guard = gi
+	g.nRules++
 	return r
 }
 
-// deleteRule unregisters a rule from the rule table. The rule's storage
-// is recycled separately (arena.freeRule) once its right-hand side has
-// been dismantled or relinked and nothing references it.
-func (g *Grammar) deleteRule(r *Rule) { delete(g.rules, r.id) }
+func (g *Grammar) newRule() *Rule {
+	r := g.materializeRule(g.nextID)
+	g.nextID++
+	return r
+}
+
+// deleteRule unregisters a rule. The rule's storage is recycled
+// separately (arena.freeRule) once its right-hand side has been
+// dismantled or relinked and nothing references it; freeRule clears the
+// arena slot, which is what removes the rule from iteration.
+func (g *Grammar) deleteRule(r *Rule) { g.nRules-- }
+
+// eachRule calls fn for every live rule, root included, in arena-slot
+// order. Slot recycling makes that order history-dependent; callers
+// needing a stable order use liveRulesSorted.
+func (g *Grammar) eachRule(fn func(*Rule)) {
+	for _, r := range g.arena.ruleSlots {
+		if r != nil {
+			fn(r)
+		}
+	}
+}
+
+// liveRulesSorted returns the live rules in ascending ID order: the
+// deterministic iteration serialization and eviction depend on.
+func (g *Grammar) liveRulesSorted() []*Rule {
+	out := make([]*Rule, 0, g.nRules)
+	g.eachRule(func(r *Rule) { out = append(out, r) })
+	slices.SortFunc(out, func(a, b *Rule) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
 
 // Root returns the root rule, whose expansion is the input sequence.
 func (g *Grammar) Root() *Rule { return g.root }
@@ -162,198 +232,237 @@ func (g *Grammar) Root() *Rule { return g.root }
 func (g *Grammar) InputLen() uint64 { return g.input }
 
 // NumRules returns the number of live rules, including the root.
-func (g *Grammar) NumRules() int { return len(g.rules) }
+func (g *Grammar) NumRules() int { return g.nRules }
 
 // Append feeds one terminal to the grammar. Values must be below 1<<62.
-// It panics on grammars loaded with ReadBinary, which are read-only.
+// It panics on grammars loaded with ReadBinary, which are read-only, and
+// returns a *SymbolLimitError once the grammar has exhausted its 32-bit
+// symbol handle space (the grammar stays valid; only growth is refused).
 //
 //lint:hotpath called once per trace event; the paper's online SEQUITUR inner loop
-func (g *Grammar) Append(v uint64) {
+func (g *Grammar) Append(v uint64) error {
 	if g.frozen {
 		panic(ErrFrozen)
 	}
 	if v&(ntBit|guardBit) != 0 {
 		panic("sequitur: terminal value uses reserved nonterminal bit")
 	}
+	// One guard covers every allocation this append can cascade into:
+	// symbolCap leaves slack below the handle-space ceiling far wider
+	// than a single append's worst-case fresh-handle consumption.
+	if g.arena.symHigh >= g.arena.symCap {
+		return g.arena.limitErr()
+	}
 	g.input++
-	s := g.arena.allocSymbol()
+	si := g.arena.allocSymbol()
+	s := g.at(si)
 	s.value = v
-	g.insertAfter(g.root.last(), s)
+	g.insertAfter(g.root.last(), si)
 	g.check(s.prev)
 	if sanitizeHot && (g.input <= sanitizeDense || g.input%sanitizeStride == 0) {
 		if err := CheckInvariants(g); err != nil {
 			panic(fmt.Sprintf("sequitur: invariant violated after appending input[%d]=%d: %v", g.input-1, v, err))
 		}
 	}
+	return nil
 }
 
-// AppendAll feeds each value in order.
-func (g *Grammar) AppendAll(vs []uint64) {
+// AppendAll feeds each value in order, stopping at the first error.
+func (g *Grammar) AppendAll(vs []uint64) error {
 	for _, v := range vs {
-		g.Append(v)
+		if err := g.Append(v); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // join links left and right, maintaining the digram table. This is the
 // canonical implementation including the overlapping-triple repair (for
 // inputs like "abbbab", deleting the second pair of an overlapping digram
-// must re-register the first).
-func (g *Grammar) join(left, right *symbol) {
-	if left.next != nil {
+// must re-register the first). Callers pass the resolved symbols
+// alongside the handles — every caller already holds them, and the inner
+// loop performs several joins per appended terminal.
+func (g *Grammar) join(left, right symID, ls, rs *symbol) {
+	if ls.next != nilSym {
 		g.deleteDigram(left)
 
-		if right.prev != nil && right.next != nil &&
-			right.key() == right.prev.key() && right.key() == right.next.key() {
-			g.digrams.set(digram{right.key(), right.next.key()}, right)
+		if rs.prev != nilSym && rs.next != nilSym &&
+			rs.value == g.at(rs.prev).value && rs.value == g.at(rs.next).value {
+			g.digrams.set(digram{rs.value, g.at(rs.next).value}, right)
 		}
-		if left.prev != nil && left.next != nil &&
-			left.key() == left.next.key() && left.key() == left.prev.key() {
-			g.digrams.set(digram{left.prev.key(), left.key()}, left.prev)
+		if ls.prev != nilSym && ls.next != nilSym &&
+			ls.value == g.at(ls.next).value && ls.value == g.at(ls.prev).value {
+			g.digrams.set(digram{g.at(ls.prev).value, ls.value}, ls.prev)
 		}
 	}
-	left.next = right
-	right.prev = left
+	ls.next = right
+	rs.prev = left
 }
 
-// insertAfter places a fresh symbol s after position pos.
-func (g *Grammar) insertAfter(pos, s *symbol) {
-	if s.r != nil && !s.isGuard() {
-		s.r.uses++
+// insertAfter places a fresh symbol si after position pos.
+func (g *Grammar) insertAfter(pos, si symID) {
+	s := g.at(si)
+	if s.rule != nilRule && !s.isGuard() {
+		g.ruleAt(s.rule).uses++
 	}
-	g.join(s, pos.next)
-	g.join(pos, s)
+	p := g.at(pos)
+	ni := p.next
+	g.join(si, ni, s, g.at(ni))
+	g.join(pos, si, p, s)
 }
 
-// remove unlinks s from its rule, cleaning up the digram table and rule
+// remove unlinks si from its rule, cleaning up the digram table and rule
 // reference counts, and recycles the symbol. It must not be called on
-// guards, and the caller must not touch s afterwards.
-func (g *Grammar) remove(s *symbol) {
-	g.join(s.prev, s.next)
-	g.deleteDigram(s)
-	if s.r != nil && !s.isGuard() {
-		s.r.uses--
+// guards, and the caller must not touch si afterwards.
+func (g *Grammar) remove(si symID) {
+	s := g.at(si)
+	pi, ni := s.prev, s.next
+	g.join(pi, ni, g.at(pi), g.at(ni))
+	g.deleteDigram(si)
+	if s.rule != nilRule && !s.isGuard() {
+		g.ruleAt(s.rule).uses--
 	}
-	s.next, s.prev = nil, nil
-	g.arena.freeSymbol(s)
+	s.next, s.prev = nilSym, nilSym
+	g.arena.freeSymbol(si)
 }
 
-// deleteDigram removes the digram starting at s from the table if the table
-// entry points at s.
-func (g *Grammar) deleteDigram(s *symbol) {
-	if s.isGuard() || s.next == nil || s.next.isGuard() {
-		return
-	}
-	g.digrams.delIf(digram{s.key(), s.next.key()}, s)
+// deleteDigram removes the digram starting at si from the table if the
+// table entry points at si. The table's reverse index resolves this with
+// one load — no hashing, no probing, and no need to touch si's links
+// (guards are never registered, so the old guard/end checks are
+// subsumed).
+func (g *Grammar) deleteDigram(si symID) {
+	g.digrams.removeOwner(si)
 }
 
-// check enforces digram uniqueness for the digram beginning at s. It
+// check enforces digram uniqueness for the digram beginning at si. It
 // returns true if the grammar changed.
-func (g *Grammar) check(s *symbol) bool {
-	if s == nil || s.isGuard() || s.next == nil || s.next.isGuard() {
+func (g *Grammar) check(si symID) bool {
+	if si == nilSym {
 		return false
 	}
-	d := digram{s.key(), s.next.key()}
-	found := g.digrams.lookupOrInsert(d, s)
-	if found == nil || found == s {
+	s := g.at(si)
+	if s.isGuard() || s.next == nilSym {
 		return false
 	}
-	if found.next != s {
+	n := g.at(s.next)
+	if n.isGuard() {
+		return false
+	}
+	d := digram{s.value, n.value}
+	found := g.digrams.lookupOrInsert(d, si)
+	if found == nilSym || found == si {
+		return false
+	}
+	if g.at(found).next != si {
 		// A non-overlapping duplicate: resolve it. (For an overlapping
 		// occurrence, e.g. within "aaa", do nothing — but still report
 		// the digram as handled, matching the canonical implementation.)
-		g.match(s, found)
+		g.match(si, found)
 	}
 	return true
 }
 
-// match resolves a duplicate digram: s is the new occurrence, m the
+// match resolves a duplicate digram: si is the new occurrence, mi the
 // occurrence recorded in the table.
-func (g *Grammar) match(s, m *symbol) {
+func (g *Grammar) match(si, mi symID) {
 	var r *Rule
-	if m.prev.isGuard() && m.next.next.isGuard() {
+	m := g.at(mi)
+	mp := g.at(m.prev)
+	if mp.isGuard() && g.at(g.at(m.next).next).isGuard() {
 		// The matching digram is the entire RHS of an existing rule:
 		// reuse it.
-		r = m.prev.r
-		g.substitute(s, r)
+		r = g.ruleAt(mp.rule)
+		g.substitute(si, r)
 	} else {
 		if g.pending != nil {
 			// SEQUITUR(k) variant: require additional sightings before
 			// promoting a brand-new digram to a rule. A digram has been
 			// seen pending+2 times when match fires (once when first
 			// recorded, once now, plus prior deferrals).
-			d := digram{s.key(), s.next.key()}
+			s := g.at(si)
+			d := digram{s.value, g.at(s.next).value}
 			if g.pending[d]+2 < g.opts.MinRuleOccurrences {
 				g.pending[d]++
-				g.digrams.set(d, s) // remember the most recent occurrence
+				g.digrams.set(d, si) // remember the most recent occurrence
 				return
 			}
 			delete(g.pending, d)
 		}
 		r = g.newRule()
-		g.insertAfter(r.last(), g.copySymbol(s))
-		g.insertAfter(r.last(), g.copySymbol(s.next))
-		g.substitute(m, r)
-		g.substitute(s, r)
-		g.digrams.set(digram{r.first().key(), r.first().next.key()}, r.first())
+		g.insertAfter(r.last(), g.copySymbol(si))
+		g.insertAfter(r.last(), g.copySymbol(g.at(si).next))
+		g.substitute(mi, r)
+		g.substitute(si, r)
+		fi := r.first()
+		g.digrams.set(digram{g.at(fi).value, g.at(g.at(fi).next).value}, fi)
 	}
 	// Rule utility: if the rule's first symbol is a nonterminal used only
 	// once, inline it.
-	if f := r.first(); f.r != nil && !f.isGuard() && f.r.uses == 1 {
-		g.expand(f)
+	fi := r.first()
+	if f := g.at(fi); f.rule != nilRule && !f.isGuard() && g.ruleAt(f.rule).uses == 1 {
+		g.expand(fi)
 	}
 }
 
-// copySymbol returns a fresh symbol with the same content as s, without
+// copySymbol returns a fresh symbol with the same content as si, without
 // touching reference counts (insertAfter handles those).
-func (g *Grammar) copySymbol(s *symbol) *symbol {
-	c := g.arena.allocSymbol()
+func (g *Grammar) copySymbol(si symID) symID {
+	ci := g.arena.allocSymbol()
+	c := g.at(ci)
+	s := g.at(si)
 	c.value = s.value
-	c.r = s.r
-	return c
+	c.rule = s.rule
+	return ci
 }
 
-// substitute replaces the digram starting at s with a nonterminal
+// substitute replaces the digram starting at si with a nonterminal
 // referencing r, then re-checks the neighbouring digrams.
-func (g *Grammar) substitute(s *symbol, r *Rule) {
-	q := s.prev
-	g.remove(q.next)
-	g.remove(q.next)
-	nt := g.arena.allocSymbol()
-	nt.r = r
+func (g *Grammar) substitute(si symID, r *Rule) {
+	qi := g.at(si).prev
+	g.remove(g.at(qi).next)
+	g.remove(g.at(qi).next)
+	nti := g.arena.allocSymbol()
+	nt := g.at(nti)
+	nt.rule = r.self
 	nt.value = ntBit | r.id
-	g.insertAfter(q, nt)
-	if !g.check(q) {
-		g.check(q.next)
+	g.insertAfter(qi, nti)
+	if !g.check(qi) {
+		g.check(g.at(qi).next)
 	}
 }
 
-// expand inlines the rule referenced by nonterminal s (which must be its
+// expand inlines the rule referenced by nonterminal si (which must be its
 // only use), deleting the rule. The nonterminal, the rule, and its guard
 // are dead afterwards and recycled; the rule's right-hand-side symbols
-// live on, spliced into s's rule.
-func (g *Grammar) expand(s *symbol) {
+// live on, spliced into si's rule.
+func (g *Grammar) expand(si symID) {
+	s := g.at(si)
 	left := s.prev
 	right := s.next
-	r := s.r
-	f := r.first()
-	l := r.last()
+	r := g.ruleAt(s.rule)
+	fi := r.first()
+	li := r.last()
 
-	g.deleteDigram(s)
+	g.deleteDigram(si)
 	g.deleteRule(r)
-	s.r.uses--
-	s.next, s.prev, s.r = nil, nil, nil
+	r.uses--
+	s.next, s.prev, s.rule = nilSym, nilSym, nilRule
 
-	g.join(left, f)
-	g.join(l, right)
+	g.join(left, fi, g.at(left), g.at(fi))
+	g.join(li, right, g.at(li), g.at(right))
 
-	if !l.isGuard() && !l.next.isGuard() {
-		g.digrams.set(digram{l.key(), l.next.key()}, l)
+	l := g.at(li)
+	if !l.isGuard() && !g.at(l.next).isGuard() {
+		g.digrams.set(digram{l.value, g.at(l.next).value}, li)
 	}
 
-	// Nothing points at s, r, or r's guard anymore: the joins relinked
-	// f.prev and l.next away from the guard, deleteDigram dropped the
-	// only table entry that could point at s, and r's sole use was s.
-	g.arena.freeSymbol(s)
+	// Nothing points at si, r, or r's guard anymore: the joins relinked
+	// fi's prev and li's next away from the guard, deleteDigram dropped
+	// the only table entry that could point at si, and r's sole use was
+	// si.
+	g.arena.freeSymbol(si)
 	g.arena.freeRule(r)
 }
 
@@ -371,25 +480,29 @@ func (h RHS) Len() int { return len(h.Refs) }
 
 // RHS materializes the rule's right-hand side.
 func (r *Rule) RHS() RHS {
+	g := r.g
 	var h RHS
-	for s := r.first(); !s.isGuard(); s = s.next {
-		if s.r != nil {
-			h.Refs = append(h.Refs, s.r)
+	for si := r.first(); ; {
+		s := g.at(si)
+		if s.isGuard() {
+			break
+		}
+		if s.rule != nilRule {
+			h.Refs = append(h.Refs, g.ruleAt(s.rule))
 			h.Terminals = append(h.Terminals, 0)
 		} else {
 			h.Refs = append(h.Refs, nil)
 			h.Terminals = append(h.Terminals, s.value)
 		}
+		si = s.next
 	}
 	return h
 }
 
 // Rules returns all live rules indexed by ID.
 func (g *Grammar) Rules() map[uint64]*Rule {
-	out := make(map[uint64]*Rule, len(g.rules))
-	for id, r := range g.rules {
-		out[id] = r
-	}
+	out := make(map[uint64]*Rule, g.nRules)
+	g.eachRule(func(r *Rule) { out[r.id] = r })
 	return out
 }
 
@@ -409,18 +522,16 @@ func (g *Grammar) Expand() []uint64 {
 // early if yield returns false. It uses an explicit stack, so arbitrarily
 // deep grammars cannot overflow the goroutine stack.
 func (g *Grammar) Walk(yield func(v uint64) bool) {
-	type frame struct{ s *symbol }
-	stack := []frame{{g.root.first()}}
+	stack := []symID{g.root.first()}
 	for len(stack) > 0 {
-		top := &stack[len(stack)-1]
-		s := top.s
+		s := g.at(stack[len(stack)-1])
 		if s.isGuard() {
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		top.s = s.next
-		if s.r != nil {
-			stack = append(stack, frame{s.r.first()})
+		stack[len(stack)-1] = s.next
+		if s.rule != nilRule {
+			stack = append(stack, g.ruleAt(s.rule).first())
 			continue
 		}
 		if !yield(s.value) {

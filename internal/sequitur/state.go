@@ -30,6 +30,11 @@ import (
 // and eviction unregisters digrams without structural trace — in both
 // regimes the table is history the structure cannot reproduce. Each
 // entry therefore travels as (digram, rule ID, position).
+//
+// Nothing on the wire names arena handles: rules travel by public ID
+// and table entries by (rule ID, RHS position), so the encoding is
+// identical no matter how the source grammar's symbols were laid out,
+// and a decoder lays out its own arena however it likes.
 
 var stateMagic = [4]byte{'W', 'P', 'S', 'L'} // "L" for live
 
@@ -57,16 +62,16 @@ func (w *stateWriter) uvarint(v uint64) error {
 // position within that rule's right-hand side.
 type symPos struct{ rule, idx uint64 }
 
-// symbolPositions indexes every RHS symbol by identity.
-func (g *Grammar) symbolPositions() map[*symbol]symPos {
-	where := make(map[*symbol]symPos, int(g.input))
-	for id, r := range g.rules {
+// symbolPositions indexes every RHS symbol occurrence by handle.
+func (g *Grammar) symbolPositions() map[symID]symPos {
+	where := make(map[symID]symPos, int(g.input))
+	g.eachRule(func(r *Rule) {
 		i := uint64(0)
-		for s := r.first(); !s.isGuard(); s = s.next {
-			where[s] = symPos{id, i}
+		for si := r.first(); !g.at(si).isGuard(); si = g.at(si).next {
+			where[si] = symPos{r.id, i}
 			i++
 		}
-	}
+	})
 	return where
 }
 
@@ -85,20 +90,14 @@ func (g *Grammar) WriteState(w io.Writer) (int64, error) {
 	if g.relaxed {
 		flags |= 1
 	}
-	for _, v := range []uint64{stateVersion, uint64(g.opts.MinRuleOccurrences), flags, g.input, g.nextID, g.root.id, uint64(len(g.rules))} {
+	for _, v := range []uint64{stateVersion, uint64(g.opts.MinRuleOccurrences), flags, g.input, g.nextID, g.root.id, uint64(g.nRules)} {
 		if err := sw.uvarint(v); err != nil {
 			return sw.total, err
 		}
 	}
-	ids := make([]uint64, 0, len(g.rules))
-	for id := range g.rules {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		r := g.rules[id]
+	for _, r := range g.liveRulesSorted() {
 		rhs := r.RHS()
-		if err := sw.uvarint(id); err != nil {
+		if err := sw.uvarint(r.id); err != nil {
 			return sw.total, err
 		}
 		if err := sw.uvarint(uint64(rhs.Len())); err != nil {
@@ -143,7 +142,7 @@ func (g *Grammar) WriteState(w io.Writer) (int64, error) {
 	}
 	entries := make([]tabEntry, 0, g.digrams.len())
 	var badEntry *digram
-	g.digrams.all(func(d digram, s *symbol) bool {
+	g.digrams.all(func(d digram, s symID) bool {
 		p, ok := where[s]
 		if !ok {
 			badEntry = &d
@@ -246,11 +245,13 @@ func ReadState(r io.Reader) (*Grammar, error) {
 		minOcc = 2
 	}
 	g := &Grammar{
-		rules:   make(map[uint64]*Rule, nRules),
 		opts:    Options{MinRuleOccurrences: int(minOcc)},
 		relaxed: flags&1 != 0,
 		nextID:  nextID,
 	}
+	// Decode-local id->rule index; the grammar itself keeps no such map.
+	byID := make(map[uint64]*Rule, nRules)
+	g.arena.init()
 	if minOcc > 2 {
 		g.pending = make(map[digram]int)
 	}
@@ -269,7 +270,7 @@ func ReadState(r io.Reader) (*Grammar, error) {
 		if id >= nextID {
 			return nil, fmt.Errorf("sequitur: state rule id %d >= next id %d", id, nextID)
 		}
-		if _, dup := g.rules[id]; dup {
+		if _, dup := byID[id]; dup {
 			return nil, fmt.Errorf("sequitur: state rule id %d duplicated", id)
 		}
 		rhsLen, err := uv(fmt.Sprintf("rule %d length", i))
@@ -278,6 +279,9 @@ func ReadState(r io.Reader) (*Grammar, error) {
 		}
 		if rhsLen == 0 && id != rootID {
 			return nil, fmt.Errorf("sequitur: state rule %d has empty right-hand side", id)
+		}
+		if !g.arena.canAlloc(rhsLen + 1) {
+			return nil, fmt.Errorf("sequitur: state rule %d length %d overflows the symbol arena", id, rhsLen)
 		}
 		body := make([]uint64, rhsLen)
 		for j := range body {
@@ -290,16 +294,9 @@ func ReadState(r io.Reader) (*Grammar, error) {
 		totalSyms += rhsLen
 		ids[i] = id
 		bodies[i] = body
-		r := g.arena.allocRule()
-		r.id = id
-		guard := g.arena.allocSymbol()
-		guard.r = r
-		guard.value = ntBit | guardBit | r.id
-		guard.next, guard.prev = guard, guard
-		r.guard = guard
-		g.rules[id] = r
+		byID[id] = g.materializeRule(id)
 	}
-	root, ok := g.rules[rootID]
+	root, ok := byID[rootID]
 	if !ok {
 		return nil, fmt.Errorf("sequitur: state root rule %d missing", rootID)
 	}
@@ -307,15 +304,16 @@ func ReadState(r io.Reader) (*Grammar, error) {
 
 	// Pass 2: link right-hand sides and count uses.
 	for i, id := range ids {
-		r := g.rules[id]
+		r := byID[id]
 		for j, sv := range bodies[i] {
-			s := g.arena.allocSymbol()
+			si := g.arena.allocSymbol()
+			s := g.at(si)
 			if sv&1 == 1 {
-				ref, ok := g.rules[sv>>1]
+				ref, ok := byID[sv>>1]
 				if !ok {
 					return nil, fmt.Errorf("sequitur: state rule %d references unknown rule %d", id, sv>>1)
 				}
-				s.r = ref
+				s.rule = ref.self
 				s.value = ntBit | ref.id
 				ref.uses++
 			} else {
@@ -324,11 +322,12 @@ func ReadState(r io.Reader) (*Grammar, error) {
 				}
 				s.value = sv >> 1
 			}
-			last := r.guard.prev
-			last.next = s
+			gs := g.at(r.guard)
+			last := gs.prev
+			g.at(last).next = si
 			s.prev = last
 			s.next = r.guard
-			r.guard.prev = s
+			gs.prev = si
 		}
 	}
 	if root.uses != 0 {
@@ -386,25 +385,26 @@ func ReadState(r io.Reader) (*Grammar, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, ok := g.rules[rid]
+		r, ok := byID[rid]
 		if !ok {
 			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) names unknown rule %d", a, b, rid)
 		}
-		s := r.first()
-		for j := uint64(0); j < idx && !s.isGuard(); j++ {
-			s = s.next
+		si := r.first()
+		for j := uint64(0); j < idx && !g.at(si).isGuard(); j++ {
+			si = g.at(si).next
 		}
-		if s.isGuard() || s.next.isGuard() {
+		s := g.at(si)
+		if s.isGuard() || g.at(s.next).isGuard() {
 			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) position %d out of range in rule %d", a, b, idx, rid)
 		}
 		d := digram{a, b}
-		if (digram{s.key(), s.next.key()}) != d {
+		if (digram{s.value, g.at(s.next).value}) != d {
 			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) names a different digram at rule %d position %d", a, b, rid, idx)
 		}
-		if g.digrams.lookup(d) != nil {
+		if g.digrams.lookup(d) != nilSym {
 			return nil, fmt.Errorf("sequitur: digram entry (%d,%d) duplicated", a, b)
 		}
-		g.digrams.set(d, s)
+		g.digrams.set(d, si)
 	}
 
 	// The root's expansion must reproduce the recorded input length; a
@@ -421,9 +421,13 @@ func ReadState(r io.Reader) (*Grammar, error) {
 		}
 		seen[r.id] = 1
 		var total uint64
-		for s := r.first(); !s.isGuard(); s = s.next {
-			if s.r != nil {
-				n, err := lenOf(s.r)
+		for si := r.first(); ; {
+			s := g.at(si)
+			if s.isGuard() {
+				break
+			}
+			if s.rule != nilRule {
+				n, err := lenOf(g.ruleAt(s.rule))
 				if err != nil {
 					return 0, err
 				}
@@ -431,6 +435,7 @@ func ReadState(r io.Reader) (*Grammar, error) {
 			} else {
 				total++
 			}
+			si = s.next
 		}
 		seen[r.id] = 2
 		lens[r.id] = total

@@ -116,18 +116,18 @@ func TestStateDigramTableExact(t *testing.T) {
 // digramEntries maps each registered digram to (owning rule ID, index in
 // rule) of the symbol the table points at.
 func digramEntries(g *Grammar) map[digram][2]uint64 {
-	// Position index: symbol pointer -> (rule, offset).
+	// Position index: symbol handle -> (rule, offset).
 	type pos struct{ rule, idx uint64 }
-	where := make(map[*symbol]pos)
-	for id, r := range g.rules {
+	where := make(map[symID]pos)
+	g.eachRule(func(r *Rule) {
 		i := uint64(0)
-		for s := r.first(); !s.isGuard(); s = s.next {
-			where[s] = pos{id, i}
+		for si := r.first(); !g.at(si).isGuard(); si = g.at(si).next {
+			where[si] = pos{r.id, i}
 			i++
 		}
-	}
+	})
 	out := make(map[digram][2]uint64)
-	g.digrams.all(func(d digram, s *symbol) bool {
+	g.digrams.all(func(d digram, s symID) bool {
 		p := where[s]
 		out[d] = [2]uint64{p.rule, p.idx}
 		return true

@@ -209,6 +209,15 @@ func (sess *session) ingestBody(body io.Reader) (uint64, error) {
 		}
 	}
 	sess.waitFlush()
+	if derr == nil {
+		// Grammar growth failures (arena symbol-space exhaustion) are
+		// latched inside the engine because the per-reference append
+		// path cannot return them; report the first one like any other
+		// ingest error, with the decoded count alongside.
+		sess.mu.Lock()
+		derr = sess.engine.Err()
+		sess.mu.Unlock()
+	}
 	return total, derr
 }
 

@@ -49,7 +49,14 @@ func Build(names []uint64, opts Options) *WPS {
 		opts.MaxStreamLen = 100
 	}
 	g := sequitur.NewWithOptions(opts.Sequitur)
-	g.AppendAll(names)
+	if err := g.AppendAll(names); err != nil {
+		// Batch construction takes an in-memory name slice, which is
+		// orders of magnitude smaller than the arena's 2^32-symbol
+		// handle space; reaching the cap here means the process could
+		// not have materialized the input either. Fail loudly rather
+		// than return a WPS representing a prefix.
+		panic(err)
+	}
 	return &WPS{
 		Grammar: g,
 		DAG:     sequitur.NewDAG(g, opts.MaxStreamLen),
